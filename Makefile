@@ -1,0 +1,28 @@
+# Convenience targets for the ORTOA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce examples clean
+
+install:
+	$(PYTHON) setup.py develop || pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure into results/.
+reproduce: bench
+	@echo "Tables written to results/"
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,115 @@
+"""Ablations of LBL-ORTOA's §10 optimizations, measured on the real protocol.
+
+* point-and-permute: server decryption attempts drop from ~2^y/2-on-average
+  tries per group to exactly 1;
+* y-grouping: server storage halves at y=2 with unchanged communication
+  (the Figure 6 optimum), while y=4 blows communication up;
+* batching: amortizes the WAN round trip across requests.
+"""
+
+import random
+
+from conftest import save_table
+
+from repro.core.lbl import LblOrtoa
+from repro.core.lbl.concurrent import access_batch
+from repro.harness.report import render_table
+from repro.sim.network import DATACENTER_RTT_MS, DEFAULT_BANDWIDTH_MBPS
+from repro.types import Request, StoreConfig
+
+VALUE_LEN = 32
+
+
+def _protocol(group_bits, pnp):
+    config = StoreConfig(value_len=VALUE_LEN, group_bits=group_bits, point_and_permute=pnp)
+    protocol = LblOrtoa(config, rng=random.Random(1))
+    protocol.initialize({"k": bytes(VALUE_LEN)})
+    return protocol
+
+
+def test_ablation_point_and_permute(benchmark):
+    """§10.2: the decryption-bits trick removes all wasted server work."""
+
+    def run():
+        rows = []
+        for pnp in (False, True):
+            protocol = _protocol(group_bits=2, pnp=pnp)
+            total_dec, total_failed = 0, 0
+            for _ in range(10):
+                ops = protocol.access(Request.read("k")).ops_at("server")
+                total_dec += ops.aead_dec
+                total_failed += ops.failed_dec
+            rows.append(
+                {
+                    "point_and_permute": pnp,
+                    "avg_decryptions_per_access": (total_dec + total_failed) / 10,
+                    "avg_wasted_per_access": total_failed / 10,
+                    "groups_per_value": protocol.proxy.codec.num_groups,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_pnp", render_table("Ablation: point-and-permute (§10.2)", rows))
+    plain, pnp = rows
+    groups = plain["groups_per_value"]
+    assert pnp["avg_wasted_per_access"] == 0
+    assert pnp["avg_decryptions_per_access"] == groups  # exactly 1 per group
+    assert plain["avg_decryptions_per_access"] > 1.5 * groups  # ~2.5x tries
+
+
+def test_ablation_group_bits(benchmark):
+    """§10.1: y=2 halves storage at equal communication; y=4 hurts."""
+
+    def run():
+        rows = []
+        for y in (1, 2, 4):
+            protocol = _protocol(group_bits=y, pnp=False)
+            encoded = protocol.keychain.encode_key("k")
+            stored = len(protocol.server.store.get(encoded))
+            transcript = protocol.access(Request.read("k"))
+            rows.append(
+                {
+                    "y": y,
+                    "labels_stored": stored,
+                    "request_kb": transcript.request_bytes / 1000,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_y", render_table("Ablation: y-bit grouping (§10.1)", rows))
+    by = {r["y"]: r for r in rows}
+    assert by[2]["labels_stored"] == by[1]["labels_stored"] // 2
+    assert abs(by[2]["request_kb"] - by[1]["request_kb"]) < 0.15 * by[1]["request_kb"]
+    assert by[4]["request_kb"] > 1.5 * by[2]["request_kb"]
+
+
+def test_ablation_batching(benchmark):
+    """Batching amortizes the round trip: WAN time per op falls toward the
+    serialization floor as the batch grows."""
+    rtt = DATACENTER_RTT_MS["oregon"]
+    bandwidth = DEFAULT_BANDWIDTH_MBPS
+
+    def run():
+        rows = []
+        for batch_size in (1, 2, 4, 8, 16):
+            protocol = _protocol(group_bits=2, pnp=True)
+            batch = access_batch(protocol, [Request.read("k")] * batch_size)
+            total_bytes = batch.combined.request_bytes + batch.combined.response_bytes
+            serialization_ms = total_bytes * 8 / (bandwidth * 1000)
+            wan_ms_per_op = (rtt + serialization_ms) / batch_size
+            rows.append(
+                {
+                    "batch_size": batch_size,
+                    "combined_kb": total_bytes / 1000,
+                    "wan_ms_per_op": wan_ms_per_op,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table("ablation_batching", render_table("Ablation: request batching", rows))
+    per_op = [r["wan_ms_per_op"] for r in rows]
+    assert per_op == sorted(per_op, reverse=True)
+    assert per_op[-1] < per_op[0] / 4  # 16-batch is >4x cheaper per op

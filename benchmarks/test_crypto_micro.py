@@ -1,0 +1,57 @@
+"""Supporting microbenchmarks: the primitive costs that calibrate the DES.
+
+These are true pytest-benchmark timings of this library's primitives (the
+``CostModel.measured`` path); they also document how far pure-Python crypto
+sits from the paper's C++/AES-NI testbed, which is why figure reproduction
+uses ``CostModel.paper_like`` constants instead.
+"""
+
+import random
+
+from repro.core.lbl import LblOrtoa
+from repro.crypto import aead
+from repro.crypto.fhe import FheParams, FheScheme
+from repro.crypto.prf import Prf
+from repro.types import Request, StoreConfig
+
+KEY = b"k" * 16
+
+
+def test_prf_label_derivation(benchmark):
+    prf = Prf(b"m" * 32, out_bytes=16)
+    label = benchmark(prf.evaluate, "label", "key", 3, 1, 42)
+    assert len(label) == 16
+
+
+def test_aead_encrypt_label(benchmark):
+    ct = benchmark(aead.encrypt, KEY, b"l" * 16)
+    assert len(ct) == aead.ciphertext_len(16)
+
+
+def test_aead_decrypt_label(benchmark):
+    ct = aead.encrypt(KEY, b"l" * 16)
+    assert benchmark(aead.decrypt, KEY, ct) == b"l" * 16
+
+
+def test_aead_failed_decrypt(benchmark):
+    """The LBL server's wasted attempt (pre point-and-permute)."""
+    ct = aead.encrypt(KEY, b"l" * 16)
+    assert benchmark(aead.try_decrypt, b"w" * 16, ct) is None
+
+
+def test_lbl_full_access_160b(benchmark):
+    """One complete functional LBL access at the paper's 160 B value size."""
+    config = StoreConfig(value_len=160, group_bits=2, point_and_permute=True)
+    protocol = LblOrtoa(config, rng=random.Random(1))
+    protocol.initialize({"k": bytes(160)})
+    transcript = benchmark(protocol.access, Request.read("k"))
+    assert transcript.num_rounds == 1
+
+
+def test_fhe_multiply(benchmark):
+    """The operation whose noise growth kills FHE-ORTOA (§3.3)."""
+    scheme = FheScheme(FheParams(n=64, q_bits=120))
+    ct = scheme.encrypt_bytes(bytes(60))
+    selector = scheme.encrypt_scalar(1)
+    result = benchmark(FheScheme.multiply, ct, selector)
+    assert result.size == 3

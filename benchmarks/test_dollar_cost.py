@@ -1,0 +1,30 @@
+"""§6.3.3: the dollar-cost estimate of operating LBL-ORTOA on Google Cloud.
+
+Paper headline: ~$0.000023 per request for 1M objects of 160 B with 128-bit
+labels — "a reasonable price" for halving round trips.
+"""
+
+from conftest import save_table
+
+from repro.harness import experiments
+from repro.harness.report import render_table
+
+
+def test_dollar_cost(benchmark):
+    rows = benchmark.pedantic(experiments.dollar_cost, rounds=1, iterations=1)
+    save_table(
+        "dollar_cost",
+        render_table("§6.3.3: LBL-ORTOA operating cost (GCP list prices)", rows),
+    )
+    by = {r["item"]: r["value"] for r in rows}
+
+    # Same order of magnitude as the paper's $0.000023 per request.
+    assert 1e-6 < by["usd_per_request"] < 1e-4
+
+    # Storage for 1M optimized objects is single-digit GB...
+    assert 5 < by["storage_gb"] < 15
+    # ...costing well under a dollar a month at $0.02/GB.
+    assert by["storage_usd_per_month"] < 1.0
+
+    # Bandwidth dominates compute, as in the paper's breakdown.
+    assert by["network_usd_per_1m_accesses"] > by["compute_usd_per_1m_accesses"]

@@ -1,0 +1,37 @@
+"""§3.3: FHE-ORTOA's noise-exhaustion experiment.
+
+Paper finding: "within about 10 accesses to a specific object, the noise
+value grew too large for the FHE decryption to succeed."  This benchmark
+re-runs the real homomorphic pipeline and charts the budget per access.
+"""
+
+from conftest import save_table
+
+from repro.harness import experiments
+from repro.harness.report import render_table
+
+
+def test_fhe_noise_exhaustion(benchmark):
+    rows = benchmark.pedantic(
+        experiments.fhe_noise, kwargs={"max_accesses": 15}, rounds=1, iterations=1
+    )
+    save_table(
+        "fhe_noise",
+        render_table("§3.3: FHE noise budget per oblivious access", rows),
+    )
+
+    # Budget decreases monotonically with each access.
+    budgets = [r["noise_budget_bits"] for r in rows]
+    assert all(a > b for a, b in zip(budgets, budgets[1:]))
+
+    # Exhaustion happens after a small number of accesses (paper: ~10).
+    failing = [r["access"] for r in rows if r["noise_budget_bits"] <= 0]
+    assert failing, "noise never exhausted — parameters too generous"
+    assert 3 <= failing[0] <= 15
+
+    # Ciphertexts also balloon (no relinearization), compounding §3.3's
+    # communication-cost argument.
+    assert rows[-1]["ciphertext_bytes"] > 3 * rows[0]["ciphertext_bytes"]
+
+    # Expansion factor is in SEAL's ballpark direction: ciphertext >> value.
+    assert rows[0]["ciphertext_bytes"] / 60 > 20

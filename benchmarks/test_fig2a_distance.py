@@ -1,0 +1,49 @@
+"""Figure 2a: ORTOA vs the 2RTT baseline as proxy→server distance grows.
+
+Paper expectations (§6.1): ORTOA beats the baseline at every distance; the
+baseline's latency is 1.5–1.9x ORTOA's; TEE-ORTOA outperforms LBL-ORTOA.
+"""
+
+from conftest import save_table
+
+from repro.harness import experiments
+from repro.harness.report import ratio_summary, render_table
+
+
+def test_fig2a_distance(benchmark):
+    rows = benchmark.pedantic(experiments.figure2a, rounds=1, iterations=1)
+    save_table(
+        "fig2a_distance",
+        render_table("Figure 2a: latency/throughput vs server distance", rows),
+    )
+
+    by = {(r["location"], r["protocol"]): r for r in rows}
+    for location in ("oregon", "n_virginia", "london", "mumbai"):
+        baseline = by[(location, "baseline")]
+        for protocol in ("lbl", "tee"):
+            ortoa = by[(location, protocol)]
+            # ORTOA wins on both axes at every distance.
+            assert ortoa["throughput_ops_s"] > baseline["throughput_ops_s"]
+            assert ortoa["avg_latency_ms"] < baseline["avg_latency_ms"]
+            # Baseline latency is 1.2–2.1x ORTOA's (paper: 1.5–1.9x).
+            ratio = baseline["avg_latency_ms"] / ortoa["avg_latency_ms"]
+            assert 1.2 < ratio < 2.1, (location, protocol, ratio)
+        # TEE beats LBL (it computes and ships less).
+        assert by[(location, "tee")]["avg_latency_ms"] < by[(location, "lbl")]["avg_latency_ms"]
+
+    # Latency increases monotonically with distance for every protocol.
+    for protocol in ("lbl", "tee", "baseline"):
+        latencies = [
+            by[(loc, protocol)]["avg_latency_ms"]
+            for loc in ("oregon", "n_virginia", "london", "mumbai")
+        ]
+        assert latencies == sorted(latencies)
+
+    ratios = ratio_summary(rows, "protocol", "throughput_ops_s", base="baseline")
+    save_table(
+        "fig2a_ratios",
+        render_table(
+            "Figure 2a headline: throughput vs baseline (paper: LBL 1.7x, TEE 3.2x)",
+            [{"protocol": k, "throughput_ratio": v} for k, v in sorted(ratios.items())],
+        ),
+    )

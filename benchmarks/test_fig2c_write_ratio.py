@@ -1,0 +1,26 @@
+"""Figure 2c: performance vs percentage of writes.
+
+Paper expectation (§6.2.2): flat — the access-oblivious guarantee means the
+read/write mix cannot show up in throughput or latency (LBL stays within
+~40 ops/s and ~2 ms across the whole sweep).
+"""
+
+from conftest import save_table
+
+from repro.harness import experiments
+from repro.harness.report import render_table
+
+
+def test_fig2c_write_ratio(benchmark):
+    rows = benchmark.pedantic(experiments.figure2c, rounds=1, iterations=1)
+    save_table(
+        "fig2c_write_ratio",
+        render_table("Figure 2c: write-percentage sweep (must be flat)", rows),
+    )
+    for protocol in ("lbl", "tee"):
+        series = [r for r in rows if r["protocol"] == protocol]
+        throughputs = [r["throughput_ops_s"] for r in series]
+        latencies = [r["avg_latency_ms"] for r in series]
+        # Paper: max spread 40 ops/s and 2 ms for LBL; allow similar slack.
+        assert max(throughputs) - min(throughputs) < 50, protocol
+        assert max(latencies) - min(latencies) < 2.0, protocol

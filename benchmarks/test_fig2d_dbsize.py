@@ -1,0 +1,34 @@
+"""Figure 2d: performance vs database size (2^10 → 2^22 objects).
+
+Paper expectations (§6.2.3): TEE flat throughout; LBL flat to 2^20 then a
+graceful ~11% degradation at 2^22 (a single server holding more objects in
+memory has fewer resources for the per-request label computation).
+"""
+
+import pytest
+from conftest import save_table
+
+from repro.harness import experiments
+from repro.harness.report import render_table
+
+
+def test_fig2d_dbsize(benchmark):
+    rows = benchmark.pedantic(experiments.figure2d, rounds=1, iterations=1)
+    save_table(
+        "fig2d_dbsize",
+        render_table("Figure 2d: database-size sweep", rows),
+    )
+    by = {(r["protocol"], r["log2_objects"]): r for r in rows}
+
+    # LBL: flat up to 2^20...
+    lbl_small = by[("lbl", 10)]["throughput_ops_s"]
+    lbl_1m = by[("lbl", 20)]["throughput_ops_s"]
+    assert lbl_1m == pytest.approx(lbl_small, rel=0.03)
+    # ...then degrades gracefully, ~10% at 2^22 (paper: 11%).
+    lbl_4m = by[("lbl", 22)]["throughput_ops_s"]
+    degradation = 1 - lbl_4m / lbl_1m
+    assert 0.05 < degradation < 0.20, degradation
+
+    # TEE: flat across the whole sweep.
+    tee_series = [r["throughput_ops_s"] for r in rows if r["protocol"] == "tee"]
+    assert max(tee_series) - min(tee_series) < 0.03 * max(tee_series)

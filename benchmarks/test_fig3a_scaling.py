@@ -1,0 +1,29 @@
+"""Figure 3a: scaling storage servers and proxies 1 → 5 pairs.
+
+Paper expectations (§6.2.4): near-linear throughput scaling (5x at scale
+factor 5) with constant latency.
+"""
+
+import pytest
+from conftest import save_table
+
+from repro.harness import experiments
+from repro.harness.report import render_table
+
+
+def test_fig3a_scaling(benchmark):
+    rows = benchmark.pedantic(experiments.figure3a, rounds=1, iterations=1)
+    save_table(
+        "fig3a_scaling",
+        render_table("Figure 3a: scaling proxy/server pairs (clients = 32*s)", rows),
+    )
+    for protocol in ("lbl", "tee"):
+        series = {r["shards"]: r for r in rows if r["protocol"] == protocol}
+        base = series[1]
+        # Near-linear throughput scaling...
+        for shards in (2, 3, 4, 5):
+            ratio = series[shards]["throughput_ops_s"] / base["throughput_ops_s"]
+            assert ratio == pytest.approx(shards, rel=0.12), (protocol, shards, ratio)
+        # ...at constant latency.
+        latencies = [series[s]["avg_latency_ms"] for s in (1, 2, 3, 4, 5)]
+        assert max(latencies) - min(latencies) < 0.1 * latencies[0]

@@ -1,0 +1,36 @@
+"""Figure 3b: LBL-ORTOA vs TEE-ORTOA vs the 2RTT baseline as values grow.
+
+Paper expectations (§6.3): LBL degrades with value size; at ~300 B it meets
+the baseline and loses beyond; TEE and the baseline stay flat.
+"""
+
+from conftest import save_table
+
+from repro.harness import experiments
+from repro.harness.report import render_table
+
+
+def test_fig3b_value_size(benchmark):
+    rows = benchmark.pedantic(experiments.figure3b, rounds=1, iterations=1)
+    save_table(
+        "fig3b_value_size",
+        render_table("Figure 3b: value-size sweep (Oregon)", rows),
+    )
+    by = {(r["protocol"], r["value_bytes"]): r for r in rows}
+
+    # LBL latency grows monotonically with value size.
+    lbl_lat = [by[("lbl", v)]["avg_latency_ms"] for v in (10, 50, 160, 300, 450, 600)]
+    assert lbl_lat == sorted(lbl_lat)
+
+    # Baseline and TEE are flat.
+    for protocol in ("baseline", "tee"):
+        lat = [by[(protocol, v)]["avg_latency_ms"] for v in (10, 160, 600)]
+        assert max(lat) - min(lat) < 1.0, protocol
+
+    # The crossover: LBL wins below 300 B, is comparable at 300 B, loses above.
+    assert by[("lbl", 160)]["avg_latency_ms"] < by[("baseline", 160)]["avg_latency_ms"]
+    mid_gap = abs(
+        by[("lbl", 300)]["avg_latency_ms"] - by[("baseline", 300)]["avg_latency_ms"]
+    )
+    assert mid_gap < 0.25 * by[("baseline", 300)]["avg_latency_ms"]
+    assert by[("lbl", 600)]["avg_latency_ms"] > by[("baseline", 600)]["avg_latency_ms"]

@@ -1,0 +1,46 @@
+"""Figure 3c: LBL-ORTOA latency breakdown while values grow.
+
+Paper expectations (§6.3.1): the surprise finding — compute grows only
+mildly; the dominant growth term is the *communication overhead* of the
+larger messages, and past 300 B the LBL total exceeds the baseline's.
+"""
+
+from conftest import save_table
+
+from repro.harness import experiments
+from repro.harness.report import render_table
+
+
+def test_fig3c_breakdown(benchmark):
+    rows = benchmark.pedantic(experiments.figure3c, rounds=1, iterations=1)
+    save_table(
+        "fig3c_breakdown",
+        render_table(
+            "Figure 3c: LBL latency = compute + base RTT + comm overhead", rows
+        ),
+    )
+    by = {r["value_bytes"]: r for r in rows}
+
+    # Communication overhead grows with value size and dominates compute
+    # growth (the paper's §6.3.1 finding).
+    overhead_growth = by[600]["comm_overhead_ms"] - by[10]["comm_overhead_ms"]
+    compute_growth = by[600]["compute_ms"] - by[10]["compute_ms"]
+    assert overhead_growth > compute_growth
+
+    # Below the crossover, the base communication term is the (constant)
+    # Oregon RTT; past it the residual also absorbs proxy queueing delay
+    # (the system is saturating — which is why the baseline starts winning).
+    for row in rows:
+        if row["value_bytes"] <= 160:
+            assert 21.0 < row["base_comm_ms"] < 26.0, row
+        else:
+            assert row["base_comm_ms"] >= 21.0, row
+
+    # Components sum to the total.
+    for row in rows:
+        total = row["compute_ms"] + row["base_comm_ms"] + row["comm_overhead_ms"]
+        assert abs(total - row["total_ms"]) < 1e-6
+
+    # Crossover against the baseline appears past 300 B.
+    assert by[160]["total_ms"] < by[160]["baseline_total_ms"]
+    assert by[600]["total_ms"] > by[600]["baseline_total_ms"]

@@ -1,0 +1,36 @@
+"""Figure 6 (appendix): storage vs communication overhead factors vs y.
+
+Paper expectations (§10.1): storage factor falls as 1/y, communication is
+flat from y=1 to y=2 then grows as 2^y/y; the total is minimized at y=2.
+"""
+
+from conftest import save_table
+
+from repro.analysis.overhead import measured_factors, optimal_y
+from repro.harness import experiments
+from repro.harness.report import render_table
+
+
+def test_fig6_yfactor(benchmark):
+    rows = benchmark.pedantic(experiments.figure6, rounds=1, iterations=1)
+    save_table(
+        "fig6_yfactor",
+        render_table("Figure 6: overhead factors vs y (optimal y = 2)", rows),
+    )
+    by = {r["y"]: r for r in rows}
+    assert by[1]["communication_factor"] == by[2]["communication_factor"] == 2.0
+    assert by[2]["total_overhead"] < by[1]["total_overhead"]
+    assert by[3]["total_overhead"] > by[2]["total_overhead"]
+    assert optimal_y() == 2
+
+
+def test_fig6_measured_matches_analytic(benchmark):
+    """The analytic curves must match byte-counts of the real protocol."""
+
+    def measure():
+        return {y: measured_factors(y, value_len=16) for y in (1, 2, 3)}
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for y, factors in measured.items():
+        assert abs(factors.storage_factor - 1.0 / y) < 0.02
+        assert abs(factors.communication_factor - (1 << y) / y) < 0.35  # padding

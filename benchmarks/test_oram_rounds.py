@@ -1,0 +1,59 @@
+"""§8 extension: one-round tree ORAM vs the PathORAM two-round baseline.
+
+Not a paper figure — the paper sketches this design as future work — but
+DESIGN.md commits to implementing and measuring it: the one-round scheme
+must halve round trips (and hence WAN latency per access) at the price of
+larger messages, mirroring ORTOA's own trade-off.
+"""
+
+import random
+
+from conftest import save_table
+
+from repro.harness.report import render_table
+from repro.oram import OneRoundOram, PathOram
+from repro.sim.network import DATACENTER_RTT_MS
+
+
+def _drive(oram, accesses, seed):
+    rng = random.Random(seed)
+    for _ in range(accesses):
+        block = rng.randrange(oram.num_blocks)
+        if rng.random() < 0.5:
+            oram.write(block, rng.randbytes(8))
+        else:
+            oram.read(block)
+    return oram
+
+
+def test_oram_round_comparison(benchmark):
+    accesses = 60
+
+    def run():
+        path = PathOram(32, 8, rng=random.Random(1))
+        path.initialize({i: bytes(8) for i in range(32)})
+        one = OneRoundOram(32, 8, rng=random.Random(1))
+        one.initialize({i: bytes(8) for i in range(32)})
+        return _drive(path, accesses, 2), _drive(one, accesses, 2)
+
+    path, one = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rtt = DATACENTER_RTT_MS["oregon"]
+    rows = [
+        {
+            "scheme": name,
+            "rounds_per_access": oram.rounds_used / accesses,
+            "kb_per_access": oram.bytes_transferred / accesses / 1000,
+            "stash_high_water": oram.stash.max_occupancy,
+            "wan_ms_per_access_oregon": oram.rounds_used / accesses * rtt,
+        }
+        for name, oram in (("path-oram", path), ("one-round-oram", one))
+    ]
+    save_table("oram_rounds", render_table("§8: one-round ORAM vs PathORAM", rows))
+
+    assert path.rounds_used == 2 * accesses
+    assert one.rounds_used == accesses  # exactly one round per access
+    # The trade-off is honest: fewer rounds, more bytes.
+    assert one.bytes_transferred > path.bytes_transferred
+    # Eviction works: stash stays bounded.
+    assert one.stash.max_occupancy < 16

@@ -1,0 +1,82 @@
+"""Microbenchmarks + round accounting for the oblivious data structures."""
+
+import random
+
+from conftest import save_table
+
+from repro.harness.report import render_table
+from repro.oram.structures import ObliviousMap, ObliviousQueue, ObliviousStack
+from repro.sim.network import DATACENTER_RTT_MS
+
+
+def test_structures_round_accounting(benchmark):
+    """One table: accesses (= WAN rounds on the one-round ORAM) per op."""
+
+    def run():
+        rows = []
+        stack = ObliviousStack(16, 8, rng=random.Random(1))
+        before = stack.accesses
+        for i in range(8):
+            stack.push(bytes([i]) * 8)
+        for _ in range(8):
+            stack.pop()
+        rows.append(
+            {
+                "structure": "stack",
+                "operations": 16,
+                "oram_accesses": stack.accesses - before,
+                "rounds_per_op": (stack.accesses - before) / 16,
+            }
+        )
+        queue = ObliviousQueue(16, 8, rng=random.Random(1))
+        before = queue.accesses
+        for i in range(8):
+            queue.enqueue(bytes([i]) * 8)
+        for _ in range(8):
+            queue.dequeue()
+        rows.append(
+            {
+                "structure": "queue",
+                "operations": 16,
+                "oram_accesses": queue.accesses - before,
+                "rounds_per_op": (queue.accesses - before) / 16,
+            }
+        )
+        omap = ObliviousMap(16, 8, rng=random.Random(1))
+        before = omap.accesses
+        for i in range(8):
+            omap.put(f"k{i}".encode(), bytes([i]) * 8)
+        for i in range(8):
+            omap.get(f"k{i}".encode())
+        rows.append(
+            {
+                "structure": "map",
+                "operations": 16,
+                "oram_accesses": omap.accesses - before,
+                "rounds_per_op": (omap.accesses - before) / 16,
+            }
+        )
+        rtt = DATACENTER_RTT_MS["oregon"]
+        for row in rows:
+            row["wan_ms_per_op_oregon"] = row["rounds_per_op"] * rtt
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(
+        "structures_rounds",
+        render_table("Oblivious data structures: rounds per operation", rows),
+    )
+    by = {r["structure"]: r for r in rows}
+    assert by["stack"]["rounds_per_op"] == 1.0
+    assert by["queue"]["rounds_per_op"] == 2.0
+    assert by["map"]["rounds_per_op"] == 1.0
+
+
+def test_oblivious_stack_push_pop(benchmark):
+    stack = ObliviousStack(64, 8, rng=random.Random(1))
+
+    def cycle():
+        stack.push(b"payload!")
+        return stack.pop()
+
+    assert benchmark(cycle) == b"payload!"

@@ -1,0 +1,22 @@
+"""Table 2: cross-datacenter RTTs (the network model's configuration)."""
+
+from conftest import save_table
+
+from repro.harness import experiments
+from repro.harness.report import render_table
+from repro.sim.network import NetworkLink
+
+
+def test_table2_rtt(benchmark):
+    rows = benchmark.pedantic(experiments.table2, rounds=1, iterations=1)
+    save_table("table2_rtt", render_table("Table 2: RTT from California (ms)", rows))
+    assert {r["location"] for r in rows} == {"oregon", "n_virginia", "london", "mumbai"}
+    # The model must echo the paper's numbers exactly.
+    assert dict((r["location"], r["rtt_ms"]) for r in rows)["oregon"] == 21.84
+
+
+def test_link_construction_cost(benchmark):
+    """Micro: building a link and pricing a round trip is trivially cheap."""
+    link = NetworkLink.to_datacenter("london")
+    result = benchmark(link.round_trip_ms, 125_000, 13_000)
+    assert result > link.rtt_ms

@@ -1,0 +1,72 @@
+"""Real-wall-clock benchmarks of the TCP transport (loopback).
+
+Unlike the figure benchmarks (simulated WAN), these time actual socket
+round trips on localhost — the end-to-end software overhead a deployment
+adds on top of network latency.
+"""
+
+import random
+
+import pytest
+
+from repro.tee.attestation import AttestationService, measure_code
+from repro.tee.enclave import ENCLAVE_CODE_IDENTITY
+from repro.transport import LblTcpServer, RemoteLblOrtoa, RemoteTeeOrtoa, TeeTcpServer
+from repro.types import Request, StoreConfig
+
+CONFIG = StoreConfig(value_len=160, group_bits=2, point_and_permute=True)
+
+
+@pytest.fixture()
+def lbl_pair():
+    server = LblTcpServer(point_and_permute=True)
+    server.serve_in_background()
+    client = RemoteLblOrtoa(CONFIG, server.address, rng=random.Random(1))
+    client.initialize({"k": bytes(160)})
+    yield server, client
+    client.close()
+    server.shutdown()
+    server.server_close()
+
+
+def test_lbl_tcp_access_roundtrip(benchmark, lbl_pair):
+    """One full oblivious access over a real (loopback) socket, 160 B value."""
+    _server, client = lbl_pair
+    transcript = benchmark(client.access, Request.read("k"))
+    assert transcript.num_rounds == 1
+
+
+def test_tee_tcp_access_roundtrip(benchmark):
+    server = TeeTcpServer()
+    server.serve_in_background()
+    attestation = AttestationService(
+        server.hardware, measure_code(ENCLAVE_CODE_IDENTITY)
+    )
+    client = RemoteTeeOrtoa(StoreConfig(value_len=160), server.address, attestation)
+    client.initialize({"k": bytes(160)})
+    try:
+        transcript = benchmark(client.access, Request.read("k"))
+        assert transcript.num_rounds == 1
+    finally:
+        client.close()
+        server.shutdown()
+        server.server_close()
+
+
+def test_tee_attestation_handshake(benchmark):
+    """Full attest+verify+provision handshake cost (fresh connection each)."""
+    server = TeeTcpServer()
+    server.serve_in_background()
+    attestation = AttestationService(
+        server.hardware, measure_code(ENCLAVE_CODE_IDENTITY)
+    )
+
+    def handshake():
+        client = RemoteTeeOrtoa(StoreConfig(value_len=16), server.address, attestation)
+        client.close()
+
+    try:
+        benchmark.pedantic(handshake, rounds=5, iterations=1)
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Choosing between LBL-ORTOA and the 2RTT baseline (paper §6.3.2 / Fig 3d).
+
+The paper's decision rule: with cross-datacenter RTT ``c``, LBL compute time
+``p``, and large-message overhead ``o``, LBL-ORTOA wins when ``c > p + o``.
+This example evaluates the rule for a GDPR-style deployment (data pinned to
+an EU datacenter, 300-byte records) and for a nearby server, using the
+simulated testbed.
+
+Run:  python examples/gdpr_placement.py
+"""
+
+from repro import DeploymentSpec, run_experiment
+from repro.sim.network import DATACENTER_RTT_MS
+
+
+def evaluate(location: str, value_len: int) -> None:
+    print(f"--- server in {location} (RTT {DATACENTER_RTT_MS[location]} ms), "
+          f"{value_len} B objects ---")
+    lbl = run_experiment(
+        DeploymentSpec(protocol="lbl", value_len=value_len,
+                       server_location=location, duration_ms=2000)
+    )
+    baseline = run_experiment(
+        DeploymentSpec(protocol="baseline", value_len=value_len,
+                       server_location=location, duration_ms=2000)
+    )
+    c = DATACENTER_RTT_MS[location]
+    p = lbl.metrics.avg_compute_ms
+    o = lbl.metrics.avg_comm_overhead_ms
+    rule = "LBL-ORTOA" if c > p + o else "2RTT baseline"
+    winner = (
+        "LBL-ORTOA"
+        if lbl.metrics.avg_latency_ms < baseline.metrics.avg_latency_ms
+        else "2RTT baseline"
+    )
+    print(f"  c = {c:.1f} ms, p = {p:.1f} ms, o = {o:.1f} ms  "
+          f"->  rule (c > p + o) picks: {rule}")
+    print(f"  LBL-ORTOA: {lbl.metrics.avg_latency_ms:6.1f} ms, "
+          f"{lbl.metrics.throughput_ops_per_s:7.0f} ops/s")
+    print(f"  baseline:  {baseline.metrics.avg_latency_ms:6.1f} ms, "
+          f"{baseline.metrics.throughput_ops_per_s:7.0f} ops/s")
+    ratio = lbl.metrics.throughput_ops_per_s / baseline.metrics.throughput_ops_per_s
+    print(f"  measured winner: {winner}  (LBL throughput = {ratio:.2f}x baseline)\n")
+
+
+def main() -> None:
+    print("The §6.3.2 rule: prefer LBL-ORTOA when one extra WAN round costs",
+          "more than LBL's compute + large-message overhead (c > p + o).\n")
+
+    # Figure 3d's GDPR scenario: 300 B objects, server pinned to the EU.
+    evaluate("london", value_len=300)
+
+    # The same objects with a nearby server: the extra round is cheap, the
+    # large messages are not — the baseline can win.
+    evaluate("oregon", value_len=600)
+
+    # Small objects near by: LBL-ORTOA wins again (little overhead).
+    evaluate("oregon", value_len=50)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this offline environment lacks the ``wheel`` package,
+so PEP 517 editable installs fail; ``pip install -e . --no-use-pep517`` uses
+this file instead. All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""ORTOA: one-round-trip protocols for operation-type obliviousness.
+
+A faithful, self-contained reproduction of *ORTOA: A Family of One Round
+Trip Protocols For Operation-Type Obliviousness* (EDBT 2024).  The library
+provides:
+
+* the protocol family — :class:`FheOrtoa`, :class:`TeeOrtoa`,
+  :class:`LblOrtoa`, and the :class:`TwoRoundBaseline` they are evaluated
+  against;
+* every substrate they need, built from scratch: PRF/AEAD crypto, a
+  BFV-style homomorphic scheme with noise tracking, a simulated SGX enclave
+  with attestation, an in-memory KV store, and a discrete-event WAN
+  simulator with the paper's datacenter RTTs;
+* the empirical ROR-RW security game (:mod:`repro.security`);
+* the §8 extension — a one-round tree ORAM (:mod:`repro.oram`);
+* an experiment harness regenerating every table and figure of the paper's
+  evaluation (:mod:`repro.harness`, driven by ``benchmarks/``).
+
+Quickstart::
+
+    from repro import LblOrtoa, StoreConfig
+
+    store = LblOrtoa(StoreConfig(value_len=160))
+    store.initialize({"alice": b"balance=100"})
+    store.write("alice", b"balance=250")   # one round trip
+    value = store.read("alice")            # one round trip, same wire shape
+"""
+
+from repro.core import (
+    AccessTranscript,
+    FheOrtoa,
+    LblOrtoa,
+    OrtoaProtocol,
+    TeeOrtoa,
+    TwoRoundBaseline,
+)
+from repro.core.deployment import ShardedDeployment
+from repro.core.freshness import FreshnessGuard
+from repro.core.lbl.concurrent import ConcurrentLblProxy, access_batch
+from repro.core.lbl.wal import DurableLblOrtoa
+from repro.crypto.keys import KeyChain
+from repro.errors import OrtoaError
+from repro.harness import CostModel, DeploymentSpec, RunResult, run_experiment
+from repro.oram import OneRoundOram, PathOram
+from repro.relational import ObliviousTable, Schema
+from repro.types import Operation, Request, Response, StoreConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OrtoaProtocol",
+    "LblOrtoa",
+    "TeeOrtoa",
+    "FheOrtoa",
+    "TwoRoundBaseline",
+    "ShardedDeployment",
+    "FreshnessGuard",
+    "ConcurrentLblProxy",
+    "access_batch",
+    "DurableLblOrtoa",
+    "ObliviousTable",
+    "Schema",
+    "AccessTranscript",
+    "KeyChain",
+    "StoreConfig",
+    "Operation",
+    "Request",
+    "Response",
+    "OrtoaError",
+    "CostModel",
+    "DeploymentSpec",
+    "RunResult",
+    "run_experiment",
+    "PathOram",
+    "OneRoundOram",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Analysis helpers: run metrics, dollar-cost model, and overhead factors.
+
+* :mod:`repro.analysis.metrics` — latency/throughput aggregation used by
+  every performance experiment.
+* :mod:`repro.analysis.cost` — the §6.3.3 Google-Cloud dollar-cost estimate
+  for operating LBL-ORTOA.
+* :mod:`repro.analysis.overhead` — the appendix Figure 6 storage-vs-
+  communication trade-off that fixes the optimal group size at y = 2.
+"""
+
+from repro.analysis.advisor import Recommendation, recommend
+from repro.analysis.cost import CloudPrices, LblCostEstimate, estimate_lbl_cost
+from repro.analysis.metrics import RunMetrics, summarize
+from repro.analysis.overhead import OverheadFactors, overhead_factors, optimal_y
+
+__all__ = [
+    "RunMetrics",
+    "summarize",
+    "CloudPrices",
+    "LblCostEstimate",
+    "estimate_lbl_cost",
+    "OverheadFactors",
+    "overhead_factors",
+    "optimal_y",
+    "Recommendation",
+    "recommend",
+]

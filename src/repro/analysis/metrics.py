@@ -1,0 +1,70 @@
+"""Latency/throughput aggregation for experiment runs.
+
+Each experiment produces a list of :class:`~repro.types.LatencySample`; this
+module reduces them to the quantities the paper plots: average latency,
+tail percentiles, operations per second, and the Figure 3c latency
+breakdown (compute vs. base RTT vs. size-dependent communication overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import LatencySample, Operation
+
+
+@dataclass(frozen=True, slots=True)
+class RunMetrics:
+    """Aggregated results of one experiment run."""
+
+    num_requests: int
+    duration_ms: float
+    throughput_ops_per_s: float
+    avg_latency_ms: float
+    p50_latency_ms: float
+    p95_latency_ms: float
+    p99_latency_ms: float
+    avg_compute_ms: float
+    avg_comm_overhead_ms: float
+    read_fraction: float
+
+    @property
+    def avg_base_comm_ms(self) -> float:
+        """The latency not explained by compute or size overhead (≈ RTTs)."""
+        return self.avg_latency_ms - self.avg_compute_ms - self.avg_comm_overhead_ms
+
+
+def summarize(samples: list[LatencySample], duration_ms: float) -> RunMetrics:
+    """Reduce per-request samples into a :class:`RunMetrics`.
+
+    Args:
+        samples: Completed requests (at least one).
+        duration_ms: Wall-clock (simulated) duration the requests completed
+            within; throughput = ``len(samples) / duration``.
+    """
+    if not samples:
+        raise ConfigurationError("cannot summarize an empty sample list")
+    if duration_ms <= 0:
+        raise ConfigurationError("duration must be positive")
+    latencies = np.array([s.latency_ms for s in samples])
+    computes = np.array([s.compute_ms for s in samples])
+    overheads = np.array([s.comm_overhead_ms for s in samples])
+    reads = sum(1 for s in samples if s.op is Operation.READ)
+    return RunMetrics(
+        num_requests=len(samples),
+        duration_ms=duration_ms,
+        throughput_ops_per_s=len(samples) / (duration_ms / 1000.0),
+        avg_latency_ms=float(latencies.mean()),
+        p50_latency_ms=float(np.percentile(latencies, 50)),
+        p95_latency_ms=float(np.percentile(latencies, 95)),
+        p99_latency_ms=float(np.percentile(latencies, 99)),
+        avg_compute_ms=float(computes.mean()),
+        avg_comm_overhead_ms=float(overheads.mean()),
+        read_fraction=reads / len(samples),
+    )
+
+
+__all__ = ["RunMetrics", "summarize"]

@@ -1,0 +1,168 @@
+"""Command-line interface: run reproduction experiments without writing code.
+
+Usage::
+
+    python -m repro list                      # what can be reproduced
+    python -m repro run figure2a              # regenerate one figure
+    python -m repro run figure2b --out f.txt  # save the table
+    python -m repro demo                      # 30-second functional demo
+    python -m repro cost                      # §6.3.3 dollar-cost estimate
+
+Experiment names match :mod:`repro.harness.experiments` (``table2``,
+``figure2a`` … ``figure6``, ``fhe_noise``, ``dollar_cost``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.harness import experiments
+from repro.harness.report import render_table, rows_to_csv
+
+#: name -> (callable, one-line description)
+EXPERIMENTS = {
+    "table2": (experiments.table2, "Table 2: cross-datacenter RTTs"),
+    "figure2a": (experiments.figure2a, "Fig 2a: latency/throughput vs distance"),
+    "figure2b": (experiments.figure2b, "Fig 2b: concurrency sweep"),
+    "figure2c": (experiments.figure2c, "Fig 2c: write-percentage sweep"),
+    "figure2d": (experiments.figure2d, "Fig 2d: database-size sweep"),
+    "figure3a": (experiments.figure3a, "Fig 3a: scaling proxy/server pairs"),
+    "figure3b": (experiments.figure3b, "Fig 3b: value-size sweep vs baseline"),
+    "figure3c": (experiments.figure3c, "Fig 3c: LBL latency breakdown"),
+    "figure3d": (experiments.figure3d, "Fig 3d: GDPR/EU placement"),
+    "figure4": (experiments.figure4, "Fig 4: real-world datasets"),
+    "figure6": (experiments.figure6, "Fig 6: y-grouping overhead factors"),
+    "fhe_noise": (experiments.fhe_noise, "§3.3: FHE noise exhaustion"),
+    "dollar_cost": (experiments.dollar_cost, "§6.3.3: LBL dollar cost"),
+    "oram": (experiments.oram_comparison, "§8: one-round ORAM vs PathORAM vs linear scan"),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_fn, description) in EXPERIMENTS.items():
+        print(f"  {name.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        fn, description = EXPERIMENTS[args.experiment]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        print(f"unknown experiment {args.experiment!r}; known: {known}", file=sys.stderr)
+        return 2
+    rows = fn()
+    if args.format == "csv":
+        text = rows_to_csv(rows)
+    else:
+        text = render_table(description, rows)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro import LblOrtoa, Request, StoreConfig
+
+    config = StoreConfig(value_len=16, group_bits=2, point_and_permute=True)
+    store = LblOrtoa(config)
+    store.initialize({"demo": b"hello"})
+    store.write("demo", b"world")
+    value = store.read("demo").rstrip(b"\x00")
+    read_t = store.access(Request.read("demo"))
+    write_t = store.access(Request.write("demo", config.pad(b"again")))
+    print(f"read back: {value!r}")
+    print(
+        f"read vs write wire bytes: {read_t.request_bytes} vs "
+        f"{write_t.request_bytes} (identical => op type hidden)"
+    )
+    print(f"round trips per access: {read_t.num_rounds} (baseline needs 2)")
+    return 0
+
+
+def _cmd_cost(_args: argparse.Namespace) -> int:
+    rows = experiments.dollar_cost()
+    print(render_table("§6.3.3: LBL-ORTOA operating cost", rows))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run every experiment and write one table file per artifact."""
+    import pathlib
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    failures = []
+    for name, (fn, description) in EXPERIMENTS.items():
+        print(f"running {name} ...", flush=True)
+        try:
+            rows = fn()
+        except Exception as exc:  # noqa: BLE001 - keep reproducing the rest
+            failures.append((name, str(exc)))
+            print(f"  FAILED: {exc}", file=sys.stderr)
+            continue
+        path = out_dir / f"{name}.txt"
+        path.write_text(render_table(description, rows) + "\n", encoding="utf-8")
+        print(f"  wrote {path}")
+    if failures:
+        print(f"{len(failures)} experiment(s) failed", file=sys.stderr)
+        return 1
+    print(f"all {len(EXPERIMENTS)} experiments written to {out_dir}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ORTOA (EDBT 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible tables/figures").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", help="experiment name (see `repro list`)")
+    run.add_argument("--out", help="write the table to this file instead of stdout")
+    run.add_argument(
+        "--format",
+        choices=("table", "csv"),
+        default="table",
+        help="output format (default: aligned text table)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    sub.add_parser("demo", help="30-second functional demo").set_defaults(
+        func=_cmd_demo
+    )
+    sub.add_parser("cost", help="§6.3.3 dollar-cost estimate").set_defaults(
+        func=_cmd_cost
+    )
+
+    reproduce = sub.add_parser(
+        "reproduce", help="run every experiment, one table file per artifact"
+    )
+    reproduce.add_argument(
+        "--out", default="results-cli", help="output directory (default: results-cli/)"
+    )
+    reproduce.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""The ORTOA protocol family (the paper's primary contribution).
+
+Four interchangeable protocols implement the same single-key GET/PUT API
+while hiding (or, for the baseline, emulating the state-of-the-art way of
+hiding) the operation type from the storage server:
+
+* :class:`~repro.core.baseline.TwoRoundBaseline` — read-then-write, 2 RTT
+  (the comparison point of §6).
+* :class:`~repro.core.fhe_ortoa.FheOrtoa` — homomorphic select, 1 RTT (§3).
+* :class:`~repro.core.tee_ortoa.TeeOrtoa` — enclave select, 1 RTT (§4).
+* :class:`~repro.core.lbl.LblOrtoa` — label-based select, 1 RTT (§5, §10).
+
+All four return an :class:`~repro.core.base.AccessTranscript` from
+``access()`` so the experiment harness can replay the communication and
+computation profile of each request on the simulated WAN.
+"""
+
+from repro.core.base import AccessTranscript, OpCounts, OrtoaProtocol, PhaseRecord
+from repro.core.baseline import TwoRoundBaseline
+from repro.core.fhe_ortoa import FheOrtoa
+from repro.core.lbl import LblOrtoa
+from repro.core.tee_ortoa import TeeOrtoa
+
+__all__ = [
+    "OrtoaProtocol",
+    "AccessTranscript",
+    "PhaseRecord",
+    "OpCounts",
+    "TwoRoundBaseline",
+    "FheOrtoa",
+    "TeeOrtoa",
+    "LblOrtoa",
+]

@@ -1,0 +1,177 @@
+"""Shared protocol interface and access transcripts.
+
+Every protocol implements :class:`OrtoaProtocol`.  ``access()`` executes one
+client request end-to-end *functionally* (real crypto, real state updates)
+and returns an :class:`AccessTranscript` describing what happened in each
+phase — where work ran (proxy or server), how many cryptographic operations
+it took, and how many bytes crossed the WAN per round trip.  The experiment
+harness replays transcripts onto the discrete-event simulator; functional
+tests just inspect ``transcript.response``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+
+from repro.types import Operation, Request, Response, StoreConfig
+
+
+@dataclass(frozen=True, slots=True)
+class OpCounts:
+    """Cryptographic operation counts for one phase of one access.
+
+    The cost model (:mod:`repro.harness.calibration`) prices each counter to
+    turn a phase into simulated compute time.
+    """
+
+    prf: int = 0
+    aead_enc: int = 0
+    aead_dec: int = 0
+    failed_dec: int = 0
+    fhe_enc: int = 0
+    fhe_dec: int = 0
+    fhe_add: int = 0
+    fhe_mul: int = 0
+    ecalls: int = 0
+    kv_ops: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            prf=self.prf + other.prf,
+            aead_enc=self.aead_enc + other.aead_enc,
+            aead_dec=self.aead_dec + other.aead_dec,
+            failed_dec=self.failed_dec + other.failed_dec,
+            fhe_enc=self.fhe_enc + other.fhe_enc,
+            fhe_dec=self.fhe_dec + other.fhe_dec,
+            fhe_add=self.fhe_add + other.fhe_add,
+            fhe_mul=self.fhe_mul + other.fhe_mul,
+            ecalls=self.ecalls + other.ecalls,
+            kv_ops=self.kv_ops + other.kv_ops,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseRecord:
+    """One compute phase of an access: who did how much work."""
+
+    name: str
+    location: str  # "proxy" or "server"
+    ops: OpCounts
+
+    def __post_init__(self) -> None:
+        if self.location not in ("proxy", "server"):
+            raise ValueError(f"unknown location {self.location!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class RoundTrip:
+    """One proxy→server→proxy exchange with byte-exact message sizes."""
+
+    request_bytes: int
+    response_bytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class AccessTranscript:
+    """The complete observable profile of one client access.
+
+    Phase order alternates proxy/server work in protocol order; the i-th
+    server phase is bracketed by the i-th round trip's request and response.
+    """
+
+    op: Operation
+    phases: tuple[PhaseRecord, ...]
+    round_trips: tuple[RoundTrip, ...]
+    response: Response
+
+    @property
+    def num_rounds(self) -> int:
+        """Proxy-server round trips this access used."""
+        return len(self.round_trips)
+
+    @property
+    def request_bytes(self) -> int:
+        """Total serialized request bytes across all rounds."""
+        return sum(rt.request_bytes for rt in self.round_trips)
+
+    @property
+    def response_bytes(self) -> int:
+        """Total serialized response bytes across all rounds."""
+        return sum(rt.response_bytes for rt in self.round_trips)
+
+    @property
+    def total_bytes(self) -> int:
+        """Request plus response bytes."""
+        return self.request_bytes + self.response_bytes
+
+    def ops_at(self, location: str) -> OpCounts:
+        """Summed op counts over all phases at ``location``."""
+        total = OpCounts()
+        for phase in self.phases:
+            if phase.location == location:
+                total = total + phase.ops
+        return total
+
+
+class OrtoaProtocol(abc.ABC):
+    """Abstract base for the protocol family.
+
+    Subclasses own all the state of one logical deployment: the proxy state
+    (if any), the (simulated) server-side store, and key material.
+
+    Args:
+        config: Fixed-value-length store configuration shared by all
+            protocols in a comparison.
+    """
+
+    #: Human-readable protocol name used in reports.
+    name: str = "abstract"
+    #: Number of proxy↔server round trips per access.
+    rounds: int = 1
+
+    def __init__(self, config: StoreConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def initialize(self, records: dict[str, bytes]) -> None:
+        """Bulk-load plaintext key/value pairs into the (encrypted) store.
+
+        Values shorter than ``config.value_len`` are zero-padded; longer
+        values are rejected.
+        """
+
+    @abc.abstractmethod
+    def access(self, request: Request) -> AccessTranscript:
+        """Execute one GET/PUT obliviously and return its transcript."""
+
+    def read(self, key: str) -> bytes:
+        """Convenience: oblivious GET returning the (padded) value."""
+        return self.access(Request.read(key)).response.value
+
+    def write(self, key: str, value: bytes) -> None:
+        """Convenience: oblivious PUT."""
+        self.access(Request.write(key, self.config.pad(value)))
+
+    # ------------------------------------------------------------------ #
+    # Helpers for subclasses
+    # ------------------------------------------------------------------ #
+
+    def _padded(self, request: Request) -> bytes | None:
+        """The padded write payload, or ``None`` for reads."""
+        if request.op.is_read:
+            return None
+        return self.config.pad(request.value)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "OrtoaProtocol",
+    "AccessTranscript",
+    "PhaseRecord",
+    "RoundTrip",
+    "OpCounts",
+]

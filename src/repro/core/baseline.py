@@ -1,0 +1,85 @@
+"""The two-round-trip (2RTT) baseline protocol of the paper's §6.
+
+To hide the operation type without ORTOA, state-of-the-art oblivious systems
+perform a read followed by a write for *every* client request:
+
+1. **Round 1** — fetch the object's ciphertext; the proxy decrypts it.
+2. **Round 2** — write back either a re-encryption of the same value (reads)
+   or an encryption of the new value (writes).  Non-deterministic encryption
+   makes the two indistinguishable, but the extra round doubles the WAN cost.
+
+This is the comparison point for every performance figure in §6.
+"""
+
+from __future__ import annotations
+
+from repro.core import messages
+from repro.core.base import (
+    AccessTranscript,
+    OpCounts,
+    OrtoaProtocol,
+    PhaseRecord,
+    RoundTrip,
+)
+from repro.crypto import aead
+from repro.crypto.keys import KeyChain
+from repro.storage.kv import KeyValueStore
+from repro.types import Request, Response, StoreConfig
+
+
+class TwoRoundBaseline(OrtoaProtocol):
+    """Read-then-write access-type hiding over an AEAD-encrypted store."""
+
+    name = "2rtt-baseline"
+    rounds = 2
+
+    def __init__(self, config: StoreConfig, keychain: KeyChain | None = None) -> None:
+        super().__init__(config)
+        self.keychain = keychain or KeyChain()
+        self.store: KeyValueStore[bytes] = KeyValueStore("baseline-server")
+
+    def initialize(self, records: dict[str, bytes]) -> None:
+        for key, value in records.items():
+            ciphertext = aead.encrypt(self.keychain.data_key, self.config.pad(value))
+            self.store.put_new(self.keychain.encode_key(key), ciphertext)
+
+    def access(self, request: Request) -> AccessTranscript:
+        encoded_key = self.keychain.encode_key(request.key)
+
+        # Round 1: read. (Server work: one KV get.)
+        read_req = messages.ReadRequest(encoded_key)
+        stored_ct = self.store.get(messages.ReadRequest.from_bytes(read_req.to_bytes()).encoded_key)
+        read_resp = messages.ReadResponse(stored_ct)
+
+        # Proxy: decrypt, then re-encrypt old (read) or encrypt new (write).
+        current_value = aead.decrypt(self.keychain.data_key, read_resp.ciphertext)
+        outgoing_value = self._padded(request) if request.op.is_write else current_value
+        assert outgoing_value is not None
+        fresh_ct = aead.encrypt(self.keychain.data_key, outgoing_value)
+
+        # Round 2: write back. (Server work: one KV put.)
+        write_req = messages.WriteRequest(encoded_key, fresh_ct)
+        parsed = messages.WriteRequest.from_bytes(write_req.to_bytes())
+        self.store.put(parsed.encoded_key, parsed.ciphertext)
+        ack = messages.WriteAck()
+
+        response_value = current_value if request.op.is_read else outgoing_value
+        return AccessTranscript(
+            op=request.op,
+            phases=(
+                PhaseRecord("proxy-prepare-read", "proxy", OpCounts(prf=1)),
+                PhaseRecord("server-read", "server", OpCounts(kv_ops=1)),
+                PhaseRecord(
+                    "proxy-reencrypt", "proxy", OpCounts(aead_dec=1, aead_enc=1)
+                ),
+                PhaseRecord("server-write", "server", OpCounts(kv_ops=1)),
+            ),
+            round_trips=(
+                RoundTrip(len(read_req.to_bytes()), len(read_resp.to_bytes())),
+                RoundTrip(len(write_req.to_bytes()), len(ack.to_bytes())),
+            ),
+            response=Response(request.key, response_value),
+        )
+
+
+__all__ = ["TwoRoundBaseline"]

@@ -1,0 +1,176 @@
+"""FHE-ORTOA: one-round access-type hiding via homomorphic select (paper §3).
+
+Per access the client sends three FHE ciphertexts — ``FHE(c_r)``,
+``FHE(c_w)``, and ``FHE(v_new)`` — and the server evaluates Procedure Pcr'
+obliviously::
+
+    FHE(result) = FHE(v_old) · FHE(c_r)  +  FHE(v_new) · FHE(c_w)
+
+For reads ``[c_r, c_w] = [1, 0]`` so the result re-encrypts the old value;
+for writes ``[0, 1]`` installs the new one.  The server cannot tell which
+since every input and the output are semantically secure ciphertexts.
+
+The paper's verdict (§3.3) — and this implementation reproduces it with a
+real RLWE scheme rather than assuming it — is that the unavoidable ciphertext
+multiplication amplifies noise so quickly that after roughly ten accesses to
+the same object, decryption fails.  :meth:`FheOrtoa.access` therefore raises
+:class:`~repro.errors.NoiseBudgetExhausted` once an object's ciphertext is
+spent, and :meth:`FheOrtoa.remaining_accesses` exposes the budget; the
+experiment harness uses both to chart the infeasibility curve.
+"""
+
+from __future__ import annotations
+
+from repro.core import messages
+from repro.core.base import (
+    AccessTranscript,
+    OpCounts,
+    OrtoaProtocol,
+    PhaseRecord,
+    RoundTrip,
+)
+from repro.crypto.fhe import FheCiphertext, FheParams, FheScheme
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError, NoiseBudgetExhausted
+from repro.storage.kv import KeyValueStore
+from repro.types import Request, Response, StoreConfig
+
+
+class FheOrtoa(OrtoaProtocol):
+    """One-round oblivious GET/PUT over a homomorphically encrypted store.
+
+    Args:
+        config: Store configuration; ``value_len`` must fit the FHE ring
+            (one byte per coefficient).
+        fhe_params: Scheme parameters; the default ring holds 256-byte
+            values with a noise budget good for a handful of accesses.
+    """
+
+    name = "fhe-ortoa"
+    rounds = 1
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        keychain: KeyChain | None = None,
+        fhe_params: FheParams | None = None,
+        relinearize: bool = False,
+    ) -> None:
+        super().__init__(config)
+        self.keychain = keychain or KeyChain()
+        self.scheme = FheScheme(fhe_params or FheParams())
+        if config.value_len > self.scheme.params.n:
+            raise ConfigurationError(
+                f"value_len {config.value_len} exceeds FHE ring capacity "
+                f"n={self.scheme.params.n}"
+            )
+        # Optional §3.3 mitigation: hand the server a relinearization key so
+        # stored ciphertexts stay at two components.  Bounds message/storage
+        # growth; the noise-depth exhaustion remains (see the ablation bench).
+        self.relin_key = self.scheme.make_relin_key() if relinearize else None
+        self.store: KeyValueStore[FheCiphertext] = KeyValueStore("fhe-server")
+
+    def initialize(self, records: dict[str, bytes]) -> None:
+        for key, value in records.items():
+            ct = self.scheme.encrypt_bytes(self.config.pad(value))
+            self.store.put_new(self.keychain.encode_key(key), ct)
+
+    #: Upper bound for :meth:`remaining_accesses` probing; any real parameter
+    #: set exhausts in far fewer accesses (the point of §3.3).
+    _PROBE_LIMIT = 64
+
+    def remaining_accesses(self, key: str) -> int:
+        """How many more oblivious accesses this object's ciphertext survives.
+
+        Computed by simulating read accesses on a *copy* of the stored
+        ciphertext until the analytic noise budget runs out (the server
+        state is untouched).  Capped at ``_PROBE_LIMIT``.
+        """
+        ct = self.store.get(self.keychain.encode_key(key))
+        count = 0
+        while self.scheme.noise_budget(ct) > 0 and count < self._PROBE_LIMIT:
+            fresh = self.scheme.encrypt_bytes(bytes(self.config.value_len))
+            ct = self._evaluate_proc(ct, fresh, c_r=1, c_w=0)
+            if self.scheme.noise_budget(ct) <= 0:
+                break
+            count += 1
+        return count
+
+    def _evaluate_proc(
+        self,
+        ct_old: FheCiphertext,
+        ct_new: FheCiphertext,
+        c_r: int | FheCiphertext,
+        c_w: int | FheCiphertext,
+    ) -> FheCiphertext:
+        """Server-side Proc: ``old·c_r + new·c_w`` (+ optional relin).
+
+        Accepts either plaintext selector bits (probing) or their ciphertexts
+        (the wire path); plaintext bits are encrypted before evaluation.
+        """
+        if isinstance(c_r, int):
+            c_r = self.scheme.encrypt_scalar(c_r)
+        if isinstance(c_w, int):
+            c_w = self.scheme.encrypt_scalar(c_w)
+        left = FheScheme.multiply(ct_old, c_r)
+        right = FheScheme.multiply(ct_new, c_w)
+        if self.relin_key is not None:
+            left = FheScheme.relinearize(left, self.relin_key)
+            right = FheScheme.relinearize(right, self.relin_key)
+        return FheScheme.add(left, right)
+
+    def access(self, request: Request) -> AccessTranscript:
+        # Client side: encrypt the selector pair and the outgoing value
+        # (zeros for reads — any constant works since c_w = 0 discards it).
+        c_r = 1 if request.op.is_read else 0
+        c_w = 1 - c_r
+        outgoing = self._padded(request) or bytes(self.config.value_len)
+        req = messages.FheAccessRequest(
+            encoded_key=self.keychain.encode_key(request.key),
+            c_r_ct=self.scheme.encrypt_scalar(c_r).to_bytes(),
+            c_w_ct=self.scheme.encrypt_scalar(c_w).to_bytes(),
+            new_value_ct=self.scheme.encrypt_bytes(outgoing).to_bytes(),
+        )
+
+        # Server side: homomorphic Proc — two multiplications, one addition
+        # (plus two relinearizations when a relin key was provisioned).
+        parsed = messages.FheAccessRequest.from_bytes(req.to_bytes())
+        params = self.scheme.params
+        ct_old = self.store.get(parsed.encoded_key)
+        ct_result = self._evaluate_proc(
+            ct_old,
+            FheCiphertext.from_bytes(params, parsed.new_value_ct),
+            FheCiphertext.from_bytes(params, parsed.c_r_ct),
+            FheCiphertext.from_bytes(params, parsed.c_w_ct),
+        )
+        self.store.put(parsed.encoded_key, ct_result)
+        resp = messages.FheAccessResponse(ct_result.to_bytes())
+
+        # Client side: checked decryption — raises NoiseBudgetExhausted once
+        # the object's ciphertext is spent (§3.3's observed failure).
+        returned = FheCiphertext.from_bytes(params, resp.result_ct)
+        try:
+            response_value = self.scheme.decrypt_checked(returned, self.config.value_len)
+        except NoiseBudgetExhausted as exc:
+            raise NoiseBudgetExhausted(
+                f"object {request.key!r}: {exc} — FHE-ORTOA cannot serve further "
+                "accesses to this object (paper §3.3)"
+            ) from exc
+
+        return AccessTranscript(
+            op=request.op,
+            phases=(
+                PhaseRecord("client-encrypt", "proxy", OpCounts(prf=1, fhe_enc=3)),
+                PhaseRecord(
+                    "server-homomorphic-proc",
+                    "server",
+                    OpCounts(kv_ops=2, fhe_mul=2, fhe_add=1),
+                ),
+                PhaseRecord("client-decrypt", "proxy", OpCounts(fhe_dec=1)),
+            ),
+            round_trips=(RoundTrip(len(req.to_bytes()), len(resp.to_bytes())),),
+            response=Response(request.key, response_value),
+        )
+
+
+__all__ = ["FheOrtoa"]

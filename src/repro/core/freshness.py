@@ -1,0 +1,113 @@
+"""Freshness (anti-rollback) protection for the AEAD-based protocols.
+
+LBL-ORTOA gets tampering *and* rollback detection for free (§5.4): stale or
+forged labels match no candidate at the current counter epoch.  The baseline
+and TEE variants detect bit-level tampering through their authenticated
+encryption, but a malicious server could still *replay* an older, validly
+encrypted ciphertext — a rollback attack — undetected.
+
+:class:`FreshnessGuard` closes that gap by composition over any protocol of
+the family: it embeds a per-key version number inside the encrypted value
+(so the server never sees it) and keeps the expected version at the trusted
+proxy.  Reads re-encrypt the same version; writes install ``version + 1``;
+any response whose embedded version disagrees with the proxy's expectation
+raises :class:`~repro.errors.TamperDetectedError`.
+
+Leakage note: versions travel only inside AEAD plaintext, so the wrapper
+changes the server's view by exactly 8 ciphertext bytes per value —
+identical for reads and writes, preserving operation-type obliviousness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.base import AccessTranscript, OrtoaProtocol
+from repro.errors import ConfigurationError, TamperDetectedError
+from repro.types import Request, Response, StoreConfig
+
+_VERSION_WIDTH = 8
+
+
+class FreshnessGuard(OrtoaProtocol):
+    """Wrap a protocol with per-key version verification.
+
+    Args:
+        config: The *public* configuration (the value length callers see).
+        make_inner: Factory receiving the widened internal configuration
+            (``value_len + 8``) and returning the protocol to wrap, e.g.
+            ``lambda cfg: TeeOrtoa(cfg)``.
+    """
+
+    def __init__(self, config: StoreConfig, make_inner) -> None:
+        super().__init__(config)
+        inner_config = replace(config, value_len=config.value_len + _VERSION_WIDTH)
+        self.inner: OrtoaProtocol = make_inner(inner_config)
+        if self.inner.config.value_len != inner_config.value_len:
+            raise ConfigurationError(
+                "inner protocol must be built with the widened configuration"
+            )
+        self.name = f"fresh-{self.inner.name}"
+        self.rounds = self.inner.rounds
+        self._versions: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Version packing (inside the encrypted value)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _pack(version: int, payload: bytes) -> bytes:
+        return version.to_bytes(_VERSION_WIDTH, "big") + payload
+
+    @staticmethod
+    def _unpack(data: bytes) -> tuple[int, bytes]:
+        return int.from_bytes(data[:_VERSION_WIDTH], "big"), data[_VERSION_WIDTH:]
+
+    # ------------------------------------------------------------------ #
+    # Protocol interface
+    # ------------------------------------------------------------------ #
+
+    def initialize(self, records: dict[str, bytes]) -> None:
+        packed = {}
+        for key, value in records.items():
+            self._versions[key] = 0
+            packed[key] = self._pack(0, self.config.pad(value))
+        self.inner.initialize(packed)
+
+    def expected_version(self, key: str) -> int:
+        """The version the next read of ``key`` must return."""
+        try:
+            return self._versions[key]
+        except KeyError:
+            raise ConfigurationError(f"key {key!r} was never initialized") from None
+
+    def access(self, request: Request) -> AccessTranscript:
+        expected = self.expected_version(request.key)
+        if request.op.is_write:
+            payload = self.config.pad(request.value)  # type: ignore[arg-type]
+            inner_request = Request.write(
+                request.key, self._pack(expected + 1, payload)
+            )
+        else:
+            inner_request = Request.read(request.key)
+
+        transcript = self.inner.access(inner_request)
+        version, payload = self._unpack(transcript.response.value)
+
+        if request.op.is_write:
+            self._versions[request.key] = expected + 1
+            expected = expected + 1
+        if version != expected:
+            raise TamperDetectedError(
+                f"rollback detected for key {request.key!r}: server returned "
+                f"version {version}, expected {expected}"
+            )
+        return AccessTranscript(
+            op=request.op,
+            phases=transcript.phases,
+            round_trips=transcript.round_trips,
+            response=Response(request.key, payload),
+        )
+
+
+__all__ = ["FreshnessGuard"]

@@ -1,0 +1,81 @@
+"""LBL-ORTOA: the label-based one-round protocol (paper §5 and appendix §10).
+
+The package splits the protocol along its trust boundary:
+
+* :class:`~repro.core.lbl.proxy.LblProxy` — trusted; owns the PRF keys and
+  per-object access counters, builds the encryption tables, and decodes the
+  server's opened labels back to plaintext.
+* :class:`~repro.core.lbl.server.LblServer` — untrusted; stores one label
+  per group and applies the table it is sent, learning nothing about the
+  operation type.
+* :class:`LblOrtoa` — the deployment object wiring the two together behind
+  the common :class:`~repro.core.base.OrtoaProtocol` interface.
+
+Both optimizations of the appendix are supported via
+:class:`~repro.types.StoreConfig`: ``group_bits`` (one label per ``y``
+plaintext bits, §10.1) and ``point_and_permute`` (the server decrypts exactly
+one table entry per group, §10.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import (
+    AccessTranscript,
+    OrtoaProtocol,
+    PhaseRecord,
+    RoundTrip,
+)
+from repro.core.lbl.proxy import LblProxy
+from repro.core.lbl.server import LblServer
+from repro.crypto.keys import KeyChain
+from repro.types import Request, Response, StoreConfig
+
+import random
+
+
+class LblOrtoa(OrtoaProtocol):
+    """One-round oblivious GET/PUT via PRF-derived bit labels.
+
+    Args:
+        config: Store configuration; ``group_bits`` and ``point_and_permute``
+            select the §10 optimizations.
+        keychain: Key material (generated if omitted).
+        rng: Randomness source for table shuffling; inject a seeded
+            ``random.Random`` for deterministic tests.
+    """
+
+    name = "lbl-ortoa"
+    rounds = 1
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        keychain: KeyChain | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(config)
+        self.keychain = keychain or KeyChain(label_bits=config.label_bits)
+        self.proxy = LblProxy(config, self.keychain, rng=rng)
+        self.server = LblServer(point_and_permute=config.point_and_permute)
+
+    def initialize(self, records: dict[str, bytes]) -> None:
+        for encoded_key, labels in self.proxy.initial_records(records):
+            self.server.load(encoded_key, labels)
+
+    def access(self, request: Request) -> AccessTranscript:
+        req, proxy_ops = self.proxy.prepare(request)
+        resp, server_ops = self.server.process(req)
+        value, finalize_ops = self.proxy.finalize(request.key, resp)
+        return AccessTranscript(
+            op=request.op,
+            phases=(
+                PhaseRecord("proxy-build-tables", "proxy", proxy_ops),
+                PhaseRecord("server-open-and-update", "server", server_ops),
+                PhaseRecord("proxy-decode", "proxy", finalize_ops),
+            ),
+            round_trips=(RoundTrip(len(req.to_bytes()), len(resp.to_bytes())),),
+            response=Response(request.key, value),
+        )
+
+
+__all__ = ["LblOrtoa", "LblProxy", "LblServer"]

@@ -1,0 +1,207 @@
+"""The trusted proxy of LBL-ORTOA (paper §5.2 step 1, §10 optimizations).
+
+Per access to key ``k`` with counter ``ct`` the proxy:
+
+1. regenerates the *old* labels for every group and every possible group
+   value using ``PRF(k, i, v, ct)`` — it must cover all ``2^y`` candidates
+   because the actual value lives only at the server;
+2. generates the *new* labels under ``ct + 1``;
+3. builds, per group, a table of ``2^y`` ciphertexts: for reads each old
+   label encrypts its *own* new label (value preserved); for writes every
+   old label encrypts the new label of the *written* group value;
+4. shuffles each table (base protocol) or places entries at
+   point-and-permute slots (§10.2) so position leaks nothing;
+5. bumps the access counter — the only per-object state the proxy keeps
+   (§5.3.1: 8 bytes per object).
+
+After the round trip, :meth:`LblProxy.finalize` maps the opened labels back
+to plaintext, which doubles as the §5.4 tamper check.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.base import OpCounts
+from repro.core.messages import LblAccessRequest, LblAccessResponse
+from repro.crypto import aead
+from repro.crypto.keys import KeyChain
+from repro.crypto.labels import LabelCodec, StoredLabel, value_to_groups
+from repro.errors import KeyNotFoundError, ProtocolError
+from repro.types import Request, StoreConfig
+
+#: Width of the serialized point-and-permute slot index appended to each
+#: encrypted payload.  The paper uses 2 bits; a whole byte keeps framing
+#: simple and supports y up to 8.
+DECRYPT_INDEX_BYTES = 1
+
+
+class LblProxy:
+    """Trusted, stateful proxy: key material + per-object access counters."""
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        keychain: KeyChain,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.config = config
+        self.keychain = keychain
+        self.codec = LabelCodec(
+            keychain.label_prf,
+            keychain.permute_prf,
+            value_len=config.value_len,
+            group_bits=config.group_bits,
+        )
+        self._rng = rng or random.Random()
+        self._counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    @property
+    def proxy_state_bytes(self) -> int:
+        """§5.3.1's space estimate: an 8-byte counter per tracked object."""
+        return 8 * len(self._counters)
+
+    def counter(self, key: str) -> int:
+        """Current access-counter epoch for ``key``."""
+        try:
+            return self._counters[key]
+        except KeyError:
+            raise KeyNotFoundError(f"key {key!r} was never initialized") from None
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of all access counters (for checkpointing)."""
+        return dict(self._counters)
+
+    def force_counter(self, key: str, value: int) -> None:
+        """Overwrite one key's counter — recovery resynchronization only."""
+        if value < 0:
+            raise ProtocolError("counters cannot be negative")
+        if key not in self._counters:
+            raise KeyNotFoundError(f"key {key!r} was never initialized")
+        self._counters[key] = value
+
+    def restore_counters(self, counters: dict[str, int]) -> None:
+        """Install a recovered counter table (crash recovery)."""
+        for key, value in counters.items():
+            if value < 0:
+                raise ProtocolError(f"negative counter for key {key!r}")
+        self._counters = dict(counters)
+
+    # ------------------------------------------------------------------ #
+    # Initialization (the Init(kv) procedure of Figure 1)
+    # ------------------------------------------------------------------ #
+
+    def initial_records(
+        self, records: dict[str, bytes]
+    ) -> list[tuple[bytes, list[StoredLabel]]]:
+        """Encode every plaintext pair into the server's stored form."""
+        out = []
+        for key, value in records.items():
+            if key in self._counters:
+                raise ProtocolError(f"duplicate key at init: {key!r}")
+            padded = self.config.pad(value)
+            self._counters[key] = 0
+            labels = self.codec.encode_value(key, padded, counter=0)
+            stored = []
+            for index, label in enumerate(labels):
+                if self.config.point_and_permute:
+                    group_value = value_to_groups(padded, self.config.group_bits)[index]
+                    slot = self.codec.decrypt_index(key, index, group_value, 0)
+                    stored.append(StoredLabel(label, slot))
+                else:
+                    stored.append(StoredLabel(label))
+            out.append((self.keychain.encode_key(key), stored))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Request preparation (Pcr, Figure 1 / §5.2 step 1)
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, request: Request) -> tuple[LblAccessRequest, OpCounts]:
+        """Build the one-round request and advance the access counter."""
+        key = request.key
+        ct = self.counter(key)
+        new_ct = ct + 1
+        table_size = self.codec.table_size
+
+        new_value = None
+        if request.op.is_write:
+            padded = self.config.pad(request.value)  # type: ignore[arg-type]
+            new_value = value_to_groups(padded, self.config.group_bits)
+
+        prf_count = 0
+        enc_count = 0
+        tables: list[tuple[bytes, ...]] = []
+        for index in range(self.codec.num_groups):
+            old_labels = self.codec.labels_for_group(key, index, ct)
+            new_labels = self.codec.labels_for_group(key, index, new_ct)
+            prf_count += 2 * table_size
+
+            entries: list[bytes | None] = [None] * table_size
+            if self.config.point_and_permute:
+                # Two permute-offset PRF calls per group: one linking the old
+                # labels to slots, one (inside decrypt_index) for the next
+                # access's slot carried in the payload.
+                offset_old = self.codec.permute_offset(key, index, ct)
+                prf_count += 2
+                for value in range(table_size):
+                    target = value if request.op.is_read else new_value[index]  # type: ignore[index]
+                    payload = new_labels[target] + bytes(
+                        [self.codec.decrypt_index(key, index, target, new_ct)]
+                    )
+                    slot = value ^ offset_old
+                    entries[slot] = aead.encrypt(old_labels[value], payload)
+                    enc_count += 1
+            else:
+                for value in range(table_size):
+                    target = value if request.op.is_read else new_value[index]  # type: ignore[index]
+                    entries[value] = aead.encrypt(old_labels[value], new_labels[target])
+                    enc_count += 1
+                self._rng.shuffle(entries)
+            tables.append(tuple(entries))  # type: ignore[arg-type]
+
+        self._counters[key] = new_ct
+        ops = OpCounts(prf=prf_count + 1, aead_enc=enc_count)  # +1: key encoding
+        return (
+            LblAccessRequest(self.keychain.encode_key(key), tuple(tables)),
+            ops,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Response handling (§5.2 step 2.2 tail + §5.4 tamper check)
+    # ------------------------------------------------------------------ #
+
+    def finalize(
+        self,
+        key: str,
+        response: LblAccessResponse,
+        counter: int | None = None,
+    ) -> tuple[bytes, OpCounts]:
+        """Map opened labels back to the plaintext value.
+
+        For reads this recovers the stored value; for writes it echoes the
+        value just written (the labels now encode it).  Either way the
+        label-to-candidate match is the §5.4 integrity check.
+
+        Args:
+            key: The accessed key.
+            response: The server's opened labels.
+            counter: Label epoch of the response.  Defaults to the key's
+                current counter — correct for the prepare/process/finalize
+                cycle of a single access; batched pipelines that prepare
+                several epochs up front must pass the epoch explicitly.
+
+        Raises:
+            TamperDetectedError: a label matches no candidate.
+        """
+        new_ct = self.counter(key) if counter is None else counter
+        value = self.codec.decode_labels(key, list(response.opened_labels), new_ct)
+        ops = OpCounts(prf=self.codec.table_size * self.codec.num_groups)
+        return value, ops
+
+
+__all__ = ["LblProxy", "DECRYPT_INDEX_BYTES"]

@@ -1,0 +1,97 @@
+"""The untrusted storage server of LBL-ORTOA (paper §5.2 step 2, §10.2).
+
+Per group the server holds exactly one secret label (plus, under
+point-and-permute, the slot index to open next).  On receiving a request it
+either:
+
+* **base protocol** — tries every ciphertext in the group's table; the
+  authenticated encryption guarantees exactly one opens (the one keyed by
+  its stored label), and
+
+* **point-and-permute** — decrypts only the slot its stored index names,
+  halving (for y=1; quartering for y=2) server computation, exactly the
+  §10.2 optimization.
+
+Either way the decrypted payload becomes the group's new stored label, so
+*every* access rewrites storage — the server cannot distinguish a read from
+a write by watching its own state.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import OpCounts
+from repro.core.messages import LblAccessRequest, LblAccessResponse
+from repro.crypto import aead
+from repro.crypto.labels import StoredLabel
+from repro.errors import ProtocolError
+from repro.storage.kv import KeyValueStore
+from repro.core.lbl.proxy import DECRYPT_INDEX_BYTES
+
+
+class LblServer:
+    """Stores per-group labels and applies encryption tables obliviously."""
+
+    def __init__(self, point_and_permute: bool = False) -> None:
+        self.point_and_permute = point_and_permute
+        self.store: KeyValueStore[list[StoredLabel]] = KeyValueStore("lbl-server")
+
+    def load(self, encoded_key: bytes, labels: list[StoredLabel]) -> None:
+        """Bulk-load one object's labels at initialization."""
+        if self.point_and_permute and any(sl.decrypt_index is None for sl in labels):
+            raise ProtocolError("point-and-permute server needs decrypt indices")
+        self.store.put_new(encoded_key, labels)
+
+    def process(self, request: LblAccessRequest) -> tuple[LblAccessResponse, OpCounts]:
+        """Open one entry per group, update stored labels, return the labels."""
+        stored = self.store.get(request.encoded_key)
+        if len(request.tables) != len(stored):
+            raise ProtocolError(
+                f"table count {len(request.tables)} != stored groups {len(stored)}"
+            )
+        opened: list[bytes] = []
+        updated: list[StoredLabel] = []
+        decrypts = 0
+        failed = 0
+        for group_index, (table, current) in enumerate(zip(request.tables, stored)):
+            if self.point_and_permute:
+                slot = current.decrypt_index
+                if slot is None or slot >= len(table):
+                    raise ProtocolError(f"bad decrypt index at group {group_index}")
+                payload = aead.try_decrypt(current.label, table[slot])
+                decrypts += 1
+                if payload is None:
+                    raise ProtocolError(
+                        f"designated entry failed to open at group {group_index}"
+                    )
+                if len(payload) <= DECRYPT_INDEX_BYTES:
+                    raise ProtocolError("point-and-permute payload too short")
+                new_label = payload[:-DECRYPT_INDEX_BYTES]
+                next_slot = payload[-1]
+                updated.append(StoredLabel(new_label, next_slot))
+                opened.append(new_label)
+            else:
+                new_label = None
+                for entry in table:
+                    decrypts += 1
+                    payload = aead.try_decrypt(current.label, entry)
+                    if payload is not None:
+                        new_label = payload
+                        break
+                    failed += 1
+                if new_label is None:
+                    raise ProtocolError(
+                        f"no table entry opened at group {group_index}: "
+                        "stored label is stale or corrupt"
+                    )
+                updated.append(StoredLabel(new_label))
+                opened.append(new_label)
+        self.store.put(request.encoded_key, updated)
+        ops = OpCounts(
+            kv_ops=2,
+            aead_dec=decrypts - failed,
+            failed_dec=failed,
+        )
+        return LblAccessResponse(tuple(opened)), ops
+
+
+__all__ = ["LblServer"]

@@ -1,0 +1,191 @@
+"""Proxy fault tolerance for LBL-ORTOA: a write-ahead counter log.
+
+The paper (§5.5) notes that the stateful proxy "poses a fault tolerance
+challenge since it stores information necessary to execute the protocol"
+and leaves the mechanism to future work.  The state in question is tiny —
+one access counter per key — which makes classic write-ahead logging a
+perfect fit:
+
+* **Log before send** — before a prepared request leaves the proxy, the
+  key's new counter epoch is appended (and flushed) to the WAL.
+* **Recover by replay** — a restarted proxy rebuilds its counter table from
+  the latest snapshot plus the log suffix.
+* **Resolve the uncertainty window** — a crash can land *between* the WAL
+  append and the server applying the message, leaving the logged counter
+  one epoch ahead of the server's labels.  The window is exactly one epoch
+  wide (logging is synchronous), so
+  :class:`DurableLblOrtoa` resolves it lazily: if the first post-recovery
+  access to a key fails to open any table entry at the logged epoch, it
+  rolls that key back one epoch and retries — one extra round trip, only
+  for keys that were mid-flight at crash time.
+
+Assumed failure model: crash-stop with in-flight messages lost (a dying
+proxy's TCP connections die with it); Byzantine servers are §5.4's topic.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import random
+import struct
+
+from repro.core.base import AccessTranscript
+from repro.core.lbl import LblOrtoa
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError, ProtocolError
+from repro.types import Request, StoreConfig
+
+_RECORD_HEADER = struct.Struct(">IQ")  # key length, counter value
+
+
+class CounterWal:
+    """Append-only durable log of per-key counter epochs, with snapshots.
+
+    Record format: ``[u32 key_len][key utf-8][u64 counter]``.  A snapshot
+    file (same prefix, ``.snap``) holds a compacted full table; recovery is
+    snapshot ∪ log-suffix with last-writer-wins per key.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self.snapshot_path = self.path.with_suffix(self.path.suffix + ".snap")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._log = open(self.path, "ab")
+
+    def close(self) -> None:
+        """Close the underlying log file handle."""
+        self._log.close()
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def append(self, key: str, counter: int) -> None:
+        """Durably record that ``key`` is moving to epoch ``counter``."""
+        encoded = key.encode("utf-8")
+        self._log.write(_RECORD_HEADER.pack(len(encoded), counter))
+        self._log.write(encoded)
+        self._log.flush()
+        os.fsync(self._log.fileno())
+
+    def checkpoint(self, counters: dict[str, int]) -> None:
+        """Write a snapshot and truncate the log (atomic via rename)."""
+        tmp = self.snapshot_path.with_suffix(".tmp")
+        with open(tmp, "wb") as snapshot:
+            for key, counter in counters.items():
+                encoded = key.encode("utf-8")
+                snapshot.write(_RECORD_HEADER.pack(len(encoded), counter))
+                snapshot.write(encoded)
+            snapshot.flush()
+            os.fsync(snapshot.fileno())
+        tmp.replace(self.snapshot_path)
+        self._log.close()
+        self._log = open(self.path, "wb")
+        self._log.flush()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _read_records(path: pathlib.Path) -> dict[str, int]:
+        counters: dict[str, int] = {}
+        if not path.exists():
+            return counters
+        data = path.read_bytes()
+        pos = 0
+        while pos + _RECORD_HEADER.size <= len(data):
+            key_len, counter = _RECORD_HEADER.unpack_from(data, pos)
+            pos += _RECORD_HEADER.size
+            if pos + key_len > len(data):
+                break  # torn tail record from a mid-write crash: discard
+            key = data[pos:pos + key_len].decode("utf-8")
+            pos += key_len
+            counters[key] = counter
+        return counters
+
+    def replay(self) -> dict[str, int]:
+        """Rebuild the counter table: snapshot, then the log suffix."""
+        counters = self._read_records(self.snapshot_path)
+        counters.update(self._read_records(self.path))
+        return counters
+
+
+class DurableLblOrtoa(LblOrtoa):
+    """LBL-ORTOA whose proxy counters survive crashes.
+
+    Args:
+        config: Store configuration.
+        wal_path: Path for the write-ahead log (and its snapshot).
+        keychain: Key material.  Must be the *same* keychain across
+            restarts (persisting it is a key-management concern, not a
+            counter-state one).
+        rng: Table-shuffle randomness.
+    """
+
+    name = "lbl-ortoa-durable"
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        wal_path: str | os.PathLike,
+        keychain: KeyChain | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(config, keychain=keychain, rng=rng)
+        self.wal = CounterWal(wal_path)
+        self.recovered_resyncs = 0
+
+    def initialize(self, records: dict[str, bytes]) -> None:
+        super().initialize(records)
+        self.wal.checkpoint({key: 0 for key in records})
+
+    def access(self, request: Request) -> AccessTranscript:
+        epoch = self.proxy.counter(request.key) + 1
+        self.wal.append(request.key, epoch)  # write-ahead: log THEN send
+        try:
+            return super().access(request)
+        except ProtocolError:
+            # Post-recovery uncertainty: the logged counter outran the server
+            # by one (crash between append and apply), so the failed attempt
+            # used old-labels one epoch too new.  Roll the counter back two
+            # (undoing both the failed attempt's bump and the phantom epoch)
+            # and retry once; a second failure is real corruption.
+            if epoch < 2:
+                raise
+            self.proxy.force_counter(request.key, epoch - 2)
+            self.recovered_resyncs += 1
+            self.wal.append(request.key, epoch - 1)
+            return super().access(request)
+
+    def checkpoint(self) -> None:
+        """Compact the WAL into a snapshot of the current counters."""
+        self.wal.checkpoint(dict(self.proxy.counters()))
+
+    @classmethod
+    def recover(
+        cls,
+        config: StoreConfig,
+        wal_path: str | os.PathLike,
+        keychain: KeyChain,
+        server,
+        rng: random.Random | None = None,
+    ) -> "DurableLblOrtoa":
+        """Rebuild a proxy from its WAL, re-attaching to the live server.
+
+        Args:
+            config: Must match the crashed deployment's configuration.
+            wal_path: The crashed proxy's log location.
+            keychain: The crashed proxy's key material.
+            server: The (still running) :class:`~repro.core.lbl.server.LblServer`.
+        """
+        if keychain is None:
+            raise ConfigurationError("recovery requires the original keychain")
+        protocol = cls(config, wal_path, keychain=keychain, rng=rng)
+        protocol.server = server
+        protocol.proxy.restore_counters(protocol.wal.replay())
+        return protocol
+
+
+__all__ = ["CounterWal", "DurableLblOrtoa"]

@@ -1,0 +1,334 @@
+"""Wire formats for proxy↔server messages, with byte-exact serialization.
+
+Communication volume is a first-class quantity in the paper (LBL-ORTOA's
+``2·E_len·t`` bits per access drives Figures 3b–3d), so every message here
+serializes to real bytes and experiments measure ``len(to_bytes())`` rather
+than trusting an analytic formula.  Framing is minimal and explicit: a
+1-byte message tag followed by 4-byte big-endian length-prefixed fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+_LEN_BYTES = 4
+
+
+def _pack_fields(tag: int, fields: list[bytes]) -> bytes:
+    out = [bytes([tag])]
+    for field in fields:
+        out.append(len(field).to_bytes(_LEN_BYTES, "big"))
+        out.append(field)
+    return b"".join(out)
+
+
+def _unpack_exactly(data: bytes, expected_tag: int, count: int) -> list[bytes]:
+    """Unpack and require an exact field count (clean error on mismatch)."""
+    fields = _unpack_fields(data, expected_tag)
+    if len(fields) != count:
+        raise ProtocolError(
+            f"message with tag {expected_tag} needs {count} fields, got {len(fields)}"
+        )
+    return fields
+
+
+def _unpack_fields(data: bytes, expected_tag: int) -> list[bytes]:
+    if not data or data[0] != expected_tag:
+        raise ProtocolError(f"bad message tag: expected {expected_tag}, got {data[:1]!r}")
+    fields = []
+    pos = 1
+    while pos < len(data):
+        if pos + _LEN_BYTES > len(data):
+            raise ProtocolError("truncated field length")
+        length = int.from_bytes(data[pos:pos + _LEN_BYTES], "big")
+        pos += _LEN_BYTES
+        if pos + length > len(data):
+            raise ProtocolError("truncated field body")
+        fields.append(data[pos:pos + length])
+        pos += length
+    return fields
+
+
+# --------------------------------------------------------------------- #
+# Baseline (2RTT): a read round followed by a write round
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class ReadRequest:
+    """Round 1 of the baseline: fetch the ciphertext for an encoded key."""
+
+    encoded_key: bytes
+    TAG = 0x01
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(self.TAG, [self.encoded_key])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ReadRequest":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        (encoded_key,) = _unpack_exactly(data, cls.TAG, 1)
+        return cls(encoded_key)
+
+
+@dataclass(frozen=True, slots=True)
+class ReadResponse:
+    ciphertext: bytes
+    TAG = 0x02
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(self.TAG, [self.ciphertext])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ReadResponse":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        (ciphertext,) = _unpack_exactly(data, cls.TAG, 1)
+        return cls(ciphertext)
+
+
+@dataclass(frozen=True, slots=True)
+class WriteRequest:
+    """Round 2 of the baseline: store a (re-)encrypted value."""
+
+    encoded_key: bytes
+    ciphertext: bytes
+    TAG = 0x03
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(self.TAG, [self.encoded_key, self.ciphertext])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WriteRequest":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        encoded_key, ciphertext = _unpack_exactly(data, cls.TAG, 2)
+        return cls(encoded_key, ciphertext)
+
+
+@dataclass(frozen=True, slots=True)
+class WriteAck:
+    TAG = 0x04
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(self.TAG, [])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WriteAck":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        _unpack_exactly(data, cls.TAG, 0)
+        return cls()
+
+
+# --------------------------------------------------------------------- #
+# TEE-ORTOA (1 RTT)
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class TeeAccessRequest:
+    """§4.1: encoded key + encrypted selector ``c_r`` + encrypted new value."""
+
+    encoded_key: bytes
+    selector_ct: bytes
+    new_value_ct: bytes
+    TAG = 0x10
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(self.TAG, [self.encoded_key, self.selector_ct, self.new_value_ct])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TeeAccessRequest":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        encoded_key, selector_ct, new_value_ct = _unpack_exactly(data, cls.TAG, 3)
+        return cls(encoded_key, selector_ct, new_value_ct)
+
+
+@dataclass(frozen=True, slots=True)
+class TeeAccessResponse:
+    """The enclave's re-encrypted output (old value for reads, new for writes)."""
+
+    result_ct: bytes
+    TAG = 0x11
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(self.TAG, [self.result_ct])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TeeAccessResponse":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        (result_ct,) = _unpack_exactly(data, cls.TAG, 1)
+        return cls(result_ct)
+
+
+# --------------------------------------------------------------------- #
+# LBL-ORTOA (1 RTT)
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class LblAccessRequest:
+    """§5.2 step 1.5: the encoded key plus, per label group, a table of
+    ``2^y`` ciphertexts (shuffled, or slot-linked under point-and-permute).
+
+    The flat field list is ``[encoded_key, n0_ct0, n0_ct1, ..., n1_ct0, ...]``
+    — every group contributes exactly ``table_size`` ciphertexts of equal
+    length, so the framing stays self-describing.
+    """
+
+    encoded_key: bytes
+    tables: tuple[tuple[bytes, ...], ...]
+    TAG = 0x20
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        if not self.tables:
+            raise ProtocolError("LBL request needs at least one group table")
+        table_size = len(self.tables[0])
+        if any(len(t) != table_size for t in self.tables):
+            raise ProtocolError("all group tables must have equal size")
+        header = bytes([table_size])
+        fields = [self.encoded_key] + [ct for table in self.tables for ct in table]
+        return _pack_fields(self.TAG, [header] + fields)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LblAccessRequest":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        fields = _unpack_fields(data, cls.TAG)
+        if len(fields) < 2:
+            raise ProtocolError("LBL request missing fields")
+        if len(fields[0]) != 1:
+            raise ProtocolError("LBL request header must be a single byte")
+        table_size = fields[0][0]
+        encoded_key = fields[1]
+        cts = fields[2:]
+        if table_size == 0 or len(cts) % table_size != 0:
+            raise ProtocolError("LBL request table shape is inconsistent")
+        tables = tuple(
+            tuple(cts[i:i + table_size]) for i in range(0, len(cts), table_size)
+        )
+        return cls(encoded_key, tables)
+
+
+@dataclass(frozen=True, slots=True)
+class LblAccessResponse:
+    """§5.2 step 2.2: the one successfully decrypted label per group."""
+
+    opened_labels: tuple[bytes, ...]
+    TAG = 0x21
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(self.TAG, list(self.opened_labels))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LblAccessResponse":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        return cls(tuple(_unpack_fields(data, cls.TAG)))
+
+
+@dataclass(frozen=True, slots=True)
+class LblBatchRequest:
+    """Several LBL accesses in one wire message (one physical round trip).
+
+    Serialized as length-prefixed serialized :class:`LblAccessRequest`
+    frames under a batch tag; order is preserved and meaningful (repeated
+    keys apply epoch-by-epoch).
+    """
+
+    requests: tuple[LblAccessRequest, ...]
+    TAG = 0x22
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        if not self.requests:
+            raise ProtocolError("batch must contain at least one request")
+        return _pack_fields(self.TAG, [r.to_bytes() for r in self.requests])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LblBatchRequest":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        fields = _unpack_fields(data, cls.TAG)
+        if not fields:
+            raise ProtocolError("empty batch")
+        return cls(tuple(LblAccessRequest.from_bytes(f) for f in fields))
+
+
+@dataclass(frozen=True, slots=True)
+class LblBatchResponse:
+    """Per-request responses for a batch, in request order."""
+
+    responses: tuple[LblAccessResponse, ...]
+    TAG = 0x23
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(self.TAG, [r.to_bytes() for r in self.responses])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LblBatchResponse":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        fields = _unpack_fields(data, cls.TAG)
+        return cls(tuple(LblAccessResponse.from_bytes(f) for f in fields))
+
+
+# --------------------------------------------------------------------- #
+# FHE-ORTOA (1 RTT)
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True, slots=True)
+class FheAccessRequest:
+    """§3.1: encoded key + FHE(c_r) + FHE(c_w) + FHE(v_new), serialized."""
+
+    encoded_key: bytes
+    c_r_ct: bytes
+    c_w_ct: bytes
+    new_value_ct: bytes
+    TAG = 0x30
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(
+            self.TAG, [self.encoded_key, self.c_r_ct, self.c_w_ct, self.new_value_ct]
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FheAccessRequest":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        encoded_key, c_r, c_w, new_value = _unpack_exactly(data, cls.TAG, 4)
+        return cls(encoded_key, c_r, c_w, new_value)
+
+
+@dataclass(frozen=True, slots=True)
+class FheAccessResponse:
+    result_ct: bytes
+    TAG = 0x31
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(self.TAG, [self.result_ct])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FheAccessResponse":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        (result_ct,) = _unpack_exactly(data, cls.TAG, 1)
+        return cls(result_ct)
+
+
+__all__ = [
+    "ReadRequest",
+    "ReadResponse",
+    "WriteRequest",
+    "WriteAck",
+    "TeeAccessRequest",
+    "TeeAccessResponse",
+    "LblAccessRequest",
+    "LblAccessResponse",
+    "LblBatchRequest",
+    "LblBatchResponse",
+    "FheAccessRequest",
+    "FheAccessResponse",
+]

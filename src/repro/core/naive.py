@@ -1,0 +1,141 @@
+"""The two broken one-round strawmen of paper §1.1, implemented honestly.
+
+The paper motivates ORTOA by showing why the obvious one-round designs
+fail.  Implementing them (clearly marked DO-NOT-USE) turns that argument
+into executable regression tests:
+
+* :class:`LeakyOneRound` — writes push ciphertexts, reads just fetch.  One
+  round, perfectly functional, and the server sees the operation type in
+  plain sight (reads never change stored state; message shapes differ).
+* :class:`LossyReadModifyWrite` — every request is a server-side
+  read-modify-write: the server stores whatever the client sent (a real
+  value for writes, a *dummy* for reads) and returns the previous value.
+  One round, type-hiding — and it destroys data on the first read, exactly
+  as §1.1 warns ("any subsequent reads after the first read operation will
+  fetch a dummy value, permanently losing an application's data!").
+
+Both reuse the real wire formats and AEAD so the comparison with the
+correct protocols is apples-to-apples.  ``tests/test_naive.py`` pins the
+failure of each.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.core import messages
+from repro.core.base import (
+    AccessTranscript,
+    OpCounts,
+    OrtoaProtocol,
+    PhaseRecord,
+    RoundTrip,
+)
+from repro.crypto import aead
+from repro.crypto.keys import KeyChain
+from repro.storage.kv import KeyValueStore
+from repro.types import Request, Response, StoreConfig
+
+
+class LeakyOneRound(OrtoaProtocol):
+    """One round, zero privacy: the server learns every operation type.
+
+    Reads send a :class:`~repro.core.messages.ReadRequest` and get the
+    ciphertext back; writes send a :class:`~repro.core.messages.WriteRequest`.
+    This is just an encrypted KV store — the §1.1 starting point ORTOA
+    improves on.
+    """
+
+    name = "naive-leaky"
+    rounds = 1
+
+    def __init__(self, config: StoreConfig, keychain: KeyChain | None = None) -> None:
+        super().__init__(config)
+        self.keychain = keychain or KeyChain()
+        self.store: KeyValueStore[bytes] = KeyValueStore("naive-leaky-server")
+        #: What the honest-but-curious server can write down per request:
+        #: the message tag alone reveals the type.
+        self.server_observations: list[str] = []
+
+    def initialize(self, records: dict[str, bytes]) -> None:
+        for key, value in records.items():
+            ct = aead.encrypt(self.keychain.data_key, self.config.pad(value))
+            self.store.put_new(self.keychain.encode_key(key), ct)
+
+    def access(self, request: Request) -> AccessTranscript:
+        encoded_key = self.keychain.encode_key(request.key)
+        if request.op.is_read:
+            req = messages.ReadRequest(encoded_key)
+            self.server_observations.append("READ")  # the leak
+            ct = self.store.get(encoded_key)
+            resp = messages.ReadResponse(ct)
+            value = aead.decrypt(self.keychain.data_key, ct)
+            round_trip = RoundTrip(len(req.to_bytes()), len(resp.to_bytes()))
+        else:
+            value = self._padded(request)
+            assert value is not None
+            ct = aead.encrypt(self.keychain.data_key, value)
+            req = messages.WriteRequest(encoded_key, ct)
+            self.server_observations.append("WRITE")  # the leak
+            self.store.put(encoded_key, ct)
+            resp = messages.WriteAck()
+            round_trip = RoundTrip(len(req.to_bytes()), len(resp.to_bytes()))
+        return AccessTranscript(
+            op=request.op,
+            phases=(
+                PhaseRecord("proxy", "proxy", OpCounts(prf=1, aead_enc=1)),
+                PhaseRecord("server", "server", OpCounts(kv_ops=1)),
+            ),
+            round_trips=(round_trip,),
+            response=Response(request.key, value),
+        )
+
+
+class LossyReadModifyWrite(OrtoaProtocol):
+    """One round, type-hiding — and it loses data (§1.1's second strawman).
+
+    Every request ships an encrypted value (real for writes, random dummy
+    for reads); the server unconditionally stores it and returns what was
+    there before.  Reads and writes are indistinguishable... and the first
+    read permanently replaces the object with garbage.
+    """
+
+    name = "naive-lossy-rmw"
+    rounds = 1
+
+    def __init__(self, config: StoreConfig, keychain: KeyChain | None = None) -> None:
+        super().__init__(config)
+        self.keychain = keychain or KeyChain()
+        self.store: KeyValueStore[bytes] = KeyValueStore("naive-rmw-server")
+
+    def initialize(self, records: dict[str, bytes]) -> None:
+        for key, value in records.items():
+            ct = aead.encrypt(self.keychain.data_key, self.config.pad(value))
+            self.store.put_new(self.keychain.encode_key(key), ct)
+
+    def access(self, request: Request) -> AccessTranscript:
+        encoded_key = self.keychain.encode_key(request.key)
+        outgoing = self._padded(request)
+        if outgoing is None:
+            outgoing = secrets.token_bytes(self.config.value_len)  # the bug
+        new_ct = aead.encrypt(self.keychain.data_key, outgoing)
+        req = messages.TeeAccessRequest(encoded_key, b"", new_ct)
+
+        # Server: blind swap — indistinguishable, but destructive for reads.
+        previous_ct = self.store.get(encoded_key)
+        self.store.put(encoded_key, new_ct)
+        resp = messages.TeeAccessResponse(previous_ct)
+
+        value = aead.decrypt(self.keychain.data_key, resp.result_ct)
+        return AccessTranscript(
+            op=request.op,
+            phases=(
+                PhaseRecord("proxy", "proxy", OpCounts(prf=1, aead_enc=1)),
+                PhaseRecord("server", "server", OpCounts(kv_ops=2)),
+            ),
+            round_trips=(RoundTrip(len(req.to_bytes()), len(resp.to_bytes())),),
+            response=Response(request.key, value),
+        )
+
+
+__all__ = ["LeakyOneRound", "LossyReadModifyWrite"]

@@ -1,0 +1,23 @@
+"""Cryptographic substrate for the ORTOA protocols.
+
+Everything here is built on Python's standard library primitives
+(HMAC-SHA256) plus an educational from-scratch RLWE/BFV-style homomorphic
+scheme, so the package has no binary crypto dependencies.
+
+Public surface:
+
+* :class:`repro.crypto.prf.Prf` — deterministic pseudo-random function used
+  for key encoding and label derivation.
+* :mod:`repro.crypto.aead` — authenticated encryption (encrypt-then-MAC) with
+  detectable decryption failure, the property LBL-ORTOA's server relies on.
+* :class:`repro.crypto.keys.KeyChain` — domain-separated key derivation.
+* :mod:`repro.crypto.fhe` — the BFV-style scheme with noise-budget tracking
+  used by FHE-ORTOA (paper §3).
+* :mod:`repro.crypto.labels` — the label codec of LBL-ORTOA (paper §5, §10).
+"""
+
+from repro.crypto.aead import decrypt, encrypt, ciphertext_len
+from repro.crypto.keys import KeyChain
+from repro.crypto.prf import Prf
+
+__all__ = ["Prf", "KeyChain", "encrypt", "decrypt", "ciphertext_len"]

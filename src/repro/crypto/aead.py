@@ -1,0 +1,111 @@
+"""Authenticated encryption with detectable decryption failure.
+
+LBL-ORTOA's server receives, per label group, a small table of ciphertexts
+and must discover which one its stored label can open (paper §5.2 step 2.1:
+"LBL-ORTOA uses authenticated encryption to ensure the server identifies
+successful decryptions").  This module provides exactly that primitive:
+
+* encrypt-then-MAC with independent keys derived from the caller's key,
+* a keystream built from HMAC-SHA256 in counter mode (a PRF in CTR mode is a
+  standard stream cipher construction),
+* :func:`decrypt` raising :class:`~repro.errors.DecryptionError` on a wrong
+  key or tampered ciphertext.
+
+The ciphertext layout is ``nonce(NONCE_LEN) || body(len(pt)) || tag(TAG_LEN)``.
+For ORTOA's label encryption the key (a fresh PRF label) is used at most once
+per direction, but a random nonce is included anyway so the primitive is safe
+under key reuse by other callers (e.g. the TEE variant's value encryption).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+
+from repro.errors import ConfigurationError, DecryptionError
+
+NONCE_LEN = 12
+TAG_LEN = 16
+_DIGEST = hashlib.sha256
+_DIGEST_BYTES = 32
+
+
+def ciphertext_len(plaintext_len: int) -> int:
+    """Length in bytes of a ciphertext for a plaintext of ``plaintext_len``."""
+    return NONCE_LEN + plaintext_len + TAG_LEN
+
+
+def _subkeys(key: bytes) -> tuple[bytes, bytes]:
+    """Derive independent encryption and MAC keys from ``key``."""
+    enc_key = hmac.new(key, b"aead-enc", _DIGEST).digest()
+    mac_key = hmac.new(key, b"aead-mac", _DIGEST).digest()
+    return enc_key, mac_key
+
+
+def _keystream(enc_key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    for counter in range((length + _DIGEST_BYTES - 1) // _DIGEST_BYTES):
+        block = hmac.new(enc_key, nonce + counter.to_bytes(4, "big"), _DIGEST).digest()
+        blocks.append(block)
+    return b"".join(blocks)[:length]
+
+
+def encrypt(key: bytes, plaintext: bytes, *, nonce: bytes | None = None) -> bytes:
+    """Encrypt ``plaintext`` under ``key`` with integrity protection.
+
+    Args:
+        key: Symmetric key, at least 16 bytes.
+        plaintext: Message to protect (may be empty).
+        nonce: Optional explicit nonce (exactly ``NONCE_LEN`` bytes); omit to
+            draw a fresh random one.  Deterministic tests use this hook.
+
+    Returns:
+        ``nonce || ciphertext-body || tag``.
+    """
+    if len(key) < 16:
+        raise ConfigurationError("AEAD key must be at least 16 bytes")
+    if nonce is None:
+        nonce = secrets.token_bytes(NONCE_LEN)
+    elif len(nonce) != NONCE_LEN:
+        raise ConfigurationError(f"nonce must be exactly {NONCE_LEN} bytes")
+    enc_key, mac_key = _subkeys(key)
+    body = bytes(p ^ k for p, k in zip(plaintext, _keystream(enc_key, nonce, len(plaintext))))
+    tag = hmac.new(mac_key, nonce + body, _DIGEST).digest()[:TAG_LEN]
+    return nonce + body + tag
+
+
+def decrypt(key: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt and authenticate ``ciphertext`` under ``key``.
+
+    Raises:
+        DecryptionError: if the ciphertext is malformed, was produced under a
+            different key, or was modified in transit.  This is the signal
+            LBL-ORTOA's server uses to discard the wrong table entry.
+    """
+    if len(key) < 16:
+        raise ConfigurationError("AEAD key must be at least 16 bytes")
+    if len(ciphertext) < NONCE_LEN + TAG_LEN:
+        raise DecryptionError("ciphertext too short")
+    nonce = ciphertext[:NONCE_LEN]
+    body = ciphertext[NONCE_LEN:-TAG_LEN]
+    tag = ciphertext[-TAG_LEN:]
+    enc_key, mac_key = _subkeys(key)
+    expected = hmac.new(mac_key, nonce + body, _DIGEST).digest()[:TAG_LEN]
+    if not hmac.compare_digest(tag, expected):
+        raise DecryptionError("authentication tag mismatch")
+    return bytes(c ^ k for c, k in zip(body, _keystream(enc_key, nonce, len(body))))
+
+
+def try_decrypt(key: bytes, ciphertext: bytes) -> bytes | None:
+    """Like :func:`decrypt` but returns ``None`` instead of raising.
+
+    Convenience for the LBL server's try-both-entries loop.
+    """
+    try:
+        return decrypt(key, ciphertext)
+    except DecryptionError:
+        return None
+
+
+__all__ = ["encrypt", "decrypt", "try_decrypt", "ciphertext_len", "NONCE_LEN", "TAG_LEN"]

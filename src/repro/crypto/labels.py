@@ -1,0 +1,187 @@
+"""Label codec for LBL-ORTOA (paper §5 and appendix §10).
+
+LBL-ORTOA represents a plaintext value by one secret label per *group* of
+``y`` plaintext bits (``y = 1`` is the base protocol of §5; ``y = 2`` is the
+space-optimized optimum of §10.1).  A label is a deterministic PRF output
+
+    ``label = PRF(key, group_index, group_value, access_counter)``
+
+so the proxy can regenerate the labels currently stored at the server from
+nothing but the object's key and its access counter.  This module owns:
+
+* bit/group packing between ``bytes`` values and group-value tuples,
+* label derivation for one group or a whole value,
+* inversion (labels back to plaintext) used by the proxy after a read,
+* the point-and-permute bits of §10.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.prf import Prf
+from repro.errors import ConfigurationError, TamperDetectedError
+
+
+def value_to_groups(value: bytes, group_bits: int) -> tuple[int, ...]:
+    """Split ``value`` into big-endian groups of ``group_bits`` bits each.
+
+    The final group is zero-padded on the right when ``8*len(value)`` is not
+    divisible by ``group_bits`` (paper §10.1 pads with a sentinel; zero bits
+    are equivalent here because the value length is fixed and known).
+    """
+    if group_bits < 1:
+        raise ConfigurationError("group_bits must be >= 1")
+    total_bits = len(value) * 8
+    as_int = int.from_bytes(value, "big")
+    num_groups = (total_bits + group_bits - 1) // group_bits
+    padded_bits = num_groups * group_bits
+    as_int <<= padded_bits - total_bits
+    mask = (1 << group_bits) - 1
+    return tuple(
+        (as_int >> (padded_bits - (i + 1) * group_bits)) & mask for i in range(num_groups)
+    )
+
+
+def groups_to_value(groups: tuple[int, ...] | list[int], group_bits: int, value_len: int) -> bytes:
+    """Inverse of :func:`value_to_groups` for a value of ``value_len`` bytes."""
+    if group_bits < 1:
+        raise ConfigurationError("group_bits must be >= 1")
+    total_bits = value_len * 8
+    num_groups = (total_bits + group_bits - 1) // group_bits
+    if len(groups) != num_groups:
+        raise ConfigurationError(f"expected {num_groups} groups, got {len(groups)}")
+    as_int = 0
+    for g in groups:
+        if not 0 <= g < (1 << group_bits):
+            raise ConfigurationError(f"group value {g} out of range for y={group_bits}")
+        as_int = (as_int << group_bits) | g
+    padded_bits = num_groups * group_bits
+    as_int >>= padded_bits - total_bits
+    return as_int.to_bytes(value_len, "big")
+
+
+@dataclass(frozen=True, slots=True)
+class StoredLabel:
+    """What the server stores per group: the label, plus (optionally) the
+    point-and-permute decryption bits telling it which table entry to open on
+    the *next* access (§10.2)."""
+
+    label: bytes
+    decrypt_index: int | None = None
+
+
+class LabelCodec:
+    """Derives, encodes, and inverts LBL-ORTOA labels for fixed-length values.
+
+    Args:
+        label_prf: The keyed PRF used for label derivation (from
+            :class:`~repro.crypto.keys.KeyChain`).
+        permute_prf: PRF producing the per-access random permutation offsets
+            (the ``r1 r2`` bits of §10.2).  Only needed when
+            ``point_and_permute`` deployments are used, but always accepted.
+        value_len: Fixed plaintext length in bytes.
+        group_bits: ``y`` — plaintext bits represented by one label.
+    """
+
+    def __init__(
+        self,
+        label_prf: Prf,
+        permute_prf: Prf,
+        *,
+        value_len: int,
+        group_bits: int = 1,
+    ) -> None:
+        if value_len <= 0:
+            raise ConfigurationError("value_len must be positive")
+        if group_bits < 1:
+            raise ConfigurationError("group_bits must be >= 1")
+        self._label_prf = label_prf
+        self._permute_prf = permute_prf
+        self.value_len = value_len
+        self.group_bits = group_bits
+        self.table_size = 1 << group_bits
+        self.num_groups = (value_len * 8 + group_bits - 1) // group_bits
+        self.label_len = label_prf.out_bytes
+
+    # ------------------------------------------------------------------ #
+    # Label derivation
+    # ------------------------------------------------------------------ #
+
+    def label(self, key: str, index: int, group_value: int, counter: int) -> bytes:
+        """The secret label for ``group_value`` at ``index`` under ``counter``."""
+        if not 0 <= group_value < self.table_size:
+            raise ConfigurationError(
+                f"group value {group_value} out of range for y={self.group_bits}"
+            )
+        return self._label_prf.evaluate("label", key, index, group_value, counter)
+
+    def labels_for_group(self, key: str, index: int, counter: int) -> list[bytes]:
+        """All ``2^y`` candidate labels for one group (proxy-side, §5.2 1.2)."""
+        return [self.label(key, index, v, counter) for v in range(self.table_size)]
+
+    def encode_value(self, key: str, value: bytes, counter: int) -> list[bytes]:
+        """Labels the server should store for ``value`` at access ``counter``."""
+        if len(value) != self.value_len:
+            raise ConfigurationError(
+                f"value must be exactly {self.value_len} bytes, got {len(value)}"
+            )
+        groups = value_to_groups(value, self.group_bits)
+        return [self.label(key, i, g, counter) for i, g in enumerate(groups)]
+
+    # ------------------------------------------------------------------ #
+    # Inversion (proxy decodes the server's response after a read)
+    # ------------------------------------------------------------------ #
+
+    def decode_labels(self, key: str, labels: list[bytes], counter: int) -> bytes:
+        """Recover the plaintext value from per-group labels.
+
+        Also serves as the tamper check of §5.4: a label matching none of the
+        ``2^y`` candidates proves the server (or channel) corrupted data.
+
+        Raises:
+            TamperDetectedError: if any label is not a valid candidate.
+        """
+        if len(labels) != self.num_groups:
+            raise ConfigurationError(
+                f"expected {self.num_groups} labels, got {len(labels)}"
+            )
+        groups: list[int] = []
+        for index, stored in enumerate(labels):
+            candidates = self.labels_for_group(key, index, counter)
+            try:
+                groups.append(candidates.index(stored))
+            except ValueError:
+                raise TamperDetectedError(
+                    f"label at group {index} matches no candidate: data was tampered"
+                ) from None
+        return groups_to_value(groups, self.group_bits, self.value_len)
+
+    # ------------------------------------------------------------------ #
+    # Point-and-permute bits (§10.2)
+    # ------------------------------------------------------------------ #
+
+    def permute_offset(self, key: str, index: int, counter: int) -> int:
+        """The per-access random offset ``r`` linking table slots to labels.
+
+        Derived from a PRF over ``(key, index, counter)`` exactly as the paper
+        suggests, so the proxy never stores it.
+        """
+        raw = self._permute_prf.evaluate("permute", key, index, counter)
+        return int.from_bytes(raw, "big") % self.table_size
+
+    def decrypt_index(self, key: str, index: int, group_value: int, counter: int) -> int:
+        """Which table slot the server must open at access ``counter``.
+
+        The slot for the label of ``group_value`` is ``group_value XOR r``
+        (§10.2's ``d1 d2 = b1 b2 ⊕ r1 r2``, generalized to ``y`` bits).
+        """
+        return group_value ^ self.permute_offset(key, index, counter)
+
+
+__all__ = [
+    "LabelCodec",
+    "StoredLabel",
+    "value_to_groups",
+    "groups_to_value",
+]

@@ -1,0 +1,198 @@
+"""Number-theoretic transform for fast negacyclic multiplication.
+
+The schoolbook convolution in :mod:`repro.crypto.poly` is O(n²); production
+FHE libraries (SEAL included) multiply in O(n log n) via the NTT over an
+*NTT-friendly* prime modulus ``q ≡ 1 (mod 2n)``.  This module provides:
+
+* :func:`find_ntt_prime` — smallest prime of a requested bit size with
+  ``q ≡ 1 (mod 2n)``;
+* :class:`NegacyclicNtt` — forward/inverse transforms with the ψ-twist that
+  folds the ``x^n + 1`` reduction into the transform itself, so negacyclic
+  multiplication is just ``intt(ntt(a) * ntt(b))``;
+* :func:`negacyclic_convolve_ntt` — drop-in fast replacement for the
+  schoolbook product *when the modulus allows it*.
+
+:class:`~repro.crypto.poly.Poly` uses this path automatically when its ring
+modulus is NTT-friendly (see :meth:`NegacyclicNtt.for_modulus`), which the
+``FheParams.ntt_friendly`` constructor arranges.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def _is_probable_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for n < 3.3e24 (plenty for our moduli)."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def find_ntt_prime(n: int, bits: int) -> int:
+    """Smallest prime ``q`` with ``q ≡ 1 (mod 2n)`` and ``q >= 2^(bits-1)``.
+
+    Args:
+        n: Ring degree (power of two).
+        bits: Approximate bit size of the desired modulus.
+    """
+    if n < 2 or (n & (n - 1)):
+        raise ConfigurationError("n must be a power of two >= 2")
+    if bits < n.bit_length() + 2:
+        raise ConfigurationError("bits too small for the requested degree")
+    step = 2 * n
+    candidate = (1 << (bits - 1)) // step * step + 1
+    while True:
+        if candidate > 1 and _is_probable_prime(candidate):
+            return candidate
+        candidate += step
+
+
+def _find_generator_of_order(order: int, modulus: int) -> int:
+    """An element of exact multiplicative order ``order`` mod prime ``modulus``."""
+    group_order = modulus - 1
+    if group_order % order != 0:
+        raise ConfigurationError("order does not divide the group order")
+    cofactor = group_order // order
+    for base in range(2, 1000):
+        candidate = pow(base, cofactor, modulus)
+        if candidate == 1:
+            continue
+        # Exact order check: candidate^(order/p) != 1 for prime p | order.
+        # order is a power of two here, so checking order/2 suffices.
+        if pow(candidate, order // 2, modulus) != 1:
+            return candidate
+    raise ConfigurationError("no generator found (modulus not NTT-friendly?)")
+
+
+class NegacyclicNtt:
+    """Precomputed NTT tables for ``Z_q[x]/(x^n + 1)`` with prime ``q``."""
+
+    def __init__(self, n: int, q: int) -> None:
+        if n < 2 or (n & (n - 1)):
+            raise ConfigurationError("n must be a power of two >= 2")
+        if (q - 1) % (2 * n) != 0:
+            raise ConfigurationError(f"q={q} is not NTT-friendly for n={n}")
+        if not _is_probable_prime(q):
+            raise ConfigurationError(f"q={q} must be prime for the NTT")
+        self.n = n
+        self.q = q
+        # ψ is a primitive 2n-th root of unity; ω = ψ² the n-th root.
+        self.psi = _find_generator_of_order(2 * n, q)
+        self.psi_inv = pow(self.psi, q - 2, q)
+        self.n_inv = pow(n, q - 2, q)
+        # Twist tables: ψ^i (forward), ψ^-i (inverse), in natural order.
+        self._psi_pow = [pow(self.psi, i, q) for i in range(n)]
+        self._psi_inv_pow = [pow(self.psi_inv, i, q) for i in range(n)]
+        omega = pow(self.psi, 2, q)
+        omega_inv = pow(omega, q - 2, q)
+        self._omega_pow = self._stage_roots(omega)
+        self._omega_inv_pow = self._stage_roots(omega_inv)
+
+    _CACHE: dict[tuple[int, int], "NegacyclicNtt"] = {}
+
+    @classmethod
+    def for_modulus(cls, n: int, q: int) -> "NegacyclicNtt | None":
+        """A cached instance, or ``None`` when ``q`` is not NTT-friendly."""
+        key = (n, q)
+        if key not in cls._CACHE:
+            try:
+                cls._CACHE[key] = cls(n, q)
+            except ConfigurationError:
+                cls._CACHE[key] = None  # type: ignore[assignment]
+        return cls._CACHE[key]
+
+    def _stage_roots(self, omega: int) -> list[list[int]]:
+        """Per-stage twiddle tables for the iterative Cooley-Tukey NTT."""
+        stages = []
+        length = 2
+        while length <= self.n:
+            w = pow(omega, self.n // length, self.q)
+            row = [1] * (length // 2)
+            for i in range(1, length // 2):
+                row[i] = row[i - 1] * w % self.q
+            stages.append(row)
+            length *= 2
+        return stages
+
+    def _transform(self, values: list[int], stage_tables: list[list[int]]) -> list[int]:
+        q = self.q
+        n = self.n
+        out = list(values)
+        # Bit-reversal permutation.
+        j = 0
+        for i in range(1, n):
+            bit = n >> 1
+            while j & bit:
+                j ^= bit
+                bit >>= 1
+            j |= bit
+            if i < j:
+                out[i], out[j] = out[j], out[i]
+        length = 2
+        for table in stage_tables:
+            half = length // 2
+            for start in range(0, n, length):
+                for i in range(half):
+                    w = table[i]
+                    a = out[start + i]
+                    b = out[start + i + half] * w % q
+                    out[start + i] = (a + b) % q
+                    out[start + i + half] = (a - b) % q
+            length *= 2
+        return out
+
+    def forward(self, coeffs: list[int]) -> list[int]:
+        """Negacyclic forward NTT: twist by ψ^i, then plain NTT."""
+        if len(coeffs) != self.n:
+            raise ConfigurationError(f"expected {self.n} coefficients")
+        twisted = [c * p % self.q for c, p in zip(coeffs, self._psi_pow)]
+        return self._transform(twisted, self._omega_pow)
+
+    def inverse(self, values: list[int]) -> list[int]:
+        """Inverse NTT, untwist by ψ^-i, scale by n^-1."""
+        if len(values) != self.n:
+            raise ConfigurationError(f"expected {self.n} values")
+        plain = self._transform(values, self._omega_inv_pow)
+        return [
+            v * self.n_inv % self.q * p % self.q
+            for v, p in zip(plain, self._psi_inv_pow)
+        ]
+
+    def multiply(self, a: list[int], b: list[int]) -> list[int]:
+        """Negacyclic product of coefficient vectors mod ``q``."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse([x * y % self.q for x, y in zip(fa, fb)])
+
+
+def negacyclic_convolve_ntt(a: list[int], b: list[int], q: int) -> list[int]:
+    """Fast negacyclic product mod an NTT-friendly prime ``q``.
+
+    Raises:
+        ConfigurationError: ``q`` is not usable for this degree.
+    """
+    ntt = NegacyclicNtt.for_modulus(len(a), q)
+    if ntt is None:
+        raise ConfigurationError(f"q={q} is not NTT-friendly for n={len(a)}")
+    return ntt.multiply([x % q for x in a], [x % q for x in b])
+
+
+__all__ = ["find_ntt_prime", "NegacyclicNtt", "negacyclic_convolve_ntt"]

@@ -1,0 +1,94 @@
+"""Pseudo-random functions for key encoding and label generation.
+
+The paper's data model (§2.2) stores ``<PRF(k), Enc(v)>``; LBL-ORTOA (§5)
+additionally derives per-bit secret labels ``PRF(k, index, bit, counter)``.
+Both uses are served by :class:`Prf`, a thin, domain-separated wrapper over
+HMAC-SHA256.  HMAC with a secret key is the textbook PRF instantiation, and
+determinism — same inputs, same output, forever — is exactly the property the
+protocols lean on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import ConfigurationError
+
+_DIGEST_BYTES = hashlib.sha256().digest_size
+
+
+def _encode_component(component: bytes | str | int) -> bytes:
+    """Encode one PRF input component with an unambiguous type prefix.
+
+    A length-prefixed, type-tagged encoding guarantees that distinct input
+    tuples can never collide after concatenation (e.g. ``("ab", "c")`` vs
+    ``("a", "bc")``), which would otherwise silently break label uniqueness.
+    """
+    if isinstance(component, bytes):
+        payload = component
+        tag = b"B"
+    elif isinstance(component, str):
+        payload = component.encode("utf-8")
+        tag = b"S"
+    elif isinstance(component, int):
+        if component < 0:
+            raise ConfigurationError("PRF integer inputs must be non-negative")
+        payload = component.to_bytes((component.bit_length() + 7) // 8 or 1, "big")
+        tag = b"I"
+    else:
+        raise ConfigurationError(f"unsupported PRF input type: {type(component)!r}")
+    return tag + len(payload).to_bytes(4, "big") + payload
+
+
+class Prf:
+    """A keyed, deterministic PRF with arbitrary-length output.
+
+    Outputs longer than one SHA-256 block are produced in counter mode over
+    the inner HMAC, so a single ``Prf`` can serve both 128-bit labels and the
+    wider outputs needed by the stream cipher in :mod:`repro.crypto.aead`.
+
+    Args:
+        key: Secret PRF key; at least 16 bytes.
+        out_bytes: Default output length of :meth:`evaluate`.
+    """
+
+    def __init__(self, key: bytes, out_bytes: int = 16) -> None:
+        if len(key) < 16:
+            raise ConfigurationError("PRF key must be at least 16 bytes")
+        if out_bytes <= 0:
+            raise ConfigurationError("PRF output length must be positive")
+        self._key = key
+        self.out_bytes = out_bytes
+
+    def evaluate(self, *components: bytes | str | int, out_bytes: int | None = None) -> bytes:
+        """Evaluate the PRF on a tuple of components.
+
+        Args:
+            *components: Any mix of ``bytes``, ``str``, and non-negative
+                ``int`` values; the tuple is injectively encoded before MACing.
+            out_bytes: Override the instance's default output length.
+
+        Returns:
+            ``out_bytes`` bytes of deterministic pseudo-random output.
+        """
+        n = self.out_bytes if out_bytes is None else out_bytes
+        if n <= 0:
+            raise ConfigurationError("PRF output length must be positive")
+        message = b"".join(_encode_component(c) for c in components)
+        blocks = []
+        for counter in range((n + _DIGEST_BYTES - 1) // _DIGEST_BYTES):
+            mac = hmac.new(self._key, counter.to_bytes(4, "big") + message, hashlib.sha256)
+            blocks.append(mac.digest())
+        return b"".join(blocks)[:n]
+
+    def encode_key(self, key: str) -> bytes:
+        """Encode a datastore key as it is stored at the server (``PRF(k)``)."""
+        return self.evaluate("key-encoding", key)
+
+    def derive_subkey(self, purpose: str) -> bytes:
+        """Derive an independent 32-byte key for a named purpose."""
+        return self.evaluate("subkey", purpose, out_bytes=32)
+
+
+__all__ = ["Prf"]

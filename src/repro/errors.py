@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ORTOA reproduction.
+
+Every error raised by this library derives from :class:`OrtoaError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish protocol, cryptographic, storage, and simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class OrtoaError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(OrtoaError):
+    """A component was constructed or invoked with invalid parameters."""
+
+
+class CryptoError(OrtoaError):
+    """Base class for cryptographic failures."""
+
+
+class DecryptionError(CryptoError):
+    """Authenticated decryption failed (wrong key or tampered ciphertext).
+
+    In LBL-ORTOA the server *expects* one of the two ciphertexts per index to
+    fail decryption; this exception is the signal it relies on.
+    """
+
+
+class NoiseBudgetExhausted(CryptoError):
+    """An FHE ciphertext accumulated too much noise to decrypt correctly.
+
+    Reproduces the failure mode of paper §3.3: after a small number of
+    homomorphic multiplications the plaintext can no longer be recovered.
+    """
+
+
+class TamperDetectedError(CryptoError):
+    """A label read back from the server matches neither the 0- nor 1-label.
+
+    Raised by the malicious-adversary extension of LBL-ORTOA (paper §5.4).
+    """
+
+
+class ProtocolError(OrtoaError):
+    """A protocol invariant was violated (malformed message, bad state)."""
+
+
+class KeyNotFoundError(ProtocolError):
+    """The requested key does not exist in the store."""
+
+
+class StorageError(OrtoaError):
+    """The storage engine rejected an operation."""
+
+
+class EnclaveError(OrtoaError):
+    """Base class for simulated-TEE failures."""
+
+
+class AttestationError(EnclaveError):
+    """Enclave attestation evidence failed verification."""
+
+
+class EnclaveSealedError(EnclaveError):
+    """Host code attempted to read enclave-private state."""
+
+
+class SimulationError(OrtoaError):
+    """The discrete-event simulator entered an invalid state."""

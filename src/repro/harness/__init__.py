@@ -1,0 +1,20 @@
+"""Experiment harness: cost calibration, the DES runner, per-figure configs.
+
+The pipeline for every performance figure:
+
+1. **Profile** — execute a handful of *real* accesses per protocol to capture
+   byte-exact message sizes and cryptographic op counts
+   (:mod:`repro.harness.runner` does this internally).
+2. **Price** — convert op counts to compute time via a
+   :class:`~repro.harness.calibration.CostModel` (either the paper-calibrated
+   defaults or one measured from this library's own primitives).
+3. **Simulate** — replay closed-loop clients against the profiled protocol on
+   the discrete-event WAN simulator and aggregate latency/throughput.
+4. **Report** — :mod:`repro.harness.experiments` exposes one function per
+   table/figure; :mod:`repro.harness.report` renders them like the paper.
+"""
+
+from repro.harness.calibration import CostModel
+from repro.harness.runner import DeploymentSpec, RunResult, run_experiment
+
+__all__ = ["CostModel", "DeploymentSpec", "RunResult", "run_experiment"]

@@ -1,0 +1,23 @@
+"""Tree-based ORAM schemes (paper §8, "Designing novel ORAM schemes").
+
+ORTOA hides only the operation type; ORAM additionally hides *which* object
+is accessed.  The paper sketches how ORTOA enables a tree ORAM whose read
+and eviction happen in a single round.  This package implements:
+
+* :class:`~repro.oram.path_oram.PathOram` — the classic two-round scheme
+  (read a path, then shuffle-and-evict it back) used as the baseline.
+* :class:`~repro.oram.one_round.OneRoundOram` — the sketched design: per
+  access, exactly one slot per tree level is touched through an ORTOA-style
+  oblivious cell, so reading the requested block and evicting stash blocks
+  ride the same single round trip.
+
+Shared machinery (tree geometry, stash, position map) lives in
+:mod:`repro.oram.tree` and :mod:`repro.oram.stash`.
+"""
+
+from repro.oram.linear_scan import LinearScanOram
+from repro.oram.one_round import OneRoundOram
+from repro.oram.path_oram import PathOram
+from repro.oram.tree import TreeConfig
+
+__all__ = ["PathOram", "OneRoundOram", "LinearScanOram", "TreeConfig"]

@@ -1,0 +1,105 @@
+"""Linear-scan ORAM: the privacy-maximal (and bandwidth-maximal) baseline.
+
+The simplest scheme that hides *everything* — operation type, accessed
+object, and access pattern — touches every object on every access: read all
+N ciphertexts, rewrite all N (re-encrypting each, updating the target for
+writes).  O(N) bandwidth per access makes it unusable beyond toy sizes,
+which is the entire reason tree ORAMs (and ORTOA's single-round ambitions)
+exist; having it in the repository anchors the cost spectrum:
+
+==================  ============  =============  ====================
+scheme              rounds        bandwidth      hides
+==================  ============  =============  ====================
+ORTOA               1             O(value)       operation type
+PathORAM            2             O(log N)       + access pattern
+one-round ORAM      1             O(log N)       + access pattern
+linear scan         1             O(N)           + everything, trivially
+==================  ============  =============  ====================
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto import aead
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError
+from repro.storage.kv import KeyValueStore
+from repro.types import Operation
+
+_SLOT = struct.Struct(">Q")
+
+
+class LinearScanOram:
+    """Touch-everything ORAM over an AEAD-encrypted store."""
+
+    rounds_per_access = 1
+
+    def __init__(
+        self,
+        num_blocks: int,
+        value_len: int,
+        keychain: KeyChain | None = None,
+    ) -> None:
+        if num_blocks < 1 or value_len < 1:
+            raise ConfigurationError("num_blocks and value_len must be >= 1")
+        self.num_blocks = num_blocks
+        self.value_len = value_len
+        self.keychain = keychain or KeyChain()
+        self.store: KeyValueStore[bytes] = KeyValueStore("linear-scan-server")
+        self.rounds_used = 0
+        self.bytes_transferred = 0
+
+    def _slot_key(self, index: int) -> bytes:
+        return self.keychain.encode_key(f"scan-slot-{index}")
+
+    def initialize(self, values: dict[int, bytes] | None = None) -> None:
+        """Create and encrypt every slot (zero payloads by default)."""
+        values = values or {}
+        for index in range(self.num_blocks):
+            payload = values.get(index, bytes(self.value_len))
+            if len(payload) != self.value_len:
+                raise ConfigurationError(
+                    f"block {index} payload must be {self.value_len} bytes"
+                )
+            ciphertext = aead.encrypt(
+                self.keychain.data_key, _SLOT.pack(index) + payload
+            )
+            self.store.put(self._slot_key(index), ciphertext)
+
+    def access(self, op: Operation, block_id: int, new_value: bytes | None = None) -> bytes:
+        """One access = decrypt and re-encrypt the entire database."""
+        if not 0 <= block_id < self.num_blocks:
+            raise ConfigurationError(f"block id {block_id} out of range")
+        if op.is_write and (new_value is None or len(new_value) != self.value_len):
+            raise ConfigurationError("write needs a value of the configured size")
+        self.rounds_used += 1
+        result: bytes | None = None
+        for index in range(self.num_blocks):
+            key = self._slot_key(index)
+            ciphertext = self.store.get(key)
+            self.bytes_transferred += len(ciphertext)
+            blob = aead.decrypt(self.keychain.data_key, ciphertext)
+            (stored_id,) = _SLOT.unpack_from(blob, 0)
+            payload = blob[_SLOT.size:]
+            if stored_id == block_id:
+                result = payload
+                if op.is_write:
+                    assert new_value is not None
+                    payload = new_value
+            fresh = aead.encrypt(self.keychain.data_key, _SLOT.pack(stored_id) + payload)
+            self.bytes_transferred += len(fresh)
+            self.store.put(key, fresh)
+        assert result is not None, "initialized store always contains every block"
+        return result
+
+    def read(self, block_id: int) -> bytes:
+        """Oblivious GET of one block."""
+        return self.access(Operation.READ, block_id)
+
+    def write(self, block_id: int, value: bytes) -> None:
+        """Oblivious PUT of one block."""
+        self.access(Operation.WRITE, block_id, value)
+
+
+__all__ = ["LinearScanOram"]

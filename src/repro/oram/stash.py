@@ -1,0 +1,50 @@
+"""The client-side stash shared by the ORAM schemes.
+
+A stash temporarily holds blocks that have been read off the tree (or could
+not be evicted back yet).  Tree-ORAM analyses show it stays small with high
+probability; :attr:`Stash.max_occupancy` tracks the high-water mark so
+experiments can report it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+
+class Stash:
+    """Block-id → value holding area with occupancy tracking."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[int, bytes] = {}
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def put(self, block_id: int, value: bytes) -> None:
+        """Insert or update a block, tracking the high-water mark."""
+        self._blocks[block_id] = value
+        self.max_occupancy = max(self.max_occupancy, len(self._blocks))
+
+    def get(self, block_id: int) -> bytes:
+        """The stashed value of ``block_id``; raises if absent."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise ProtocolError(f"block {block_id} not in stash") from None
+
+    def pop(self, block_id: int) -> bytes:
+        """Remove and return the stashed value of ``block_id``."""
+        value = self.get(block_id)
+        del self._blocks[block_id]
+        return value
+
+    def block_ids(self) -> list[int]:
+        """Snapshot of resident block ids (deterministic order)."""
+        return sorted(self._blocks)
+
+
+__all__ = ["Stash"]

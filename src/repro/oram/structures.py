@@ -1,0 +1,248 @@
+"""Oblivious data structures over the one-round ORAM.
+
+Classic oblivious-data-structure constructions (Wang et al.) layer stacks
+and queues over an ORAM's block interface: nodes live in ORAM blocks,
+client-side pointers thread them together, and — crucially — every logical
+operation performs a *fixed number* of ORAM accesses, so the server cannot
+distinguish push from pop or enqueue from dequeue by counting.
+
+Built on :class:`~repro.oram.one_round.OneRoundOram`, each access here is a
+single round trip, so a stack operation costs exactly one WAN round and a
+queue operation exactly two.
+
+Uniformity rules enforced by this module:
+
+* ``ObliviousStack``: push, pop, and peek are each exactly **1** access
+  (pop/peek on an empty stack performs a dummy access before raising, so
+  even failures look like any other operation).
+* ``ObliviousQueue``: enqueue and dequeue are each exactly **2** accesses
+  (enqueue writes the node and patches the old tail's next-pointer;
+  dequeue reads the head and performs one dummy; empty dequeues do two
+  dummies before raising).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.oram.one_round import OneRoundOram
+from repro.types import Operation
+
+_PTR = struct.Struct(">q")  # signed: -1 is the null pointer
+_NULL = -1
+
+
+class _NodePool:
+    """Fixed pool of ORAM blocks shared machinery for the structures."""
+
+    def __init__(self, capacity: int, value_len: int, rng: random.Random | None) -> None:
+        if capacity < 1 or value_len < 1:
+            raise ConfigurationError("capacity and value_len must be >= 1")
+        self.capacity = capacity
+        self.value_len = value_len
+        self.node_len = _PTR.size + value_len
+        self.oram = OneRoundOram(capacity, self.node_len, rng=rng)
+        self.oram.initialize({})
+        self._free = list(range(capacity - 1, -1, -1))
+
+    def allocate(self) -> int:
+        if not self._free:
+            raise ConfigurationError(f"structure is full ({self.capacity} nodes)")
+        return self._free.pop()
+
+    def release(self, block: int) -> None:
+        self._free.append(block)
+
+    def write_node(self, block: int, pointer: int, value: bytes) -> None:
+        """One ORAM write: store (pointer, value) into a node block."""
+        self.oram.write(block, _PTR.pack(pointer) + value)
+
+    def read_node(self, block: int) -> tuple[int, bytes]:
+        """One ORAM read: recover (pointer, value) from a node block."""
+        raw = self.oram.read(block)
+        (pointer,) = _PTR.unpack_from(raw, 0)
+        return pointer, raw[_PTR.size:]
+
+    def dummy_access(self) -> None:
+        """One ORAM read of an arbitrary block; result discarded."""
+        self.oram.access(Operation.READ, 0)
+
+    @property
+    def accesses(self) -> int:
+        """Total ORAM accesses performed (the server-visible op count)."""
+        return self.oram.rounds_used
+
+
+class ObliviousStack:
+    """A LIFO stack: every operation is exactly one oblivious access.
+
+    Args:
+        capacity: Maximum resident elements (pre-allocated ORAM blocks).
+        value_len: Fixed element size in bytes.
+        rng: Seed the underlying ORAM for deterministic tests.
+    """
+
+    def __init__(self, capacity: int, value_len: int,
+                 rng: random.Random | None = None) -> None:
+        self._pool = _NodePool(capacity, value_len, rng)
+        self._top = _NULL
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def accesses(self) -> int:
+        """Server-visible ORAM access count (uniform across op types)."""
+        return self._pool.accesses
+
+    def push(self, value: bytes) -> None:
+        """Push an element (1 access)."""
+        if len(value) != self._pool.value_len:
+            raise ConfigurationError(
+                f"value must be {self._pool.value_len} bytes, got {len(value)}"
+            )
+        block = self._pool.allocate()
+        self._pool.write_node(block, self._top, value)
+        self._top = block
+        self._size += 1
+
+    def pop(self) -> bytes:
+        """Pop the top element (1 access; raises on empty after a dummy)."""
+        if self._top == _NULL:
+            self._pool.dummy_access()
+            raise ProtocolError("pop from an empty oblivious stack")
+        pointer, value = self._pool.read_node(self._top)
+        self._pool.release(self._top)
+        self._top = pointer
+        self._size -= 1
+        return value
+
+    def peek(self) -> bytes:
+        """Read the top element without removing it (1 access)."""
+        if self._top == _NULL:
+            self._pool.dummy_access()
+            raise ProtocolError("peek at an empty oblivious stack")
+        _pointer, value = self._pool.read_node(self._top)
+        return value
+
+
+class ObliviousQueue:
+    """A FIFO queue: every operation is exactly two oblivious accesses."""
+
+    def __init__(self, capacity: int, value_len: int,
+                 rng: random.Random | None = None) -> None:
+        self._pool = _NodePool(capacity, value_len, rng)
+        self._head = _NULL
+        self._tail = _NULL
+        # The tail node's payload, cached client-side: this proxy wrote it
+        # last, so patching the tail's next-pointer needs no ORAM read —
+        # which is what keeps enqueue at exactly two accesses.
+        self._tail_value = b""
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def accesses(self) -> int:
+        """Server-visible ORAM access count (uniform across op types)."""
+        return self._pool.accesses
+
+    def enqueue(self, value: bytes) -> None:
+        """Append an element (2 accesses: write node + patch old tail)."""
+        if len(value) != self._pool.value_len:
+            raise ConfigurationError(
+                f"value must be {self._pool.value_len} bytes, got {len(value)}"
+            )
+        block = self._pool.allocate()
+        self._pool.write_node(block, _NULL, value)
+        if self._tail == _NULL:
+            self._head = block
+            self._pool.dummy_access()  # keep the 2-access profile
+        else:
+            self._pool.write_node(self._tail, block, self._tail_value)
+        self._tail = block
+        self._tail_value = value
+        self._size += 1
+
+    def dequeue(self) -> bytes:
+        """Remove the oldest element (2 accesses; dummies when empty)."""
+        if self._head == _NULL:
+            self._pool.dummy_access()
+            self._pool.dummy_access()
+            raise ProtocolError("dequeue from an empty oblivious queue")
+        pointer, value = self._pool.read_node(self._head)
+        self._pool.release(self._head)
+        self._head = pointer
+        if self._head == _NULL:
+            self._tail = _NULL
+        self._pool.dummy_access()
+        self._size -= 1
+        return value
+
+
+class ObliviousMap:
+    """A bounded key→value map: every operation is exactly one access.
+
+    The key→block assignment lives proxy-side (the same O(entries) trusted
+    state the underlying ORAM's position map already needs); the server sees
+    one uniform random path per operation regardless of whether it was a
+    put, get, delete, or a miss.
+
+    Args:
+        capacity: Maximum resident entries.
+        value_len: Fixed value size in bytes.
+        rng: Seed the underlying ORAM for deterministic tests.
+    """
+
+    def __init__(self, capacity: int, value_len: int,
+                 rng: random.Random | None = None) -> None:
+        self._pool = _NodePool(capacity, value_len, rng)
+        self._block_of: dict[bytes, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._block_of)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._block_of
+
+    @property
+    def accesses(self) -> int:
+        """Server-visible ORAM access count (uniform across op types)."""
+        return self._pool.accesses
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite an entry (1 access)."""
+        if len(value) != self._pool.value_len:
+            raise ConfigurationError(
+                f"value must be {self._pool.value_len} bytes, got {len(value)}"
+            )
+        block = self._block_of.get(key)
+        if block is None:
+            block = self._pool.allocate()
+            self._block_of[key] = block
+        self._pool.write_node(block, _NULL, value)
+
+    def get(self, key: bytes) -> bytes:
+        """Fetch an entry (1 access; misses do a dummy before raising)."""
+        block = self._block_of.get(key)
+        if block is None:
+            self._pool.dummy_access()
+            raise ProtocolError(f"no entry for key {key!r}")
+        _pointer, value = self._pool.read_node(block)
+        return value
+
+    def delete(self, key: bytes) -> None:
+        """Remove an entry (1 access: overwrite with zeros, free the block)."""
+        block = self._block_of.pop(key, None)
+        if block is None:
+            self._pool.dummy_access()
+            raise ProtocolError(f"no entry for key {key!r}")
+        self._pool.write_node(block, _NULL, bytes(self._pool.value_len))
+        self._pool.release(block)
+
+
+__all__ = ["ObliviousStack", "ObliviousQueue", "ObliviousMap"]

@@ -1,0 +1,98 @@
+"""Tree geometry shared by the ORAM schemes.
+
+A complete binary tree of height ``L`` has ``2^L`` leaves and ``2^(L+1)-1``
+buckets, indexed heap-style: bucket 0 is the root, bucket ``2i+1``/``2i+2``
+are the children of ``i``.  A *path* is identified by its leaf number in
+``[0, 2^L)``; blocks are assigned to leaves and must live somewhere on their
+leaf's root-to-leaf path (the tree-ORAM invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class TreeConfig:
+    """Geometry and capacity of a bucket tree.
+
+    Attributes:
+        height: ``L``; the tree has ``2^L`` leaves and ``L+1`` levels.
+        bucket_size: ``Z`` — real-block slots per bucket (PathORAM uses 4).
+    """
+
+    height: int
+    bucket_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.height < 1:
+            raise ConfigurationError("tree height must be >= 1")
+        if self.bucket_size < 1:
+            raise ConfigurationError("bucket_size must be >= 1")
+
+    @property
+    def num_leaves(self) -> int:
+        """Leaves (= assignable paths) in the tree."""
+        return 1 << self.height
+
+    @property
+    def num_levels(self) -> int:
+        """Levels from root to leaf inclusive."""
+        return self.height + 1
+
+    @property
+    def num_buckets(self) -> int:
+        """Total buckets in the complete tree."""
+        return (1 << (self.height + 1)) - 1
+
+    @property
+    def capacity(self) -> int:
+        """Total real-block slots in the tree."""
+        return self.num_buckets * self.bucket_size
+
+    @staticmethod
+    def for_blocks(num_blocks: int, bucket_size: int = 4) -> "TreeConfig":
+        """Smallest tree whose *leaf level alone* can hold ``num_blocks``.
+
+        The standard PathORAM sizing: with ``Z >= 4``, a tree with at least
+        ``N`` leaf slots keeps the stash small with high probability.
+        """
+        if num_blocks < 1:
+            raise ConfigurationError("num_blocks must be >= 1")
+        height = 1
+        while (1 << height) * bucket_size < num_blocks:
+            height += 1
+        return TreeConfig(height=height, bucket_size=bucket_size)
+
+    def path_buckets(self, leaf: int) -> list[int]:
+        """Bucket indices on the root→leaf path for ``leaf``."""
+        if not 0 <= leaf < self.num_leaves:
+            raise ConfigurationError(f"leaf {leaf} out of range")
+        bucket = leaf + self.num_leaves - 1  # heap index of the leaf bucket
+        path = [bucket]
+        while bucket > 0:
+            bucket = (bucket - 1) // 2
+            path.append(bucket)
+        path.reverse()  # root first
+        return path
+
+    def bucket_at(self, leaf: int, level: int) -> int:
+        """The bucket at ``level`` (0 = root) on ``leaf``'s path."""
+        path = self.path_buckets(leaf)
+        if not 0 <= level < len(path):
+            raise ConfigurationError(f"level {level} out of range")
+        return path[level]
+
+    def paths_intersect_at(self, leaf_a: int, leaf_b: int, level: int) -> bool:
+        """True when the two leaves share the same bucket at ``level``.
+
+        This is the eviction compatibility test: a block assigned to
+        ``leaf_b`` may be placed at ``level`` of ``leaf_a``'s path only when
+        the buckets coincide.
+        """
+        return self.bucket_at(leaf_a, level) == self.bucket_at(leaf_b, level)
+
+
+__all__ = ["TreeConfig"]

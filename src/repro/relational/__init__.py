@@ -1,0 +1,30 @@
+"""Relational facade over ORTOA (paper §8, "Supporting complex operations").
+
+The paper observes that the ORTOA protocols "as-is can support reading and
+writing on relational data based on primary keys".  This package makes that
+concrete: :class:`~repro.relational.schema.Schema` packs typed rows into the
+fixed-width values ORTOA requires (fixed width is also the §2.2 length-
+leak defence), and :class:`~repro.relational.table.ObliviousTable` exposes
+primary-key get/insert/update/delete over any protocol of the family.
+
+Point queries on non-key attributes and range queries need private indexing
+(the paper cites SEAL-style designs); like the paper, we leave the index
+structure itself out of scope — :meth:`ObliviousTable.scan` provides the
+honest full-scan fallback.
+"""
+
+from repro.relational.index import SecondaryIndex
+from repro.relational.query import QueryEngine, QueryPlan
+from repro.relational.schema import BytesColumn, IntColumn, Schema, StrColumn
+from repro.relational.table import ObliviousTable
+
+__all__ = [
+    "Schema",
+    "IntColumn",
+    "StrColumn",
+    "BytesColumn",
+    "ObliviousTable",
+    "SecondaryIndex",
+    "QueryEngine",
+    "QueryPlan",
+]

@@ -1,0 +1,152 @@
+"""Private secondary indexes over ORTOA (paper §8.2).
+
+The paper notes that point queries on non-primary-key attributes need
+"additional data structures such as private indexing", citing SEAL-style
+designs that layer richer queries over a get/put-only oblivious store.
+This module builds exactly that shape: an index from an attribute value to
+the primary keys holding it, where the index *itself* lives in the
+oblivious store — so index lookups enjoy the same operation-type
+obliviousness as data accesses, and index contents (like everything else)
+never reach the server in the clear.
+
+Design constraints inherited from ORTOA:
+
+* **fixed-size values** — each index entry is a fixed-capacity posting list
+  (padded; overflow raises, the honest failure mode);
+* **pre-allocated keys** — entries exist for hashed attribute buckets, not
+  raw attribute values, so the key space is finite and initialized up
+  front;
+* **leakage** — the server sees *which index bucket* is touched per query
+  (the access-pattern non-goal of §2.3, unchanged), but not the attribute
+  value, the matching keys, or whether the touch was a lookup or an update.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.core.base import OrtoaProtocol
+from repro.errors import ConfigurationError
+from repro.relational.schema import Column
+
+_COUNT = 2  # u16 posting count prefix
+
+
+class SecondaryIndex:
+    """A hash index ``column value → primary keys`` stored obliviously.
+
+    Args:
+        name: Index name (namespaces its keys in the shared store).
+        column: The indexed column (drives value encoding).
+        pk_column: The table's primary-key column (posting entries encode
+            with it, so postings are fixed width).
+        protocol: An *uninitialized* ORTOA deployment dedicated to this
+            index; the index pre-allocates all its buckets at construction.
+        num_buckets: Hash space size; more buckets, fewer collisions mixed
+            into one posting list.
+        postings_per_bucket: Fixed posting-list capacity per bucket.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        column: Column,
+        pk_column: Column,
+        protocol: OrtoaProtocol,
+        num_buckets: int = 64,
+        postings_per_bucket: int = 8,
+    ) -> None:
+        if num_buckets < 1 or postings_per_bucket < 1:
+            raise ConfigurationError("buckets and capacity must be >= 1")
+        entry_len = _COUNT + postings_per_bucket * (column.width + pk_column.width)
+        if entry_len > protocol.config.value_len:
+            raise ConfigurationError(
+                f"index entries need {entry_len} B but the protocol's "
+                f"value_len is {protocol.config.value_len} B"
+            )
+        self.name = name
+        self.column = column
+        self.pk_column = pk_column
+        self.protocol = protocol
+        self.num_buckets = num_buckets
+        self.postings_per_bucket = postings_per_bucket
+        protocol.initialize(
+            {self._bucket_key(b): self._pack([]) for b in range(num_buckets)}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Bucket encoding
+    # ------------------------------------------------------------------ #
+
+    def _bucket_key(self, bucket: int) -> str:
+        return f"index:{self.name}:{bucket}"
+
+    def _bucket_of(self, value: Any) -> int:
+        encoded = self.column.encode(value)
+        digest = hashlib.sha256(b"sec-index" + self.name.encode() + encoded).digest()
+        return int.from_bytes(digest[:8], "big") % self.num_buckets
+
+    def _pack(self, postings: list[tuple[bytes, bytes]]) -> bytes:
+        if len(postings) > self.postings_per_bucket:
+            raise ConfigurationError(
+                f"index bucket overflow ({len(postings)} postings, capacity "
+                f"{self.postings_per_bucket}); raise num_buckets or capacity"
+            )
+        body = b"".join(value + pk for value, pk in postings)
+        packed = len(postings).to_bytes(_COUNT, "big") + body
+        return self.protocol.config.pad(packed)
+
+    def _unpack(self, data: bytes) -> list[tuple[bytes, bytes]]:
+        count = int.from_bytes(data[:_COUNT], "big")
+        width = self.column.width + self.pk_column.width
+        postings = []
+        for i in range(count):
+            start = _COUNT + i * width
+            chunk = data[start:start + width]
+            postings.append((chunk[: self.column.width], chunk[self.column.width:]))
+        return postings
+
+    # ------------------------------------------------------------------ #
+    # Operations (each bucket touch is one oblivious access)
+    # ------------------------------------------------------------------ #
+
+    def add(self, value: Any, pk: Any) -> None:
+        """Register ``pk`` under ``value`` (read + write, both oblivious)."""
+        bucket = self._bucket_of(value)
+        encoded_value = self.column.encode(value)
+        encoded_pk = self.pk_column.encode(pk)
+        postings = self._unpack(self.protocol.read(self._bucket_key(bucket)))
+        if (encoded_value, encoded_pk) in postings:
+            return  # idempotent
+        postings.append((encoded_value, encoded_pk))
+        self.protocol.write(self._bucket_key(bucket), self._pack(postings))
+
+    def remove(self, value: Any, pk: Any) -> bool:
+        """Unregister a posting; returns whether it existed."""
+        bucket = self._bucket_of(value)
+        target = (self.column.encode(value), self.pk_column.encode(pk))
+        postings = self._unpack(self.protocol.read(self._bucket_key(bucket)))
+        if target not in postings:
+            return False
+        postings.remove(target)
+        self.protocol.write(self._bucket_key(bucket), self._pack(postings))
+        return True
+
+    def lookup(self, value: Any) -> list[Any]:
+        """Primary keys currently registered under ``value`` (one read).
+
+        Collisions (other values hashing to the same bucket) are filtered
+        proxy-side; the server cannot tell a hit from a miss.
+        """
+        bucket = self._bucket_of(value)
+        encoded_value = self.column.encode(value)
+        postings = self._unpack(self.protocol.read(self._bucket_key(bucket)))
+        return [
+            self.pk_column.decode(pk)
+            for posting_value, pk in postings
+            if posting_value == encoded_value
+        ]
+
+
+__all__ = ["SecondaryIndex"]

@@ -1,0 +1,122 @@
+"""A minimal query layer: point queries with automatic index selection.
+
+The last step of the §8.2 story: given a table and its registered secondary
+indexes, ``where(column, value)`` answers a point predicate using the
+cheapest available plan —
+
+* **primary key** → one oblivious read,
+* **indexed column** → one index lookup + one batched/looped fetch per
+  matching key,
+* **anything else** → the honest full scan.
+
+``explain()`` returns the chosen plan so applications (and tests) can see
+which access path a predicate takes; the *server* of course sees only the
+oblivious accesses themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import KeyNotFoundError
+from repro.relational.index import SecondaryIndex
+from repro.relational.table import ObliviousTable
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """How a predicate will be answered."""
+
+    strategy: str  # "primary-key" | "secondary-index" | "full-scan"
+    column: str
+
+    @property
+    def uses_index(self) -> bool:
+        """Whether the plan avoids a full scan."""
+        return self.strategy != "full-scan"
+
+
+class QueryEngine:
+    """Point-query execution over one table and its indexes.
+
+    Args:
+        table: The table to query.
+        indexes: Secondary indexes keyed by column name.  The engine keeps
+            them *consistent is the caller's job* — use :meth:`insert` /
+            :meth:`delete` here (rather than on the bare table) to have the
+            engine maintain them automatically.
+    """
+
+    def __init__(
+        self,
+        table: ObliviousTable,
+        indexes: dict[str, SecondaryIndex] | None = None,
+    ) -> None:
+        self.table = table
+        self.indexes = dict(indexes or {})
+        for column in self.indexes:
+            self.table.schema.column(column)  # validates names early
+
+    # ------------------------------------------------------------------ #
+    # Index-maintaining mutations
+    # ------------------------------------------------------------------ #
+
+    def insert(self, row: dict[str, Any]) -> None:
+        """Insert a row and register it in every index."""
+        self.table.insert(row)
+        pk = row[self.table.schema.primary_key]
+        for column, index in self.indexes.items():
+            index.add(row[column], pk)
+
+    def delete(self, pk: Any) -> None:
+        """Delete a row and deregister it from every index."""
+        row = self.table.get(pk)
+        self.table.delete(pk)
+        for column, index in self.indexes.items():
+            index.remove(row[column], pk)
+
+    def update(self, pk: Any, **changes: Any) -> dict[str, Any]:
+        """Update columns, migrating index postings for changed values."""
+        before = self.table.get(pk)
+        after = self.table.update(pk, **changes)
+        for column, index in self.indexes.items():
+            if column in changes and before[column] != after[column]:
+                index.remove(before[column], pk)
+                index.add(after[column], pk)
+        return after
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def explain(self, column: str) -> QueryPlan:
+        """The plan ``where(column, ...)`` would use."""
+        self.table.schema.column(column)
+        if column == self.table.schema.primary_key:
+            return QueryPlan("primary-key", column)
+        if column in self.indexes:
+            return QueryPlan("secondary-index", column)
+        return QueryPlan("full-scan", column)
+
+    def where(self, column: str, value: Any) -> list[dict[str, Any]]:
+        """All rows with ``row[column] == value``.
+
+        Raises:
+            ConfigurationError: unknown column name.
+        """
+        plan = self.explain(column)
+        if plan.strategy == "primary-key":
+            try:
+                return [self.table.get(value)]
+            except KeyNotFoundError:
+                return []
+        if plan.strategy == "secondary-index":
+            pks = self.indexes[column].lookup(value)
+            if not pks:
+                return []
+            return self.table.get_many(pks)
+        return [row for row in self.table.scan() if row[column] == value]
+
+
+__all__ = ["QueryEngine", "QueryPlan"]

@@ -1,0 +1,150 @@
+"""Fixed-width row schemas.
+
+ORTOA stores values of one fixed length (§2.2), so relational rows must
+pack into a constant number of bytes.  A :class:`Schema` is an ordered list
+of typed, fixed-width columns; encoding is positional concatenation and
+decoding is exact slicing — no delimiters, no length leaks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+class Column(abc.ABC):
+    """One fixed-width column.
+
+    Args:
+        name: Column name (unique within a schema).
+        width: Serialized width in bytes.
+    """
+
+    def __init__(self, name: str, width: int) -> None:
+        if not name:
+            raise ConfigurationError("column name must be non-empty")
+        if width < 1:
+            raise ConfigurationError(f"column {name!r}: width must be >= 1")
+        self.name = name
+        self.width = width
+
+    @abc.abstractmethod
+    def encode(self, value: Any) -> bytes:
+        """Serialize ``value`` into exactly ``width`` bytes."""
+
+    @abc.abstractmethod
+    def decode(self, data: bytes) -> Any:
+        """Inverse of :meth:`encode` on a ``width``-byte slice."""
+
+
+class IntColumn(Column):
+    """Unsigned big-endian integer, default 8 bytes."""
+
+    def __init__(self, name: str, width: int = 8) -> None:
+        super().__init__(name, width)
+
+    def encode(self, value: Any) -> bytes:
+        if not isinstance(value, int) or value < 0:
+            raise ConfigurationError(f"column {self.name!r}: need a non-negative int")
+        if value >= 1 << (8 * self.width):
+            raise ConfigurationError(
+                f"column {self.name!r}: {value} overflows {self.width} bytes"
+            )
+        return value.to_bytes(self.width, "big")
+
+    def decode(self, data: bytes) -> int:
+        return int.from_bytes(data, "big")
+
+
+class StrColumn(Column):
+    """UTF-8 string, zero-padded; decoding strips the padding."""
+
+    def encode(self, value: Any) -> bytes:
+        if not isinstance(value, str):
+            raise ConfigurationError(f"column {self.name!r}: need a str")
+        raw = value.encode("utf-8")
+        if len(raw) > self.width:
+            raise ConfigurationError(
+                f"column {self.name!r}: {len(raw)} bytes exceeds width {self.width}"
+            )
+        return raw.ljust(self.width, b"\x00")
+
+    def decode(self, data: bytes) -> str:
+        return data.rstrip(b"\x00").decode("utf-8")
+
+
+class BytesColumn(Column):
+    """Raw bytes of exactly ``width`` (caller manages any padding)."""
+
+    def encode(self, value: Any) -> bytes:
+        if not isinstance(value, bytes) or len(value) != self.width:
+            raise ConfigurationError(
+                f"column {self.name!r}: need exactly {self.width} bytes"
+            )
+        return value
+
+    def decode(self, data: bytes) -> bytes:
+        return data
+
+
+class Schema:
+    """An ordered collection of columns with a designated primary key.
+
+    Args:
+        columns: Column definitions, in storage order.
+        primary_key: Name of the key column (must be in ``columns``); its
+            *encoded value* becomes the ORTOA key, so it never reaches the
+            server in the clear.
+    """
+
+    def __init__(self, columns: list[Column], primary_key: str) -> None:
+        if not columns:
+            raise ConfigurationError("schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate column names")
+        if primary_key not in names:
+            raise ConfigurationError(f"primary key {primary_key!r} is not a column")
+        self.columns = list(columns)
+        self.primary_key = primary_key
+        self._by_name = {c.name: c for c in columns}
+
+    @property
+    def row_len(self) -> int:
+        """Fixed serialized row length — ORTOA's ``value_len``."""
+        return sum(c.width for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        """The column definition named ``name``; raises if unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown column {name!r}") from None
+
+    def encode_row(self, row: dict[str, Any]) -> bytes:
+        """Pack a full row dict into its fixed-width byte form."""
+        missing = {c.name for c in self.columns} - set(row)
+        if missing:
+            raise ConfigurationError(f"row is missing columns: {sorted(missing)}")
+        extra = set(row) - {c.name for c in self.columns}
+        if extra:
+            raise ConfigurationError(f"row has unknown columns: {sorted(extra)}")
+        return b"".join(c.encode(row[c.name]) for c in self.columns)
+
+    def decode_row(self, data: bytes) -> dict[str, Any]:
+        """Unpack a fixed-width byte row back into a dict."""
+        if len(data) != self.row_len:
+            raise ConfigurationError(
+                f"row data is {len(data)} bytes, schema needs {self.row_len}"
+            )
+        row = {}
+        offset = 0
+        for column in self.columns:
+            row[column.name] = column.decode(data[offset:offset + column.width])
+            offset += column.width
+        return row
+
+
+__all__ = ["Column", "IntColumn", "StrColumn", "BytesColumn", "Schema"]

@@ -1,0 +1,23 @@
+"""A small discrete-event simulation kernel and WAN network model.
+
+The paper evaluates ORTOA on AWS/Azure across real datacenters; this package
+is the substitute testbed.  :mod:`repro.sim.core` provides a generator-based
+process simulator (an intentionally minimal simpy work-alike built for this
+project), :mod:`repro.sim.resources` adds capacity-limited resources, and
+:mod:`repro.sim.network` models cross-datacenter links with the RTTs of the
+paper's Table 2 plus a bandwidth term for large-message overhead.
+"""
+
+from repro.sim.core import Environment, Event, Process, Timeout
+from repro.sim.network import DATACENTER_RTT_MS, NetworkLink
+from repro.sim.resources import Resource
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "Resource",
+    "NetworkLink",
+    "DATACENTER_RTT_MS",
+]

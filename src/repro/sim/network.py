@@ -1,0 +1,93 @@
+"""Cross-datacenter network model.
+
+Reproduces the communication environment of the paper's §6: the proxy and
+clients sit in US-West1 (California) and the storage server is placed at
+increasing distances.  ``DATACENTER_RTT_MS`` is the paper's Table 2 verbatim.
+
+A link is modeled as ``latency + serialization``: a one-way message of ``b``
+bytes takes ``rtt/2 + b / bandwidth`` and a request/response exchange takes
+``rtt + (b_req + b_resp) / bandwidth``.  The bandwidth term is what produces
+the paper's Figure 3c "communication overhead" component, which grows with
+LBL-ORTOA's message size and drives the 300 B crossover of Figure 3b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Table 2 of the paper: RTT from California to each server location, in ms.
+DATACENTER_RTT_MS: dict[str, float] = {
+    "oregon": 21.84,
+    "n_virginia": 62.06,
+    "london": 147.73,
+    "mumbai": 230.3,
+}
+
+#: RTT between clients and the proxy, which the paper co-locates in the same
+#: datacenter (California); sub-millisecond.
+CLIENT_PROXY_RTT_MS = 0.5
+
+#: Default proxy<->server WAN bandwidth.  Chosen so that LBL-ORTOA's larger
+#: messages produce the paper's observed communication overhead (§6.3.1:
+#: p + o ≈ 21.7 ms for 300 B objects, crossing the baseline near 300 B).
+DEFAULT_BANDWIDTH_MBPS = 180.0
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkLink:
+    """A bidirectional link with fixed RTT and finite bandwidth.
+
+    Attributes:
+        rtt_ms: Round-trip propagation latency in milliseconds.
+        bandwidth_mbps: Serialization bandwidth in megabits per second.
+    """
+
+    rtt_ms: float
+    bandwidth_mbps: float = DEFAULT_BANDWIDTH_MBPS
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms < 0:
+            raise ConfigurationError("rtt_ms must be non-negative")
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth_mbps must be positive")
+
+    @staticmethod
+    def to_datacenter(location: str, bandwidth_mbps: float = DEFAULT_BANDWIDTH_MBPS) -> "NetworkLink":
+        """Link from the California proxy to a named server datacenter."""
+        try:
+            rtt = DATACENTER_RTT_MS[location]
+        except KeyError:
+            known = ", ".join(sorted(DATACENTER_RTT_MS))
+            raise ConfigurationError(
+                f"unknown datacenter {location!r}; known: {known}"
+            ) from None
+        return NetworkLink(rtt, bandwidth_mbps)
+
+    def serialization_ms(self, num_bytes: int) -> float:
+        """Time to push ``num_bytes`` onto the wire at link bandwidth."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        bits = num_bytes * 8
+        return bits / (self.bandwidth_mbps * 1000.0)
+
+    def one_way_ms(self, num_bytes: int) -> float:
+        """Latency for a one-way message of ``num_bytes``."""
+        return self.rtt_ms / 2.0 + self.serialization_ms(num_bytes)
+
+    def round_trip_ms(self, request_bytes: int, response_bytes: int) -> float:
+        """Latency for a request/response exchange."""
+        return self.rtt_ms + self.serialization_ms(request_bytes + response_bytes)
+
+    def overhead_ms(self, request_bytes: int, response_bytes: int) -> float:
+        """The size-dependent part only (Figure 3c's 'communication overhead')."""
+        return self.serialization_ms(request_bytes + response_bytes)
+
+
+__all__ = [
+    "NetworkLink",
+    "DATACENTER_RTT_MS",
+    "CLIENT_PROXY_RTT_MS",
+    "DEFAULT_BANDWIDTH_MBPS",
+]

@@ -1,0 +1,12 @@
+"""Storage substrate: an in-memory key-value engine plus shard routing.
+
+Stands in for the Redis deployment of the paper's experiments (§4.1 mentions
+Redis as the underlying store).  The engine is deliberately value-agnostic:
+the baseline and TEE variants store AEAD ciphertexts, LBL-ORTOA stores label
+lists, and FHE-ORTOA stores homomorphic ciphertexts.
+"""
+
+from repro.storage.kv import KeyValueStore
+from repro.storage.sharding import ShardRouter
+
+__all__ = ["KeyValueStore", "ShardRouter"]

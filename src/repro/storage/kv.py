@@ -1,0 +1,77 @@
+"""In-memory key-value engine used by every ORTOA server variant.
+
+Keys are the PRF-encoded byte strings of §2.2 — the engine never sees a
+plaintext key.  Values are opaque to the engine.  Basic operation counters
+are kept so experiments can assert on server-side work.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.errors import KeyNotFoundError, StorageError
+
+V = TypeVar("V")
+
+
+class KeyValueStore(Generic[V]):
+    """A dictionary-backed store with GET/PUT semantics and counters.
+
+    Args:
+        name: Optional label used in error messages and reports.
+    """
+
+    def __init__(self, name: str = "kv") -> None:
+        self.name = name
+        self._data: dict[bytes, V] = {}
+        self.get_count = 0
+        self.put_count = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, encoded_key: bytes) -> bool:
+        return encoded_key in self._data
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._data)
+
+    def get(self, encoded_key: bytes) -> V:
+        """Fetch the stored value.
+
+        Raises:
+            KeyNotFoundError: if the key was never initialized.
+        """
+        self.get_count += 1
+        try:
+            return self._data[encoded_key]
+        except KeyError:
+            raise KeyNotFoundError(
+                f"{self.name}: key {encoded_key.hex()[:16]}… not found"
+            ) from None
+
+    def put(self, encoded_key: bytes, value: V) -> None:
+        """Store (insert or overwrite) a value."""
+        if not isinstance(encoded_key, bytes):
+            raise StorageError("encoded keys must be bytes")
+        self.put_count += 1
+        self._data[encoded_key] = value
+
+    def put_new(self, encoded_key: bytes, value: V) -> None:
+        """Insert a value that must not already exist (bulk initialization)."""
+        if encoded_key in self._data:
+            raise StorageError(
+                f"{self.name}: duplicate key {encoded_key.hex()[:16]}… at init"
+            )
+        self.put(encoded_key, value)
+
+    def delete(self, encoded_key: bytes) -> None:
+        """Remove a key if present (idempotent)."""
+        self._data.pop(encoded_key, None)
+
+    def clear(self) -> None:
+        """Drop all stored records."""
+        self._data.clear()
+
+
+__all__ = ["KeyValueStore"]

@@ -1,0 +1,172 @@
+"""Durable snapshots of server-side stores.
+
+The paper treats server durability as the cloud provider's problem (Redis
+persistence); this module provides the equivalent for the in-memory engine
+so a whole deployment — server snapshot + proxy WAL
+(:mod:`repro.core.lbl.wal`) + the master key — can stop and resume.
+
+The format is deliberately boring: a magic header, then length-prefixed
+``(key, value)`` records.  Value encoding is pluggable per store content
+(raw ciphertext bytes, LBL label lists, FHE ciphertexts) via small codec
+objects, keeping the engine itself value-agnostic.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import struct
+from typing import Generic, Protocol, TypeVar
+
+from repro.crypto.fhe import FheCiphertext, FheParams
+from repro.crypto.labels import StoredLabel
+from repro.errors import StorageError
+from repro.storage.kv import KeyValueStore
+
+V = TypeVar("V")
+
+_MAGIC = b"ORTOASNAP1"
+_U32 = struct.Struct(">I")
+
+
+class ValueCodec(Protocol[V]):
+    """Serializes one store value type."""
+
+    def encode(self, value: V) -> bytes:
+        """Serialize one store value."""
+        ...
+
+    def decode(self, data: bytes) -> V:
+        """Deserialize one store value."""
+        ...
+
+
+class BytesCodec:
+    """Identity codec for stores of raw ciphertext bytes (baseline/TEE)."""
+
+    def encode(self, value: bytes) -> bytes:
+        """Serialize one store value."""
+        return value
+
+    def decode(self, data: bytes) -> bytes:
+        """Deserialize one store value."""
+        return data
+
+
+class LabelListCodec:
+    """Codec for LBL server records: lists of (label, decrypt_index).
+
+    Layout per label: ``[u32 label_len][label][u8 has_index][u8 index?]``.
+    """
+
+    def encode(self, value: list[StoredLabel]) -> bytes:
+        """Serialize one store value."""
+        parts = [_U32.pack(len(value))]
+        for stored in value:
+            parts.append(_U32.pack(len(stored.label)))
+            parts.append(stored.label)
+            if stored.decrypt_index is None:
+                parts.append(b"\x00")
+            else:
+                parts.append(b"\x01" + bytes([stored.decrypt_index]))
+        return b"".join(parts)
+
+    def decode(self, data: bytes) -> list[StoredLabel]:
+        """Deserialize one store value."""
+        (count,) = _U32.unpack_from(data, 0)
+        pos = _U32.size
+        labels = []
+        for _ in range(count):
+            (label_len,) = _U32.unpack_from(data, pos)
+            pos += _U32.size
+            label = data[pos:pos + label_len]
+            pos += label_len
+            has_index = data[pos]
+            pos += 1
+            index = None
+            if has_index:
+                index = data[pos]
+                pos += 1
+            labels.append(StoredLabel(label, index))
+        if pos != len(data):
+            raise StorageError("trailing bytes in label record")
+        return labels
+
+
+class FheCiphertextCodec:
+    """Codec for FHE server records (delegates to ciphertext serialization)."""
+
+    def __init__(self, params: FheParams) -> None:
+        self.params = params
+
+    def encode(self, value: FheCiphertext) -> bytes:
+        """Serialize one store value."""
+        return value.to_bytes()
+
+    def decode(self, data: bytes) -> FheCiphertext:
+        """Deserialize one store value."""
+        return FheCiphertext.from_bytes(self.params, data)
+
+
+def save_store(
+    store: KeyValueStore[V], path: str | os.PathLike, codec: ValueCodec[V]
+) -> None:
+    """Write an atomic snapshot of ``store`` to ``path``."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    with open(tmp, "wb") as out:
+        out.write(_MAGIC)
+        for key in store:
+            value_bytes = codec.encode(store.get(key))
+            out.write(_U32.pack(len(key)))
+            out.write(key)
+            out.write(_U32.pack(len(value_bytes)))
+            out.write(value_bytes)
+        out.flush()
+        os.fsync(out.fileno())
+    tmp.replace(target)
+
+
+def load_store(
+    path: str | os.PathLike, codec: ValueCodec[V], name: str = "restored"
+) -> KeyValueStore[V]:
+    """Rebuild a store from a snapshot.
+
+    Raises:
+        StorageError: missing file, bad magic, or a truncated record.
+    """
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise StorageError(f"snapshot {source} does not exist")
+    data = source.read_bytes()
+    if not data.startswith(_MAGIC):
+        raise StorageError(f"snapshot {source} has a bad header")
+    store: KeyValueStore[V] = KeyValueStore(name)
+    pos = len(_MAGIC)
+    while pos < len(data):
+        try:
+            (key_len,) = _U32.unpack_from(data, pos)
+            pos += _U32.size
+            key = data[pos:pos + key_len]
+            pos += key_len
+            (value_len,) = _U32.unpack_from(data, pos)
+            pos += _U32.size
+            value_bytes = data[pos:pos + value_len]
+            pos += value_len
+            if len(key) != key_len or len(value_bytes) != value_len:
+                raise StorageError("truncated record")
+        except struct.error:
+            raise StorageError(f"snapshot {source} is truncated") from None
+        store.put_new(key, codec.decode(value_bytes))
+    return store
+
+
+__all__ = [
+    "ValueCodec",
+    "BytesCodec",
+    "LabelListCodec",
+    "FheCiphertextCodec",
+    "save_store",
+    "load_store",
+]

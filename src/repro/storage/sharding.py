@@ -1,0 +1,38 @@
+"""Shard routing for scaled deployments (paper §6.2.4).
+
+The paper scales ORTOA by pairing each storage server with a proxy and
+sharding the data across the pairs.  Routing is by a stable hash of the
+PRF-encoded key, so (a) the assignment is deterministic, (b) the router
+learns nothing beyond the encoded key it already sees, and (c) shards stay
+balanced in expectation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigurationError
+
+
+class ShardRouter:
+    """Maps PRF-encoded keys to shard indices ``0 .. num_shards-1``."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def shard_of(self, encoded_key: bytes) -> int:
+        """Stable shard index for an encoded key."""
+        digest = hashlib.sha256(b"shard-routing" + encoded_key).digest()
+        return int.from_bytes(digest[:8], "big") % self.num_shards
+
+    def partition(self, encoded_keys: list[bytes]) -> list[list[bytes]]:
+        """Split ``encoded_keys`` into per-shard lists."""
+        shards: list[list[bytes]] = [[] for _ in range(self.num_shards)]
+        for key in encoded_keys:
+            shards[self.shard_of(key)].append(key)
+        return shards
+
+
+__all__ = ["ShardRouter"]

@@ -1,0 +1,21 @@
+"""Simulated trusted execution environment (TEE) substrate.
+
+TEE-ORTOA (paper §4) runs the select-and-re-encrypt step inside an Intel SGX
+enclave.  Real SGX hardware is unavailable here, so this package simulates
+the properties the protocol relies on:
+
+* **Isolation** — :class:`~repro.tee.enclave.Enclave` holds sealed key
+  material that host code cannot read (attempts raise
+  :class:`~repro.errors.EnclaveSealedError`).
+* **Attestation** — :mod:`repro.tee.attestation` implements a
+  measurement-and-quote flow rooted in a simulated hardware key, so key
+  provisioning only succeeds for an enclave with the expected code identity.
+* **Cost** — ECALL context-switch overhead is surfaced as a count the
+  experiment harness turns into simulated time (the paper's §6.2.1 observes
+  enclave paging/context-switch latency effects).
+"""
+
+from repro.tee.attestation import AttestationService, HardwareRoot, Quote
+from repro.tee.enclave import Enclave
+
+__all__ = ["Enclave", "AttestationService", "HardwareRoot", "Quote"]

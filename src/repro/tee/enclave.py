@@ -1,0 +1,130 @@
+"""The simulated enclave running TEE-ORTOA's trusted computation (paper §4).
+
+The enclave's single ECALL implements the simplified Procedure Pcr' of §4.1:
+decrypt the selector bit ``c_r``, decrypt both candidate values, pick
+``v_old`` for reads or ``v_new`` for writes, and re-encrypt the winner under
+a fresh nonce.  Because non-deterministic encryption makes a re-encryption
+of the old value indistinguishable from an encryption of a new one, the
+untrusted host that stores the output learns nothing about the operation
+type.
+
+Obliviousness inside the enclave: the ECALL executes the *same* sequence of
+cryptographic steps for reads and writes (three decryptions, one branch-free
+select, one encryption).  ``last_trace`` exposes that step sequence so tests
+can assert it is operation-independent — the coarse-grained analogue of the
+side-channel discussion in §4.3 (which the paper explicitly leaves
+unmitigated at cache/page granularity, as do we).
+"""
+
+from __future__ import annotations
+
+from repro.crypto import aead
+from repro.errors import EnclaveSealedError, ProtocolError
+from repro.tee.attestation import HardwareRoot, Quote, measure_code
+
+#: Code identity of this enclave build; hashed into the measurement.
+ENCLAVE_CODE_IDENTITY = "ortoa-tee-enclave-v1"
+
+
+class Enclave:
+    """A simulated SGX enclave holding the sealed data key.
+
+    Args:
+        hardware: The machine's simulated root of trust (for quoting).
+
+    The data key is *not* a constructor argument: it must be provisioned via
+    :meth:`provision_key` after attestation, mirroring the deployment flow in
+    which the data owner releases the key only to a verified enclave.
+    """
+
+    def __init__(self, hardware: HardwareRoot) -> None:
+        self._hardware = hardware
+        self.measurement = measure_code(ENCLAVE_CODE_IDENTITY)
+        self.__sealed_key: bytes | None = None
+        self.ecall_count = 0
+        self.last_trace: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Attestation and provisioning
+    # ------------------------------------------------------------------ #
+
+    def generate_quote(self, report_data: bytes = b"") -> Quote:
+        """Produce attestation evidence for this enclave instance."""
+        return self._hardware.issue_quote(self.measurement, report_data)
+
+    def provision_key(self, data_key: bytes) -> None:
+        """Install the data-encryption key into enclave-private memory.
+
+        In a real deployment the key would arrive over an attested secure
+        channel; the transport is out of scope here (the paper assumes it).
+        """
+        if len(data_key) < 16:
+            raise ProtocolError("provisioned key too short")
+        self.__sealed_key = data_key
+
+    @property
+    def sealed_key(self) -> bytes:
+        """Host-side accessor — always refuses, that's the point of a TEE."""
+        raise EnclaveSealedError("host code cannot read enclave-sealed keys")
+
+    @property
+    def is_provisioned(self) -> bool:
+        """Whether the data key has been installed."""
+        return self.__sealed_key is not None
+
+    # ------------------------------------------------------------------ #
+    # The trusted ECALL (Procedure Pcr' of §4.1)
+    # ------------------------------------------------------------------ #
+
+    def ecall_select_and_reencrypt(
+        self,
+        selector_ct: bytes,
+        v_old_ct: bytes,
+        v_new_ct: bytes,
+    ) -> bytes:
+        """Run one oblivious select inside the enclave.
+
+        Args:
+            selector_ct: Encryption of one byte — 1 for reads, 0 for writes
+                (the client-built ``c_r`` of §4.1).
+            v_old_ct: Encryption of the currently stored value (fetched by
+                the untrusted host from the KV store).
+            v_new_ct: Encryption of the client's new value (dummy for reads).
+
+        Returns:
+            A fresh encryption of the selected value.  The host stores it
+            back and forwards it to the proxy; it cannot tell which input won.
+
+        Raises:
+            ProtocolError: enclave not provisioned, or malformed inputs.
+        """
+        if self.__sealed_key is None:
+            raise ProtocolError("enclave key not provisioned; attest first")
+        self.ecall_count += 1
+        trace: list[str] = []
+
+        trace.append("decrypt-selector")
+        selector = aead.decrypt(self.__sealed_key, selector_ct)
+        if len(selector) != 1 or selector[0] not in (0, 1):
+            raise ProtocolError("selector must decrypt to a single 0/1 byte")
+
+        trace.append("decrypt-old")
+        v_old = aead.decrypt(self.__sealed_key, v_old_ct)
+        trace.append("decrypt-new")
+        v_new = aead.decrypt(self.__sealed_key, v_new_ct)
+        if len(v_old) != len(v_new):
+            raise ProtocolError("old and new values must have equal length")
+
+        # Branch-free select: mask is 0xFF for reads (keep old), 0x00 for
+        # writes (take new); same instructions either way.
+        trace.append("select")
+        mask = -selector[0] & 0xFF
+        selected = bytes((o & mask) | (n & ~mask & 0xFF) for o, n in zip(v_old, v_new))
+
+        trace.append("encrypt-result")
+        result = aead.encrypt(self.__sealed_key, selected)
+        self.last_trace = tuple(trace)
+        return result
+
+
+__all__ = ["Enclave", "ENCLAVE_CODE_IDENTITY"]

@@ -1,0 +1,117 @@
+"""Side-channel leakage demonstration for TEE-ORTOA (paper §4.3).
+
+The paper flags side-channel attacks as the most pressing limitation of the
+TEE variant: an adversary who can observe an enclave's memory/branch
+behaviour (via cache timing, page faults, …) can undo the obliviousness.
+This module makes that threat concrete and testable:
+
+* :class:`LeakyEnclave` — a *deliberately wrong* enclave implementation
+  that branches on the decrypted selector and only touches the value it
+  needs.  Functionally identical to the correct enclave; observably
+  different.
+* :class:`TraceProbe` — a coarse side-channel observer modelling an
+  adversary with per-call instruction/step granularity (the granularity at
+  which cache- and page-level attacks operate).
+* :func:`operation_type_advantage` — how well a trace distinguishes reads
+  from writes: 1.0 against :class:`LeakyEnclave`, 0.0 against the correct
+  :class:`~repro.tee.enclave.Enclave`.
+
+The correct enclave in :mod:`repro.tee.enclave` decrypts all inputs and
+selects branch-free precisely so its trace is operation-independent; tests
+in ``tests/test_sidechannel.py`` pin that property against this adversary.
+(Cache-line and page granularities are below this simulation's resolution,
+matching the paper's scope: it deploys without those mitigations too.)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto import aead
+from repro.errors import ProtocolError
+from repro.tee.attestation import HardwareRoot
+from repro.tee.enclave import Enclave
+
+
+class TraceProbe:
+    """Records the step traces an enclave emits across many ECALLs."""
+
+    def __init__(self) -> None:
+        self.traces: list[tuple[str, ...]] = []
+
+    def observe(self, enclave) -> None:
+        """Capture the trace of the enclave's most recent ECALL."""
+        self.traces.append(tuple(enclave.last_trace))
+
+
+class LeakyEnclave(Enclave):
+    """An insecure enclave whose control flow depends on the selector.
+
+    The "optimization" is the classic mistake: for reads it never decrypts
+    the (unused) new value, and for writes it never decrypts the old one.
+    One fewer decryption per call — and a branch pattern that hands the
+    operation type to any cache- or trace-level observer.
+    """
+
+    def ecall_select_and_reencrypt(
+        self, selector_ct: bytes, v_old_ct: bytes, v_new_ct: bytes
+    ) -> bytes:
+        key = self._sealed_key_for_subclass()
+        self.ecall_count += 1
+        trace = ["decrypt-selector"]
+        selector = aead.decrypt(key, selector_ct)
+        if len(selector) != 1 or selector[0] not in (0, 1):
+            raise ProtocolError("selector must decrypt to a single 0/1 byte")
+        if selector[0] == 1:  # read: only touch the old value
+            trace.append("decrypt-old")
+            selected = aead.decrypt(key, v_old_ct)
+        else:  # write: only touch the new value
+            trace.append("decrypt-new")
+            selected = aead.decrypt(key, v_new_ct)
+        trace.append("encrypt-result")
+        self.last_trace = tuple(trace)
+        return aead.encrypt(key, selected)
+
+    def _sealed_key_for_subclass(self) -> bytes:
+        # Name-mangled private access from within the enclave boundary; a
+        # subclass is still "inside" the enclave, unlike host code.
+        key = self._Enclave__sealed_key  # type: ignore[attr-defined]
+        if key is None:
+            raise ProtocolError("enclave key not provisioned; attest first")
+        return key
+
+
+def operation_type_advantage(
+    read_traces: Sequence[tuple[str, ...]],
+    write_traces: Sequence[tuple[str, ...]],
+) -> float:
+    """Best trace-classifier advantage at telling reads from writes.
+
+    Builds the optimal deterministic classifier over observed traces (label
+    each distinct trace by its majority class) and returns
+    ``accuracy*2 - 1`` — 0.0 for identical trace distributions, 1.0 for
+    disjoint ones.
+    """
+    if not read_traces or not write_traces:
+        raise ProtocolError("need traces from both operation types")
+    from collections import Counter
+
+    read_counts = Counter(read_traces)
+    write_counts = Counter(write_traces)
+    total = len(read_traces) + len(write_traces)
+    correct = 0
+    for trace in set(read_counts) | set(write_counts):
+        correct += max(read_counts[trace], write_counts[trace])
+    accuracy = correct / total
+    return max(0.0, 2.0 * accuracy - 1.0)
+
+
+def build_enclave(leaky: bool, data_key: bytes) -> Enclave:
+    """A provisioned enclave of either flavour (test/demo convenience)."""
+    enclave_cls = LeakyEnclave if leaky else Enclave
+    enclave = enclave_cls(HardwareRoot())
+    enclave.provision_key(data_key)
+    return enclave
+
+
+__all__ = ["LeakyEnclave", "TraceProbe", "operation_type_advantage", "build_enclave"]

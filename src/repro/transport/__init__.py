@@ -1,0 +1,22 @@
+"""Real network transport: LBL-ORTOA over TCP sockets.
+
+Everything else in the repository exchanges messages by function call (with
+byte-exact serialization) or on the simulated WAN.  This package closes the
+last gap to a deployable system: a threaded TCP server hosting the
+untrusted :class:`~repro.core.lbl.server.LblServer`, and a client-side
+deployment whose proxy talks to it over a real socket with length-prefixed
+frames.  The wire carries exactly the serialized messages of
+:mod:`repro.core.messages` — nothing protocol-visible changes, so all
+security properties carry over verbatim.
+
+Use :class:`~repro.transport.server.LblTcpServer` on the storage host and
+:class:`~repro.transport.client.RemoteLblOrtoa` wherever the trusted proxy
+runs.
+"""
+
+from repro.transport.client import RemoteLblOrtoa
+from repro.transport.server import LblTcpServer
+from repro.transport.tee_client import RemoteTeeOrtoa
+from repro.transport.tee_server import TeeTcpServer
+
+__all__ = ["LblTcpServer", "RemoteLblOrtoa", "TeeTcpServer", "RemoteTeeOrtoa"]

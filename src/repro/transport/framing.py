@@ -1,0 +1,51 @@
+"""Length-prefixed framing over stream sockets.
+
+One frame = 4-byte big-endian payload length + payload.  The payload is a
+serialized :mod:`repro.core.messages` message (the first byte is its tag),
+so the framing layer stays completely protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.errors import ProtocolError
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on a single frame; a 600 B-value LBL request is ~500 kB, so
+#: 64 MiB leaves orders of magnitude of headroom while bounding a hostile
+#: peer's allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one frame; raises ProtocolError on oversize payloads."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the maximum")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise on a closed connection."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Read one frame; raises ProtocolError on malformed lengths."""
+    (length,) = _LEN.unpack(recv_exact(sock, _LEN.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced a {length}-byte frame; refusing")
+    return recv_exact(sock, length)
+
+
+__all__ = ["send_frame", "recv_frame", "recv_exact", "MAX_FRAME_BYTES"]

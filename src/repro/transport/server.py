@@ -1,0 +1,132 @@
+"""The storage-host side: an LBL-ORTOA server behind a TCP listener.
+
+The server is the *untrusted* party, so this process needs no key material
+whatsoever — it stores labels, opens the one ciphertext it can per group,
+and rotates state, exactly as :class:`~repro.core.lbl.server.LblServer`
+does in-process.
+
+Wire protocol (within the framing of :mod:`repro.transport.framing`):
+
+* a serialized :class:`~repro.core.messages.LblAccessRequest` (tag 0x20)
+  → a serialized :class:`~repro.core.messages.LblAccessResponse`;
+* a LOAD frame (tag 0x40: encoded key + label blob) during bulk
+  initialization → a 1-byte ack (0x41);
+* on any handling error → an error frame (tag 0x7F + UTF-8 message), so
+  clients fail with a described exception instead of a dead socket.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.core.lbl.server import LblServer
+from repro.core.messages import LblAccessRequest, LblBatchRequest, LblBatchResponse
+from repro.errors import OrtoaError, ProtocolError
+from repro.storage.persistence import LabelListCodec
+from repro.transport import framing
+
+LOAD_TAG = 0x40
+LOAD_ACK = bytes([0x41])
+ERROR_TAG = 0x7F
+
+
+def pack_load(encoded_key: bytes, labels) -> bytes:
+    """Serialize one bulk-load record."""
+    blob = LabelListCodec().encode(labels)
+    return (
+        bytes([LOAD_TAG])
+        + len(encoded_key).to_bytes(4, "big")
+        + encoded_key
+        + blob
+    )
+
+
+def unpack_load(payload: bytes):
+    """Parse a bulk-load record back into (encoded_key, labels)."""
+    if len(payload) < 5 or payload[0] != LOAD_TAG:
+        raise ProtocolError("malformed load record")
+    key_len = int.from_bytes(payload[1:5], "big")
+    encoded_key = payload[5:5 + key_len]
+    if len(encoded_key) != key_len:
+        raise ProtocolError("truncated load record key")
+    labels = LabelListCodec().decode(payload[5 + key_len:])
+    return encoded_key, labels
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # noqa: D401 - socketserver interface
+        server: "LblTcpServer" = self.server  # type: ignore[assignment]
+        while True:
+            try:
+                payload = framing.recv_frame(self.request)
+            except (ProtocolError, OSError):
+                return  # connection closed
+            try:
+                reply = server.dispatch(payload)
+            except OrtoaError as exc:
+                reply = bytes([ERROR_TAG]) + str(exc).encode("utf-8")
+            try:
+                framing.send_frame(self.request, reply)
+            except OSError:
+                return
+
+
+class LblTcpServer(socketserver.ThreadingTCPServer):
+    """A threaded TCP front over one :class:`LblServer` instance.
+
+    Args:
+        host: Bind address (use ``127.0.0.1`` for tests).
+        port: Bind port (0 picks an ephemeral one; read ``address``).
+        point_and_permute: Must match the clients' configuration.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 point_and_permute: bool = True) -> None:
+        super().__init__((host, port), _Handler)
+        self.lbl = LblServer(point_and_permute=point_and_permute)
+        # process() mutates per-key state; ThreadingTCPServer gives each
+        # connection a thread, so dispatch is serialized here.  (Per-key
+        # striping as in ConcurrentLblProxy would also work; a single lock
+        # keeps the untrusted component trivially auditable.)
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the server is bound to."""
+        return self.socket.getsockname()
+
+    def dispatch(self, payload: bytes) -> bytes:
+        """Route one decoded frame; returns the serialized reply."""
+        if not payload:
+            raise ProtocolError("empty frame")
+        if payload[0] == LOAD_TAG:
+            encoded_key, labels = unpack_load(payload)
+            with self._lock:
+                self.lbl.load(encoded_key, labels)
+            return LOAD_ACK
+        if payload[0] == LblAccessRequest.TAG:
+            request = LblAccessRequest.from_bytes(payload)
+            with self._lock:
+                response, _ops = self.lbl.process(request)
+            return response.to_bytes()
+        if payload[0] == LblBatchRequest.TAG:
+            batch = LblBatchRequest.from_bytes(payload)
+            with self._lock:
+                responses = tuple(
+                    self.lbl.process(request)[0] for request in batch.requests
+                )
+            return LblBatchResponse(responses).to_bytes()
+        raise ProtocolError(f"unknown frame tag {payload[0]:#x}")
+
+    def serve_in_background(self) -> threading.Thread:
+        """Start serving on a daemon thread; returns the thread."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+__all__ = ["LblTcpServer", "pack_load", "unpack_load", "LOAD_TAG", "LOAD_ACK", "ERROR_TAG"]

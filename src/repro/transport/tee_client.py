@@ -1,0 +1,140 @@
+"""Client side of TEE-ORTOA over TCP: attest, provision, then access.
+
+:class:`RemoteTeeOrtoa` will not release the data key to the server until
+the enclave's quote verifies against the expected code measurement through
+the attestation service — the authorization property real deployments hang
+on SGX's remote attestation.
+"""
+
+from __future__ import annotations
+
+import secrets
+import socket
+import threading
+
+from repro.core.base import (
+    AccessTranscript,
+    OpCounts,
+    OrtoaProtocol,
+    PhaseRecord,
+    RoundTrip,
+)
+from repro.core.messages import TeeAccessRequest, TeeAccessResponse
+from repro.crypto import aead
+from repro.crypto.keys import KeyChain
+from repro.errors import AttestationError, ProtocolError
+from repro.tee.attestation import AttestationService
+from repro.transport import framing
+from repro.transport.server import ERROR_TAG
+from repro.transport.tee_server import (
+    ATTEST_TAG,
+    PROVISION_ACK,
+    PROVISION_TAG,
+    TEE_LOAD_ACK,
+    TEE_LOAD_TAG,
+    unpack_quote,
+)
+from repro.types import Request, Response, StoreConfig
+
+
+class RemoteTeeOrtoa(OrtoaProtocol):
+    """TEE-ORTOA whose enclave lives across a TCP connection.
+
+    Construction performs the full handshake: fresh-nonce attestation,
+    quote verification, and only then key provisioning.
+
+    Args:
+        config: Store configuration.
+        address: ``(host, port)`` of a :class:`~repro.transport.tee_server.TeeTcpServer`.
+        attestation: The data owner's verification handle (bound to the
+            server machine's hardware root and the expected measurement).
+        keychain: Key material; provisioned into the enclave post-attestation.
+    """
+
+    name = "tee-ortoa-remote"
+    rounds = 1
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        address: tuple[str, int],
+        attestation: AttestationService,
+        keychain: KeyChain | None = None,
+    ) -> None:
+        super().__init__(config)
+        self.keychain = keychain or KeyChain()
+        self._sock = socket.create_connection(address, timeout=30.0)
+        self._io_lock = threading.Lock()
+
+        # Handshake: attest with a fresh nonce, verify, provision.
+        nonce = secrets.token_bytes(16)
+        quote = unpack_quote(self._exchange(bytes([ATTEST_TAG]) + nonce))
+        if quote.report_data != nonce:
+            raise AttestationError("quote nonce mismatch (replayed quote?)")
+        attestation.verify(quote)  # raises AttestationError on any failure
+        ack = self._exchange(bytes([PROVISION_TAG]) + self.keychain.data_key)
+        if ack != PROVISION_ACK:
+            raise ProtocolError("server rejected key provisioning")
+
+    def close(self) -> None:
+        """Close the connection to the server."""
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteTeeOrtoa":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _exchange(self, payload: bytes) -> bytes:
+        with self._io_lock:
+            framing.send_frame(self._sock, payload)
+            reply = framing.recv_frame(self._sock)
+        if reply[:1] == bytes([ERROR_TAG]):
+            raise ProtocolError(f"server error: {reply[1:].decode('utf-8', 'replace')}")
+        return reply
+
+    # ------------------------------------------------------------------ #
+    # Protocol interface
+    # ------------------------------------------------------------------ #
+
+    def initialize(self, records: dict[str, bytes]) -> None:
+        for key, value in records.items():
+            encoded_key = self.keychain.encode_key(key)
+            ciphertext = aead.encrypt(self.keychain.data_key, self.config.pad(value))
+            frame = (
+                bytes([TEE_LOAD_TAG])
+                + len(encoded_key).to_bytes(4, "big")
+                + encoded_key
+                + ciphertext
+            )
+            if self._exchange(frame) != TEE_LOAD_ACK:
+                raise ProtocolError("server rejected a load record")
+
+    def access(self, request: Request) -> AccessTranscript:
+        selector = bytes([1 if request.op.is_read else 0])
+        outgoing = self._padded(request)
+        if outgoing is None:
+            outgoing = secrets.token_bytes(self.config.value_len)
+        wire_request = TeeAccessRequest(
+            encoded_key=self.keychain.encode_key(request.key),
+            selector_ct=aead.encrypt(self.keychain.data_key, selector),
+            new_value_ct=aead.encrypt(self.keychain.data_key, outgoing),
+        ).to_bytes()
+        reply = self._exchange(wire_request)
+        response = TeeAccessResponse.from_bytes(reply)
+        value = aead.decrypt(self.keychain.data_key, response.result_ct)
+        return AccessTranscript(
+            op=request.op,
+            phases=(
+                PhaseRecord("proxy-prepare", "proxy", OpCounts(prf=1, aead_enc=2)),
+                PhaseRecord("server-remote-enclave", "server",
+                            OpCounts(kv_ops=2, ecalls=1)),
+                PhaseRecord("proxy-finalize", "proxy", OpCounts(aead_dec=1)),
+            ),
+            round_trips=(RoundTrip(len(wire_request), len(reply)),),
+            response=Response(request.key, value),
+        )
+
+
+__all__ = ["RemoteTeeOrtoa"]

@@ -1,0 +1,165 @@
+"""TEE-ORTOA over TCP, including the remote-attestation handshake.
+
+Unlike the LBL transport (where the server needs no secrets ever), a TEE
+deployment must get the data key *into the enclave* on the storage host —
+and only after proving the enclave runs the expected code.  The wire flow:
+
+1. client → ``ATTEST`` (tag 0x50, carrying a fresh nonce)
+2. server → the enclave's quote: measurement + nonce echo + hardware MAC
+3. client verifies the quote against the expected measurement via the
+   (simulated) manufacturer attestation service, then
+4. client → ``PROVISION`` (tag 0x52, the data key)  — stands in for the
+   attested secure channel real SGX establishes; see the caveat below
+5. server → ack; from then on ``TeeAccessRequest`` frames are served.
+
+Caveat (simulation boundary): step 4 sends the key under the TLS-like
+channel assumption of §2.1; real SGX would wrap it for the enclave using a
+key-exchange bound into the quote.  The *authorization* logic — no valid
+quote, no key; wrong measurement, no key — is fully implemented and tested.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.core.messages import TeeAccessRequest, TeeAccessResponse
+from repro.errors import OrtoaError, ProtocolError
+from repro.storage.kv import KeyValueStore
+from repro.tee.attestation import HardwareRoot, Quote
+from repro.tee.enclave import Enclave
+from repro.transport import framing
+from repro.transport.server import ERROR_TAG
+
+ATTEST_TAG = 0x50
+QUOTE_TAG = 0x51
+PROVISION_TAG = 0x52
+PROVISION_ACK = bytes([0x53])
+TEE_LOAD_TAG = 0x54
+TEE_LOAD_ACK = bytes([0x55])
+
+
+def pack_quote(quote: Quote) -> bytes:
+    """Serialize an attestation quote into a reply frame."""
+    out = [bytes([QUOTE_TAG])]
+    for field in (quote.measurement, quote.report_data, quote.mac):
+        out.append(len(field).to_bytes(2, "big"))
+        out.append(field)
+    return b"".join(out)
+
+
+def unpack_quote(payload: bytes) -> Quote:
+    """Parse a quote frame; raises ProtocolError when malformed."""
+    if not payload or payload[0] != QUOTE_TAG:
+        raise ProtocolError("malformed quote frame")
+    fields = []
+    pos = 1
+    for _ in range(3):
+        if pos + 2 > len(payload):
+            raise ProtocolError("truncated quote frame")
+        length = int.from_bytes(payload[pos:pos + 2], "big")
+        pos += 2
+        fields.append(payload[pos:pos + length])
+        pos += length
+    if pos != len(payload) or any(len(f) == 0 for f in fields[:1]):
+        raise ProtocolError("quote frame length mismatch")
+    return Quote(*fields)
+
+
+class _TeeHandler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:  # noqa: D401 - socketserver interface
+        server: "TeeTcpServer" = self.server  # type: ignore[assignment]
+        while True:
+            try:
+                payload = framing.recv_frame(self.request)
+            except (ProtocolError, OSError):
+                return
+            try:
+                reply = server.dispatch(payload)
+            except OrtoaError as exc:
+                reply = bytes([ERROR_TAG]) + str(exc).encode("utf-8")
+            try:
+                framing.send_frame(self.request, reply)
+            except OSError:
+                return
+
+
+class TeeTcpServer(socketserver.ThreadingTCPServer):
+    """The storage host: KV store + enclave, attestation-gated.
+
+    Args:
+        hardware: The machine's root of trust.  Exposed so a test (or the
+            data owner's attestation-service handle) can verify quotes; the
+            server itself never reads the fused key.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 hardware: HardwareRoot | None = None) -> None:
+        super().__init__((host, port), _TeeHandler)
+        self.hardware = hardware or HardwareRoot()
+        self.enclave = Enclave(self.hardware)
+        self.store: KeyValueStore[bytes] = KeyValueStore("tee-tcp-server")
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the server is bound to."""
+        return self.socket.getsockname()
+
+    def serve_in_background(self) -> threading.Thread:
+        """Start serving on a daemon thread; returns the thread."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def dispatch(self, payload: bytes) -> bytes:
+        """Route one frame; returns the serialized reply."""
+        if not payload:
+            raise ProtocolError("empty frame")
+        tag = payload[0]
+        if tag == ATTEST_TAG:
+            nonce = payload[1:]
+            return pack_quote(self.enclave.generate_quote(report_data=nonce))
+        if tag == PROVISION_TAG:
+            with self._lock:
+                self.enclave.provision_key(payload[1:])
+            return PROVISION_ACK
+        if tag == TEE_LOAD_TAG:
+            key_len = int.from_bytes(payload[1:5], "big")
+            encoded_key = payload[5:5 + key_len]
+            ciphertext = payload[5 + key_len:]
+            if len(encoded_key) != key_len or not ciphertext:
+                raise ProtocolError("malformed TEE load record")
+            with self._lock:
+                self.store.put(encoded_key, ciphertext)
+            return TEE_LOAD_ACK
+        if tag == TeeAccessRequest.TAG:
+            if not self.enclave.is_provisioned:
+                raise ProtocolError(
+                    "enclave not provisioned; complete attestation first"
+                )
+            request = TeeAccessRequest.from_bytes(payload)
+            with self._lock:
+                v_old_ct = self.store.get(request.encoded_key)
+                result_ct = self.enclave.ecall_select_and_reencrypt(
+                    request.selector_ct, v_old_ct, request.new_value_ct
+                )
+                self.store.put(request.encoded_key, result_ct)
+            return TeeAccessResponse(result_ct).to_bytes()
+        raise ProtocolError(f"unknown frame tag {tag:#x}")
+
+
+__all__ = [
+    "TeeTcpServer",
+    "pack_quote",
+    "unpack_quote",
+    "ATTEST_TAG",
+    "QUOTE_TAG",
+    "PROVISION_TAG",
+    "PROVISION_ACK",
+    "TEE_LOAD_TAG",
+    "TEE_LOAD_ACK",
+]

@@ -1,0 +1,104 @@
+"""Synthetic stand-ins for the paper's three real-world datasets (§6.4).
+
+The paper initializes 1M-object databases from:
+
+1. **EHR** — UCI heart-disease records: a patient UUID key and a resting
+   blood pressure value of **10 B** (80 bits); the 1 024-row original is
+   repeated up to 1M entries.
+2. **SmallBank** — per-customer banking records: UUID key and a **50 B**
+   combined value (checking balance, savings balance, account numbers).
+3. **e-commerce** — UCI online-retail: invoice-number keys, values are
+   ``customer_id`` (5 chars) concatenated with ``productDescription``
+   (35 chars) = **40 B**.
+
+The figures depend only on value sizes and request mixes, so these builders
+generate records with exactly those schemas (deterministically, from a
+seed), and like the paper they cycle a small base population up to the
+requested database size.
+"""
+
+from __future__ import annotations
+
+import random
+import uuid
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+_PRODUCT_WORDS = [
+    "LANTERN", "HOLDER", "VINTAGE", "CERAMIC", "MUG", "HEART", "TLIGHT",
+    "JAM", "JAR", "CAKE", "TIN", "RETRO", "SPOT", "RED", "WHITE", "METAL",
+    "SIGN", "BOX", "SET", "GLASS", "STAR", "HANGING", "DECORATION", "FELT",
+]
+
+
+def _ehr_value(rng: random.Random) -> bytes:
+    """Resting blood pressure reading padded to 10 bytes."""
+    reading = f"{rng.randint(90, 200):03d}mmHg"
+    return reading.encode("ascii").ljust(10, b"\x00")[:10]
+
+
+def _smallbank_value(rng: random.Random) -> bytes:
+    """Checking balance + savings balance + account numbers, 50 bytes."""
+    checking = rng.randint(0, 10_000_00)  # cents
+    savings = rng.randint(0, 100_000_00)
+    account = rng.randint(10**9, 10**10 - 1)
+    routing = rng.randint(10**8, 10**9 - 1)
+    packed = f"C{checking:012d}S{savings:012d}A{account}R{routing}"
+    return packed.encode("ascii").ljust(50, b"\x00")[:50]
+
+
+def _ecommerce_value(rng: random.Random) -> bytes:
+    """customer_id (5 chars) + productDescription (35 chars) = 40 bytes."""
+    customer = f"{rng.randint(10000, 99999)}"
+    words = rng.sample(_PRODUCT_WORDS, k=rng.randint(2, 4))
+    description = " ".join(words)[:35].ljust(35)
+    return (customer + description).encode("ascii")[:40]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """Schema of one §6.4 dataset: name, value size, base population size."""
+
+    name: str
+    value_len: int
+    base_rows: int
+    value_builder: Callable[[random.Random], bytes]
+    key_prefix: str
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "ehr": DatasetSpec("ehr", 10, 1024, _ehr_value, "patient"),
+    "smallbank": DatasetSpec("smallbank", 50, 100_000, _smallbank_value, "customer"),
+    "ecommerce": DatasetSpec("ecommerce", 40, 541_909, _ecommerce_value, "invoice"),
+}
+
+
+def build_dataset(name: str, num_objects: int, seed: int = 0) -> dict[str, bytes]:
+    """Build ``num_objects`` records for dataset ``name``.
+
+    Mirrors the paper's methodology: generate the base population, then
+    cycle ("repeat the dataset") with distinct keys until the requested
+    database size is reached.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASETS))
+        raise ConfigurationError(f"unknown dataset {name!r}; known: {known}") from None
+    if num_objects < 1:
+        raise ConfigurationError("num_objects must be >= 1")
+
+    rng = random.Random(seed)
+    base_size = min(spec.base_rows, num_objects)
+    base_values = [spec.value_builder(rng) for _ in range(base_size)]
+    key_rng = random.Random(seed + 1)
+    records: dict[str, bytes] = {}
+    for i in range(num_objects):
+        key = f"{spec.key_prefix}-{uuid.UUID(int=key_rng.getrandbits(128))}"
+        records[key] = base_values[i % base_size]
+    return records
+
+
+__all__ = ["DatasetSpec", "DATASETS", "build_dataset"]

@@ -1,0 +1,88 @@
+"""Workload trace recording and replay.
+
+Reproducible benchmarking needs reproducible inputs.  A *trace* is a plain
+JSON-lines file of requests — one object per line with ``op``, ``key``, and
+(hex-encoded) ``value`` — that can be recorded from any request source and
+replayed against any protocol.  Useful for regression comparisons ("same
+trace, new code"), cross-protocol A/B runs, and shipping workloads between
+machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.types import Operation, Request
+
+
+def record_trace(requests: Iterable[Request], path: str | os.PathLike) -> int:
+    """Write requests to a JSONL trace file; returns the request count."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(target, "w", encoding="utf-8") as out:
+        for request in requests:
+            record = {"op": request.op.value, "key": request.key}
+            if request.value is not None:
+                record["value"] = request.value.hex()
+            out.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def replay_trace(path: str | os.PathLike) -> Iterator[Request]:
+    """Stream requests back from a trace file.
+
+    Raises:
+        ConfigurationError: missing file or a malformed line (with its
+            line number, because debugging traces without that is misery).
+    """
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"trace file {source} does not exist")
+    with open(source, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                op = Operation(record["op"])
+                key = record["key"]
+                if op is Operation.WRITE:
+                    yield Request.write(key, bytes.fromhex(record["value"]))
+                else:
+                    yield Request.read(key)
+            except (KeyError, ValueError, TypeError) as exc:
+                raise ConfigurationError(
+                    f"{source}:{line_no}: malformed trace record ({exc})"
+                ) from None
+
+
+def trace_summary(path: str | os.PathLike) -> dict[str, int | float]:
+    """Quick statistics over a trace: counts, write fraction, distinct keys."""
+    reads = writes = 0
+    keys = set()
+    for request in replay_trace(path):
+        keys.add(request.key)
+        if request.op is Operation.WRITE:
+            writes += 1
+        else:
+            reads += 1
+    total = reads + writes
+    if total == 0:
+        raise ConfigurationError("trace is empty")
+    return {
+        "requests": total,
+        "reads": reads,
+        "writes": writes,
+        "write_fraction": writes / total,
+        "distinct_keys": len(keys),
+    }
+
+
+__all__ = ["record_trace", "replay_trace", "trace_summary"]

@@ -1,0 +1,103 @@
+"""Unit and property tests for the authenticated encryption primitive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import aead
+from repro.errors import ConfigurationError, DecryptionError
+
+KEY = b"0" * 16
+OTHER_KEY = b"1" * 16
+
+
+def test_roundtrip():
+    ct = aead.encrypt(KEY, b"hello world")
+    assert aead.decrypt(KEY, ct) == b"hello world"
+
+
+def test_empty_plaintext_roundtrip():
+    ct = aead.encrypt(KEY, b"")
+    assert aead.decrypt(KEY, ct) == b""
+
+
+def test_ciphertext_length_formula():
+    for n in (0, 1, 16, 160, 1000):
+        assert len(aead.encrypt(KEY, b"x" * n)) == aead.ciphertext_len(n)
+
+
+def test_nondeterministic_by_default():
+    """Fresh random nonces: same plaintext, different ciphertexts (paper §1.1)."""
+    assert aead.encrypt(KEY, b"v") != aead.encrypt(KEY, b"v")
+
+
+def test_explicit_nonce_is_deterministic():
+    nonce = b"n" * aead.NONCE_LEN
+    assert aead.encrypt(KEY, b"v", nonce=nonce) == aead.encrypt(KEY, b"v", nonce=nonce)
+
+
+def test_wrong_key_raises():
+    ct = aead.encrypt(KEY, b"secret")
+    with pytest.raises(DecryptionError):
+        aead.decrypt(OTHER_KEY, ct)
+
+
+def test_tampered_body_raises():
+    ct = bytearray(aead.encrypt(KEY, b"secret"))
+    ct[aead.NONCE_LEN] ^= 0x01
+    with pytest.raises(DecryptionError):
+        aead.decrypt(KEY, bytes(ct))
+
+
+def test_tampered_tag_raises():
+    ct = bytearray(aead.encrypt(KEY, b"secret"))
+    ct[-1] ^= 0x01
+    with pytest.raises(DecryptionError):
+        aead.decrypt(KEY, bytes(ct))
+
+
+def test_truncated_ciphertext_raises():
+    with pytest.raises(DecryptionError):
+        aead.decrypt(KEY, b"short")
+
+
+def test_try_decrypt_returns_none_on_failure():
+    ct = aead.encrypt(KEY, b"msg")
+    assert aead.try_decrypt(OTHER_KEY, ct) is None
+    assert aead.try_decrypt(KEY, ct) == b"msg"
+
+
+def test_short_key_rejected():
+    with pytest.raises(ConfigurationError):
+        aead.encrypt(b"short", b"x")
+    with pytest.raises(ConfigurationError):
+        aead.decrypt(b"short", b"x" * 40)
+
+
+def test_bad_nonce_length_rejected():
+    with pytest.raises(ConfigurationError):
+        aead.encrypt(KEY, b"x", nonce=b"too-short")
+
+
+def test_lbl_server_pattern_exactly_one_opens():
+    """The LBL server invariant: with two ciphertexts under different labels,
+    a holder of one label opens exactly one."""
+    label0, label1 = b"a" * 16, b"b" * 16
+    cts = [aead.encrypt(label0, b"new0"), aead.encrypt(label1, b"new1")]
+    opened = [aead.try_decrypt(label0, ct) for ct in cts]
+    assert opened == [b"new0", None]
+
+
+@given(st.binary(min_size=16, max_size=64), st.binary(max_size=512))
+@settings(max_examples=50)
+def test_roundtrip_property(key, plaintext):
+    assert aead.decrypt(key, aead.encrypt(key, plaintext)) == plaintext
+
+
+@given(st.binary(max_size=64), st.integers(min_value=0, max_value=200))
+@settings(max_examples=50)
+def test_bitflip_always_detected(plaintext, flip_at):
+    ct = bytearray(aead.encrypt(KEY, plaintext))
+    ct[flip_at % len(ct)] ^= 0xFF
+    with pytest.raises(DecryptionError):
+        aead.decrypt(KEY, bytes(ct))

@@ -1,0 +1,266 @@
+"""Tests for the BFV-style FHE scheme and its noise dynamics (paper §3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.fhe import FheCiphertext, FheParams, FheScheme
+from repro.crypto.poly import Poly, RingParams, negacyclic_convolve
+from repro.errors import ConfigurationError, NoiseBudgetExhausted
+
+SMALL = FheParams(n=32, q_bits=100)
+
+
+@pytest.fixture()
+def scheme():
+    return FheScheme(SMALL)
+
+
+# --------------------------------------------------------------------- #
+# Ring arithmetic
+# --------------------------------------------------------------------- #
+
+def test_negacyclic_wraparound_sign_flip():
+    # (x^(n-1)) * x = x^n = -1 in Z[x]/(x^n+1); with n=4: x^3 * x = -1.
+    a = [0, 0, 0, 1]
+    b = [0, 1, 0, 0]
+    assert negacyclic_convolve(a, b) == [-1, 0, 0, 0]
+
+
+def test_negacyclic_identity():
+    a = [5, 6, 7, 8]
+    assert negacyclic_convolve(a, [1, 0, 0, 0]) == a
+
+
+def test_poly_add_sub_neg_roundtrip():
+    ring = RingParams(8, 97)
+    a = Poly(ring, [1, 2, 3])
+    b = Poly(ring, [4, 5, 6])
+    assert (a + b) - b == a
+    assert -(-a) == a
+
+
+def test_poly_centered_lift():
+    ring = RingParams(4, 10)
+    p = Poly(ring, [9, 5, 6, 1])
+    assert p.centered() == [-1, 5, -4, 1]
+    assert p.inf_norm() == 5
+
+
+def test_poly_rejects_mismatched_rings():
+    a = Poly(RingParams(4, 97), [1])
+    b = Poly(RingParams(8, 97), [1])
+    with pytest.raises(ConfigurationError):
+        _ = a + b
+
+
+def test_ring_degree_must_be_power_of_two():
+    with pytest.raises(ConfigurationError):
+        RingParams(3, 97)
+
+
+def test_poly_is_immutable():
+    p = Poly(RingParams(4, 97), [1])
+    with pytest.raises(AttributeError):
+        p.coeffs = (0,)  # type: ignore[misc]
+
+
+# --------------------------------------------------------------------- #
+# Scheme correctness
+# --------------------------------------------------------------------- #
+
+def test_encrypt_decrypt_roundtrip(scheme):
+    value = bytes(range(32))
+    assert scheme.decrypt_bytes(scheme.encrypt_bytes(value), 32) == value
+
+
+def test_fresh_ciphertexts_differ(scheme):
+    v = b"same" * 8
+    assert scheme.encrypt_bytes(v).components != scheme.encrypt_bytes(v).components
+
+
+def test_homomorphic_add(scheme):
+    a, b = bytes([10] * 32), bytes([20] * 32)
+    ct = scheme.add(scheme.encrypt_bytes(a), scheme.encrypt_bytes(b))
+    assert scheme.decrypt_bytes(ct, 32) == bytes([30] * 32)
+
+
+def test_homomorphic_multiply_by_selector(scheme):
+    value = bytes(range(32))
+    ct = scheme.encrypt_bytes(value)
+    kept = scheme.multiply(ct, scheme.encrypt_scalar(1))
+    dropped = scheme.multiply(ct, scheme.encrypt_scalar(0))
+    assert scheme.decrypt_bytes(kept, 32) == value
+    assert scheme.decrypt_bytes(dropped, 32) == bytes(32)
+
+
+def test_ortoa_proc_selects_correct_operand(scheme):
+    """Proc(old, new, [c_r, c_w]) = old*c_r + new*c_w (paper §3.1)."""
+    old, new = b"old-value" + bytes(23), b"new-value" + bytes(23)
+    ct_old, ct_new = scheme.encrypt_bytes(old), scheme.encrypt_bytes(new)
+    for c_r, expected in ((1, old), (0, new)):
+        c_w = 1 - c_r
+        result = scheme.add(
+            scheme.multiply(ct_old, scheme.encrypt_scalar(c_r)),
+            scheme.multiply(ct_new, scheme.encrypt_scalar(c_w)),
+        )
+        assert scheme.decrypt_bytes(result, 32) == expected
+
+
+def test_multiply_grows_ciphertext_size(scheme):
+    ct = scheme.encrypt_bytes(bytes(32))
+    assert ct.size == 2
+    ct2 = scheme.multiply(ct, scheme.encrypt_scalar(1))
+    assert ct2.size == 3
+    assert ct2.mul_depth == 1
+    ct3 = scheme.multiply(ct2, scheme.encrypt_scalar(1))
+    assert ct3.size == 4
+    assert ct3.mul_depth == 2
+
+
+def test_noise_budget_decreases_with_depth(scheme):
+    ct = scheme.encrypt_bytes(bytes([7] * 32))
+    budgets = [scheme.noise_budget(ct)]
+    for _ in range(3):
+        ct = scheme.multiply(ct, scheme.encrypt_scalar(1))
+        budgets.append(scheme.noise_budget(ct))
+    assert all(b1 > b2 for b1, b2 in zip(budgets, budgets[1:]))
+
+
+def test_noise_exhaustion_reproduces_paper_finding():
+    """§3.3: repeated oblivious accesses exhaust the scheme after ~10 rounds."""
+    scheme = FheScheme(FheParams(n=32, q_bits=100))
+    value = bytes([42] * 16)
+    stored = scheme.encrypt_bytes(value)
+    accesses = 0
+    while accesses < 40:
+        stored = scheme.add(
+            scheme.multiply(stored, scheme.encrypt_scalar(1)),
+            scheme.multiply(scheme.encrypt_bytes(bytes(16)), scheme.encrypt_scalar(0)),
+        )
+        accesses += 1
+        if scheme.noise_budget(stored) <= 0:
+            break
+    assert 2 <= accesses < 40, "noise must exhaust after a small number of accesses"
+    with pytest.raises(NoiseBudgetExhausted):
+        # One more access and checked decryption must refuse.
+        stored = scheme.multiply(stored, scheme.encrypt_scalar(1))
+        scheme.decrypt_checked(stored, 16)
+
+
+def test_decrypt_checked_passes_when_budget_positive(scheme):
+    ct = scheme.encrypt_bytes(bytes([1] * 32))
+    assert scheme.decrypt_checked(ct, 32) == bytes([1] * 32)
+
+
+def test_ciphertext_size_bytes(scheme):
+    ct = scheme.encrypt_bytes(bytes(32))
+    expected = 2 * SMALL.n * ((SMALL.q_bits + 7) // 8)
+    assert ct.size_bytes == expected
+
+
+def test_expansion_factor_is_large(scheme):
+    """§3.2.2 observes a huge plaintext→ciphertext expansion (SEAL: ~225x)."""
+    ct = scheme.encrypt_bytes(bytes(32))
+    assert ct.size_bytes / 32 > 20
+
+
+def test_capacity_checks(scheme):
+    with pytest.raises(ConfigurationError):
+        scheme.encode_bytes(bytes(SMALL.n + 1))
+
+
+def test_params_validation():
+    with pytest.raises(ConfigurationError):
+        FheParams(n=32, q_bits=10, t=256)
+    with pytest.raises(ConfigurationError):
+        FheParams(error_bound=0)
+    with pytest.raises(ConfigurationError):
+        FheParams(t=1)
+
+
+def test_add_multiply_reject_mismatched_params(scheme):
+    other = FheScheme(FheParams(n=64, q_bits=100))
+    with pytest.raises(ConfigurationError):
+        FheScheme.add(scheme.encrypt_scalar(1), other.encrypt_scalar(1))
+    with pytest.raises(ConfigurationError):
+        FheScheme.multiply(scheme.encrypt_scalar(1), other.encrypt_scalar(1))
+
+
+def test_ciphertext_requires_two_components(scheme):
+    with pytest.raises(ConfigurationError):
+        FheCiphertext((Poly.zero(SMALL.ring),), SMALL)
+
+
+@given(st.binary(max_size=32))
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_property(value):
+    scheme = FheScheme(SMALL)
+    assert scheme.decrypt_bytes(scheme.encrypt_bytes(value), len(value)) == value
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+@settings(max_examples=15, deadline=None)
+def test_homomorphic_add_property(a, b):
+    scheme = FheScheme(SMALL)
+    ct = scheme.add(scheme.encrypt_scalar(a), scheme.encrypt_scalar(b))
+    assert scheme.decrypt_bytes(ct, 1)[0] == (a + b) % 256
+
+
+# --------------------------------------------------------------------- #
+# Algebraic property tests
+# --------------------------------------------------------------------- #
+
+@given(
+    a=st.integers(min_value=0, max_value=255),
+    b=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=10, deadline=None)
+def test_homomorphic_add_commutes(a, b):
+    scheme = FheScheme(SMALL)
+    ct_a, ct_b = scheme.encrypt_scalar(a), scheme.encrypt_scalar(b)
+    left = scheme.decrypt_bytes(scheme.add(ct_a, ct_b), 1)
+    right = scheme.decrypt_bytes(scheme.add(ct_b, ct_a), 1)
+    assert left == right == bytes([(a + b) % 256])
+
+
+@given(
+    a=st.integers(min_value=0, max_value=15),
+    b=st.integers(min_value=0, max_value=15),
+)
+@settings(max_examples=8, deadline=None)
+def test_homomorphic_mul_commutes(a, b):
+    scheme = FheScheme(SMALL)
+    ct_a, ct_b = scheme.encrypt_scalar(a), scheme.encrypt_scalar(b)
+    left = scheme.decrypt_bytes(scheme.multiply(ct_a, ct_b), 1)
+    right = scheme.decrypt_bytes(scheme.multiply(ct_b, ct_a), 1)
+    assert left == right == bytes([(a * b) % 256])
+
+
+@given(
+    a=st.integers(min_value=0, max_value=15),
+    b=st.integers(min_value=0, max_value=15),
+    c=st.integers(min_value=0, max_value=15),
+)
+@settings(max_examples=6, deadline=None)
+def test_multiplication_distributes_over_addition(a, b, c):
+    """a*(b+c) == a*b + a*c homomorphically (within one mul depth)."""
+    scheme = FheScheme(SMALL)
+    ct_a = scheme.encrypt_scalar(a)
+    ct_b, ct_c = scheme.encrypt_scalar(b), scheme.encrypt_scalar(c)
+    left = scheme.multiply(ct_a, scheme.add(ct_b, ct_c))
+    right = scheme.add(scheme.multiply(ct_a, ct_b), scheme.multiply(ct_a, ct_c))
+    expected = bytes([(a * (b + c)) % 256])
+    assert scheme.decrypt_bytes(left, 1) == expected
+    assert scheme.decrypt_bytes(right, 1) == expected
+
+
+@given(value=st.binary(max_size=32))
+@settings(max_examples=15, deadline=None)
+def test_serialization_roundtrip_property(value):
+    scheme = FheScheme(SMALL)
+    ct = scheme.encrypt_bytes(value)
+    parsed = FheCiphertext.from_bytes(SMALL, ct.to_bytes())
+    assert parsed.components == ct.components
+    assert parsed.noise_log2 == ct.noise_log2
+    assert scheme.decrypt_bytes(parsed, len(value)) == value

@@ -1,0 +1,160 @@
+"""Tests for the LBL-ORTOA label codec (bit packing, derivation, inversion)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyChain
+from repro.crypto.labels import LabelCodec, groups_to_value, value_to_groups
+from repro.errors import ConfigurationError, TamperDetectedError
+
+
+def make_codec(value_len=4, group_bits=1):
+    kc = KeyChain(b"m" * 32)
+    return LabelCodec(
+        kc.label_prf, kc.permute_prf, value_len=value_len, group_bits=group_bits
+    )
+
+
+# --------------------------------------------------------------------- #
+# Group packing
+# --------------------------------------------------------------------- #
+
+def test_value_to_groups_bits():
+    assert value_to_groups(b"\xa5", 1) == (1, 0, 1, 0, 0, 1, 0, 1)
+
+
+def test_value_to_groups_pairs():
+    assert value_to_groups(b"\xa5", 2) == (0b10, 0b10, 0b01, 0b01)
+
+
+def test_value_to_groups_pads_last_group():
+    # 8 bits into groups of 3 -> 3 groups, last padded with a zero bit.
+    assert value_to_groups(b"\xff", 3) == (0b111, 0b111, 0b110)
+
+
+def test_groups_roundtrip_various_y():
+    value = bytes([0x12, 0x34, 0xAB, 0xFF])
+    for y in (1, 2, 3, 4, 5, 8):
+        groups = value_to_groups(value, y)
+        assert groups_to_value(groups, y, len(value)) == value
+
+
+def test_groups_to_value_validates_length_and_range():
+    with pytest.raises(ConfigurationError):
+        groups_to_value((0,) * 7, 1, 1)  # needs 8 groups
+    with pytest.raises(ConfigurationError):
+        groups_to_value((2,) * 8, 1, 1)  # bit group can't hold 2
+    with pytest.raises(ConfigurationError):
+        value_to_groups(b"x", 0)
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(min_value=1, max_value=9))
+@settings(max_examples=100)
+def test_group_packing_roundtrip_property(value, y):
+    assert groups_to_value(value_to_groups(value, y), y, len(value)) == value
+
+
+# --------------------------------------------------------------------- #
+# Label derivation
+# --------------------------------------------------------------------- #
+
+def test_num_groups():
+    assert make_codec(value_len=4, group_bits=1).num_groups == 32
+    assert make_codec(value_len=4, group_bits=2).num_groups == 16
+    assert make_codec(value_len=4, group_bits=3).num_groups == 11
+
+
+def test_labels_deterministic_per_counter():
+    codec = make_codec()
+    assert codec.label("k", 0, 1, 7) == codec.label("k", 0, 1, 7)
+    assert codec.label("k", 0, 1, 7) != codec.label("k", 0, 1, 8)
+
+
+def test_labels_distinct_across_dimensions():
+    codec = make_codec(group_bits=2)
+    labels = {
+        codec.label(k, i, v, ct)
+        for k in ("a", "b")
+        for i in range(3)
+        for v in range(4)
+        for ct in range(3)
+    }
+    assert len(labels) == 2 * 3 * 4 * 3
+
+
+def test_encode_decode_roundtrip():
+    codec = make_codec(value_len=8, group_bits=2)
+    value = b"\x01\x02\x03\x04\x05\x06\x07\x08"
+    labels = codec.encode_value("key", value, counter=3)
+    assert len(labels) == codec.num_groups
+    assert codec.decode_labels("key", labels, counter=3) == value
+
+
+def test_decode_with_wrong_counter_detects_tamper():
+    codec = make_codec()
+    labels = codec.encode_value("key", b"abcd", counter=1)
+    with pytest.raises(TamperDetectedError):
+        codec.decode_labels("key", labels, counter=2)
+
+
+def test_decode_with_corrupted_label_detects_tamper():
+    codec = make_codec()
+    labels = codec.encode_value("key", b"abcd", counter=1)
+    labels[5] = b"\x00" * len(labels[5])
+    with pytest.raises(TamperDetectedError):
+        codec.decode_labels("key", labels, counter=1)
+
+
+def test_encode_value_rejects_wrong_length():
+    codec = make_codec(value_len=4)
+    with pytest.raises(ConfigurationError):
+        codec.encode_value("k", b"toolongvalue", counter=0)
+    with pytest.raises(ConfigurationError):
+        codec.decode_labels("k", [b"x" * 16], counter=0)
+
+
+def test_label_group_value_range_checked():
+    codec = make_codec(group_bits=2)
+    with pytest.raises(ConfigurationError):
+        codec.label("k", 0, 4, 0)
+
+
+# --------------------------------------------------------------------- #
+# Point-and-permute bits
+# --------------------------------------------------------------------- #
+
+def test_permute_offset_in_range_and_deterministic():
+    codec = make_codec(group_bits=2)
+    for ct in range(10):
+        off = codec.permute_offset("k", 0, ct)
+        assert 0 <= off < 4
+        assert off == codec.permute_offset("k", 0, ct)
+
+
+def test_permute_offsets_vary():
+    codec = make_codec(group_bits=2)
+    offsets = {codec.permute_offset("k", i, ct) for i in range(8) for ct in range(8)}
+    assert len(offsets) > 1
+
+
+def test_decrypt_index_is_xor_link():
+    codec = make_codec(group_bits=2)
+    for v in range(4):
+        idx = codec.decrypt_index("k", 3, v, 5)
+        assert idx == v ^ codec.permute_offset("k", 3, 5)
+
+
+def test_decrypt_index_is_permutation_over_group_values():
+    """Distinct group values must map to distinct table slots (it's a XOR)."""
+    codec = make_codec(group_bits=2)
+    slots = {codec.decrypt_index("k", 0, v, 9) for v in range(4)}
+    assert slots == {0, 1, 2, 3}
+
+
+@given(st.binary(min_size=2, max_size=16), st.integers(min_value=0, max_value=50))
+@settings(max_examples=50)
+def test_codec_roundtrip_property(value, counter):
+    codec = make_codec(value_len=len(value), group_bits=2)
+    labels = codec.encode_value("key", value, counter)
+    assert codec.decode_labels("key", labels, counter) == value

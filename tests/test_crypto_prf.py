@@ -1,0 +1,123 @@
+"""Unit and property tests for the PRF wrapper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.prf import Prf, _encode_component
+from repro.errors import ConfigurationError
+
+KEY = b"k" * 32
+
+
+def test_deterministic():
+    prf = Prf(KEY)
+    assert prf.evaluate("a", 1, b"x") == prf.evaluate("a", 1, b"x")
+
+
+def test_distinct_inputs_distinct_outputs():
+    prf = Prf(KEY)
+    outputs = {
+        prf.evaluate("label", "key", i, b, ct)
+        for i in range(4)
+        for b in range(2)
+        for ct in range(4)
+    }
+    assert len(outputs) == 4 * 2 * 4
+
+
+def test_key_separation():
+    assert Prf(b"a" * 32).evaluate("x") != Prf(b"b" * 32).evaluate("x")
+
+
+def test_output_length_default_and_override():
+    prf = Prf(KEY, out_bytes=16)
+    assert len(prf.evaluate("x")) == 16
+    assert len(prf.evaluate("x", out_bytes=100)) == 100
+
+
+def test_long_output_extends_short_output():
+    """Counter-mode expansion must make the short output a prefix of the long one."""
+    prf = Prf(KEY)
+    short = prf.evaluate("x", out_bytes=16)
+    long = prf.evaluate("x", out_bytes=64)
+    assert long[:16] == short
+
+
+def test_component_encoding_is_injective():
+    # The classic concatenation ambiguity must not collide.
+    prf = Prf(KEY)
+    assert prf.evaluate("ab", "c") != prf.evaluate("a", "bc")
+    assert prf.evaluate(b"ab", b"c") != prf.evaluate(b"a", b"bc")
+    assert prf.evaluate(1, 23) != prf.evaluate(12, 3)
+
+
+def test_type_tags_distinguish_types():
+    prf = Prf(KEY)
+    assert prf.evaluate("1") != prf.evaluate(1)
+    assert prf.evaluate(b"1") != prf.evaluate("1")
+
+
+def test_short_key_rejected():
+    with pytest.raises(ConfigurationError):
+        Prf(b"short")
+
+
+def test_negative_int_rejected():
+    with pytest.raises(ConfigurationError):
+        Prf(KEY).evaluate(-1)
+
+
+def test_bad_output_length_rejected():
+    prf = Prf(KEY)
+    with pytest.raises(ConfigurationError):
+        prf.evaluate("x", out_bytes=0)
+    with pytest.raises(ConfigurationError):
+        Prf(KEY, out_bytes=0)
+
+
+def test_unsupported_component_type_rejected():
+    with pytest.raises(ConfigurationError):
+        Prf(KEY).evaluate(1.5)  # type: ignore[arg-type]
+
+
+def test_encode_key_and_subkey_are_domain_separated():
+    prf = Prf(KEY)
+    assert prf.encode_key("x") != prf.evaluate("x")
+    assert prf.derive_subkey("x") != prf.evaluate("x", out_bytes=32)
+    assert prf.derive_subkey("a") != prf.derive_subkey("b")
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.binary(max_size=32),
+            st.text(max_size=32),
+            st.integers(min_value=0, max_value=2**64),
+        ),
+        max_size=5,
+    )
+)
+@settings(max_examples=50)
+def test_encoding_roundtrip_unique(components):
+    """Encoded component streams must be parseable back unambiguously."""
+    encoded = b"".join(_encode_component(c) for c in components)
+    # Re-parse the stream and check we recover the same number of components.
+    count = 0
+    pos = 0
+    while pos < len(encoded):
+        assert encoded[pos:pos + 1] in (b"B", b"S", b"I")
+        length = int.from_bytes(encoded[pos + 1:pos + 5], "big")
+        pos += 5 + length
+        count += 1
+    assert pos == len(encoded)
+    assert count == len(components)
+
+
+@given(st.binary(min_size=16, max_size=64), st.text(max_size=20), st.text(max_size=20))
+@settings(max_examples=50)
+def test_prf_determinism_property(key, a, b):
+    prf = Prf(key)
+    assert prf.evaluate(a, b) == prf.evaluate(a, b)
+    if a != b:
+        assert prf.evaluate(a) != prf.evaluate(b)

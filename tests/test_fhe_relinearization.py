@@ -1,0 +1,130 @@
+"""Tests for BFV relinearization and its effect on FHE-ORTOA (§3.3 follow-up)."""
+
+import pytest
+
+from repro.core import FheOrtoa
+from repro.crypto.fhe import FheParams, FheScheme, RelinearizationKey
+from repro.errors import ConfigurationError
+from repro.types import StoreConfig
+
+PARAMS = FheParams(n=32, q_bits=120)
+
+
+@pytest.fixture()
+def scheme():
+    return FheScheme(PARAMS)
+
+
+def test_relinearize_reduces_to_two_components(scheme):
+    rlk = scheme.make_relin_key()
+    ct = scheme.multiply(scheme.encrypt_bytes(bytes(16)), scheme.encrypt_scalar(1))
+    assert ct.size == 3
+    reduced = FheScheme.relinearize(ct, rlk)
+    assert reduced.size == 2
+
+
+def test_relinearize_preserves_plaintext(scheme):
+    rlk = scheme.make_relin_key()
+    value = bytes(range(30))
+    ct = scheme.multiply(scheme.encrypt_bytes(value), scheme.encrypt_scalar(1))
+    assert scheme.decrypt_bytes(FheScheme.relinearize(ct, rlk), 30) == value
+
+
+def test_relinearize_preserves_zero_branch(scheme):
+    rlk = scheme.make_relin_key()
+    ct = scheme.multiply(scheme.encrypt_bytes(bytes([9] * 16)), scheme.encrypt_scalar(0))
+    assert scheme.decrypt_bytes(FheScheme.relinearize(ct, rlk), 16) == bytes(16)
+
+
+def test_relinearized_ciphertexts_remain_multiplicable(scheme):
+    """The whole point: depth-2 circuits on always-size-2 ciphertexts."""
+    rlk = scheme.make_relin_key()
+    value = bytes([5] * 16)
+    ct = scheme.encrypt_bytes(value)
+    for _ in range(3):
+        ct = FheScheme.relinearize(scheme.multiply(ct, scheme.encrypt_scalar(1)), rlk)
+        assert ct.size == 2
+    assert scheme.decrypt_bytes(ct, 16) == value
+
+
+def test_relinearize_is_noop_on_fresh_ciphertexts(scheme):
+    rlk = scheme.make_relin_key()
+    ct = scheme.encrypt_bytes(bytes(16))
+    assert FheScheme.relinearize(ct, rlk) is ct
+
+
+def test_relinearize_adds_bounded_noise(scheme):
+    rlk = scheme.make_relin_key()
+    ct = scheme.multiply(scheme.encrypt_bytes(bytes(16)), scheme.encrypt_scalar(1))
+    before = scheme.noise_budget(ct)
+    after = scheme.noise_budget(FheScheme.relinearize(ct, rlk))
+    assert after <= before
+    assert before - after < rlk.noise_log2 + 2
+
+
+def test_relinearize_rejects_mismatched_params(scheme):
+    other = FheScheme(FheParams(n=64, q_bits=120))
+    rlk = other.make_relin_key()
+    ct = scheme.multiply(scheme.encrypt_scalar(1), scheme.encrypt_scalar(1))
+    with pytest.raises(ConfigurationError):
+        FheScheme.relinearize(ct, rlk)
+
+
+def test_relinearize_rejects_oversized_ciphertexts(scheme):
+    rlk = scheme.make_relin_key()
+    ct = scheme.encrypt_scalar(1)
+    for _ in range(2):
+        ct = scheme.multiply(ct, scheme.encrypt_scalar(1))
+    assert ct.size == 4
+    with pytest.raises(ConfigurationError):
+        FheScheme.relinearize(ct, rlk)
+
+
+def test_decomp_bits_validation(scheme):
+    with pytest.raises(ConfigurationError):
+        scheme.make_relin_key(decomp_bits=0)
+    with pytest.raises(ConfigurationError):
+        scheme.make_relin_key(decomp_bits=64)
+
+
+def test_smaller_decomposition_base_means_less_relin_noise(scheme):
+    assert scheme.make_relin_key(4).noise_log2 < scheme.make_relin_key(16).noise_log2
+
+
+# --------------------------------------------------------------------- #
+# FHE-ORTOA with relinearization
+# --------------------------------------------------------------------- #
+
+def make_protocol(relinearize):
+    config = StoreConfig(value_len=16)
+    protocol = FheOrtoa(config, fhe_params=PARAMS, relinearize=relinearize)
+    protocol.initialize({"k": b"value"})
+    return protocol
+
+
+def test_relin_protocol_correctness():
+    p = make_protocol(relinearize=True)
+    assert p.read("k") == StoreConfig(value_len=16).pad(b"value")
+    p.write("k", b"updated")
+    assert p.read("k") == StoreConfig(value_len=16).pad(b"updated")
+
+
+def test_relin_bounds_stored_ciphertext_size():
+    """Relinearization fixes the §3.3 size blow-up..."""
+    plain = make_protocol(relinearize=False)
+    relin = make_protocol(relinearize=True)
+    for _ in range(3):
+        plain.read("k")
+        relin.read("k")
+    encoded_p = plain.keychain.encode_key("k")
+    encoded_r = relin.keychain.encode_key("k")
+    assert plain.store.get(encoded_p).size > 2
+    assert relin.store.get(encoded_r).size == 2
+
+
+def test_relin_does_not_fix_noise_exhaustion():
+    """...but not the noise-depth exhaustion: both variants die after a
+    small number of accesses (the honest conclusion of the ablation)."""
+    relin = make_protocol(relinearize=True)
+    remaining = relin.remaining_accesses("k")
+    assert 1 <= remaining < 30

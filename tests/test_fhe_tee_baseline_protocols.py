@@ -1,0 +1,139 @@
+"""Variant-specific tests for FHE-ORTOA, TEE-ORTOA, and the 2RTT baseline."""
+
+import pytest
+
+from repro.core import FheOrtoa, TeeOrtoa, TwoRoundBaseline
+from repro.crypto.fhe import FheParams
+from repro.errors import ConfigurationError, NoiseBudgetExhausted
+from repro.types import Request, StoreConfig
+
+CONFIG = StoreConfig(value_len=16)
+
+
+# --------------------------------------------------------------------- #
+# FHE-ORTOA
+# --------------------------------------------------------------------- #
+
+def make_fhe(q_bits=160):
+    p = FheOrtoa(CONFIG, fhe_params=FheParams(n=32, q_bits=q_bits))
+    p.initialize({"k": b"value"})
+    return p
+
+
+def test_fhe_noise_exhaustion_is_surfaced():
+    """§3.3: after a handful of accesses the protocol must refuse, loudly."""
+    p = make_fhe(q_bits=100)
+    served = 0
+    with pytest.raises(NoiseBudgetExhausted):
+        for _ in range(50):
+            p.read("k")
+            served += 1
+    assert 1 <= served < 50
+
+
+def test_fhe_remaining_accesses_counts_down():
+    p = make_fhe()
+    first = p.remaining_accesses("k")
+    assert first > 0
+    p.read("k")
+    assert p.remaining_accesses("k") < first
+
+
+def test_fhe_ciphertext_grows_per_access():
+    p = make_fhe()
+    encoded = p.keychain.encode_key("k")
+    sizes = [p.store.get(encoded).size]
+    for _ in range(3):
+        p.read("k")
+        sizes.append(p.store.get(encoded).size)
+    assert sizes == sorted(sizes) and sizes[-1] > sizes[0]
+
+
+def test_fhe_expansion_factor_reported_in_transcript():
+    """§3.2.2: communication is 3 FHE ciphertexts — orders of magnitude
+    bigger than the plaintext."""
+    p = make_fhe()
+    t = p.access(Request.read("k"))
+    assert t.request_bytes > 100 * CONFIG.value_len
+
+
+def test_fhe_value_capacity_checked():
+    with pytest.raises(ConfigurationError):
+        FheOrtoa(StoreConfig(value_len=64), fhe_params=FheParams(n=32, q_bits=160))
+
+
+def test_fhe_write_updates_value():
+    p = make_fhe()
+    p.write("k", b"updated")
+    assert p.read("k") == CONFIG.pad(b"updated")
+
+
+# --------------------------------------------------------------------- #
+# TEE-ORTOA
+# --------------------------------------------------------------------- #
+
+def test_tee_attestation_happens_at_construction():
+    p = TeeOrtoa(CONFIG)
+    assert p.enclave.is_provisioned
+
+
+def test_tee_ecall_per_access():
+    p = TeeOrtoa(CONFIG)
+    p.initialize({"k": b"v"})
+    before = p.enclave.ecall_count
+    p.read("k")
+    p.write("k", b"w")
+    assert p.enclave.ecall_count == before + 2
+
+
+def test_tee_stored_ciphertext_rotates_on_read():
+    """Every access re-encrypts server state, even reads."""
+    p = TeeOrtoa(CONFIG)
+    p.initialize({"k": b"v"})
+    encoded = p.keychain.encode_key("k")
+    before = p.store.get(encoded)
+    p.read("k")
+    assert p.store.get(encoded) != before
+
+
+def test_tee_request_small_and_constant():
+    """§4.2.2: 2 ciphertexts — no length expansion blow-up."""
+    p = TeeOrtoa(CONFIG)
+    p.initialize({"k": b"v"})
+    t = p.access(Request.read("k"))
+    assert t.request_bytes < 10 * CONFIG.value_len
+
+
+# --------------------------------------------------------------------- #
+# 2RTT baseline
+# --------------------------------------------------------------------- #
+
+def test_baseline_writes_back_on_reads():
+    """The baseline hides op type by always writing; server put_count grows
+    on reads too."""
+    p = TwoRoundBaseline(CONFIG)
+    p.initialize({"k": b"v"})
+    before = p.store.put_count
+    p.read("k")
+    assert p.store.put_count == before + 1
+
+
+def test_baseline_reencrypts_on_read():
+    p = TwoRoundBaseline(CONFIG)
+    p.initialize({"k": b"v"})
+    encoded = p.keychain.encode_key("k")
+    before = p.store.get(encoded)
+    p.read("k")
+    assert p.store.get(encoded) != before
+    # value unchanged though
+    assert p.read("k") == CONFIG.pad(b"v")
+
+
+def test_baseline_round_sizes_are_small():
+    p = TwoRoundBaseline(CONFIG)
+    p.initialize({"k": b"v"})
+    t = p.access(Request.read("k"))
+    assert t.num_rounds == 2
+    # Two small rounds: AEAD framing (~28 B) + encoded keys dominate; no
+    # expansion proportional to anything but the value itself.
+    assert t.total_bytes < 4 * (CONFIG.value_len + 64)

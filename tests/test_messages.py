@@ -1,0 +1,116 @@
+"""Wire-format round-trip and robustness tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import messages as m
+from repro.errors import ProtocolError
+
+
+def test_read_request_roundtrip():
+    req = m.ReadRequest(b"encoded-key")
+    assert m.ReadRequest.from_bytes(req.to_bytes()) == req
+
+
+def test_read_response_roundtrip():
+    resp = m.ReadResponse(b"ciphertext-bytes")
+    assert m.ReadResponse.from_bytes(resp.to_bytes()) == resp
+
+
+def test_write_request_roundtrip():
+    req = m.WriteRequest(b"key", b"ct")
+    assert m.WriteRequest.from_bytes(req.to_bytes()) == req
+
+
+def test_write_ack_roundtrip():
+    assert m.WriteAck.from_bytes(m.WriteAck().to_bytes()) == m.WriteAck()
+
+
+def test_tee_messages_roundtrip():
+    req = m.TeeAccessRequest(b"key", b"selector", b"newvalue")
+    assert m.TeeAccessRequest.from_bytes(req.to_bytes()) == req
+    resp = m.TeeAccessResponse(b"result")
+    assert m.TeeAccessResponse.from_bytes(resp.to_bytes()) == resp
+
+
+def test_fhe_messages_roundtrip():
+    req = m.FheAccessRequest(b"key", b"cr" * 50, b"cw" * 50, b"nv" * 100)
+    assert m.FheAccessRequest.from_bytes(req.to_bytes()) == req
+    resp = m.FheAccessResponse(b"result" * 100)
+    assert m.FheAccessResponse.from_bytes(resp.to_bytes()) == resp
+
+
+def test_lbl_request_roundtrip():
+    tables = (
+        (b"ct00", b"ct01"),
+        (b"ct10", b"ct11"),
+    )
+    req = m.LblAccessRequest(b"key", tables)
+    assert m.LblAccessRequest.from_bytes(req.to_bytes()) == req
+
+
+def test_lbl_request_roundtrip_y2():
+    tables = ((b"a", b"b", b"c", b"d"),) * 3
+    req = m.LblAccessRequest(b"key", tables)
+    parsed = m.LblAccessRequest.from_bytes(req.to_bytes())
+    assert parsed.tables == tables
+
+
+def test_lbl_response_roundtrip():
+    resp = m.LblAccessResponse((b"label1", b"label2", b"label3"))
+    assert m.LblAccessResponse.from_bytes(resp.to_bytes()) == resp
+
+
+def test_lbl_request_rejects_empty_tables():
+    with pytest.raises(ProtocolError):
+        m.LblAccessRequest(b"key", ()).to_bytes()
+
+
+def test_lbl_request_rejects_ragged_tables():
+    with pytest.raises(ProtocolError):
+        m.LblAccessRequest(b"key", ((b"a", b"b"), (b"c",))).to_bytes()
+
+
+def test_wrong_tag_rejected():
+    req = m.ReadRequest(b"key").to_bytes()
+    with pytest.raises(ProtocolError):
+        m.WriteRequest.from_bytes(req)
+
+
+def test_truncated_message_rejected():
+    data = m.TeeAccessRequest(b"key", b"sel", b"val").to_bytes()
+    with pytest.raises(ProtocolError):
+        m.TeeAccessRequest.from_bytes(data[:-2])
+
+
+def test_empty_buffer_rejected():
+    with pytest.raises(ProtocolError):
+        m.ReadRequest.from_bytes(b"")
+
+
+def test_size_is_fields_plus_framing():
+    req = m.WriteRequest(b"k" * 16, b"c" * 100)
+    # 1 tag byte + 2 fields x (4-byte length + body)
+    assert len(req.to_bytes()) == 1 + (4 + 16) + (4 + 100)
+
+
+@given(st.binary(max_size=64), st.binary(max_size=256), st.binary(max_size=256))
+@settings(max_examples=50)
+def test_tee_request_roundtrip_property(key, sel, val):
+    req = m.TeeAccessRequest(key, sel, val)
+    assert m.TeeAccessRequest.from_bytes(req.to_bytes()) == req
+
+
+@given(
+    st.lists(
+        st.lists(st.binary(min_size=1, max_size=40), min_size=2, max_size=2),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=50)
+def test_lbl_request_roundtrip_property(table_lists):
+    tables = tuple(tuple(t) for t in table_lists)
+    req = m.LblAccessRequest(b"key", tables)
+    assert m.LblAccessRequest.from_bytes(req.to_bytes()) == req

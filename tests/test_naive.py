@@ -1,0 +1,93 @@
+"""Executable versions of §1.1's impossibility arguments: each naive
+one-round design fails in exactly the way the paper says."""
+
+import pytest
+
+from repro.core.naive import LeakyOneRound, LossyReadModifyWrite
+from repro.types import Request, StoreConfig
+
+CONFIG = StoreConfig(value_len=16)
+
+
+def make(cls):
+    protocol = cls(CONFIG)
+    protocol.initialize({"k": b"precious-data"})
+    return protocol
+
+
+# --------------------------------------------------------------------- #
+# Strawman 1: one round, but the type leaks
+# --------------------------------------------------------------------- #
+
+def test_leaky_variant_is_functionally_fine():
+    p = make(LeakyOneRound)
+    assert p.read("k") == CONFIG.pad(b"precious-data")
+    p.write("k", b"updated")
+    assert p.read("k") == CONFIG.pad(b"updated")
+
+
+def test_leaky_variant_reveals_type_via_messages():
+    p = make(LeakyOneRound)
+    p.read("k")
+    p.write("k", b"x")
+    p.read("k")
+    assert p.server_observations == ["READ", "WRITE", "READ"]
+
+
+def test_leaky_variant_reveals_type_via_message_sizes():
+    """Even without tags, read and write requests differ in size."""
+    p = make(LeakyOneRound)
+    t_read = p.access(Request.read("k"))
+    t_write = p.access(Request.write("k", CONFIG.pad(b"x")))
+    assert t_read.request_bytes != t_write.request_bytes
+
+
+def test_leaky_variant_reveals_type_via_server_state():
+    """Reads never touch stored state — the put-counter tells all."""
+    p = make(LeakyOneRound)
+    before = p.store.put_count
+    p.read("k")
+    assert p.store.put_count == before  # unchanged: it was a read
+    p.write("k", b"x")
+    assert p.store.put_count == before + 1  # changed: it was a write
+
+
+# --------------------------------------------------------------------- #
+# Strawman 2: type-hiding, but data-destroying
+# --------------------------------------------------------------------- #
+
+def test_lossy_variant_hides_the_type():
+    """Credit where due: the blind-swap server genuinely can't tell."""
+    p_read, p_write = make(LossyReadModifyWrite), make(LossyReadModifyWrite)
+    t_read = p_read.access(Request.read("k"))
+    t_write = p_write.access(Request.write("k", CONFIG.pad(b"x")))
+    assert t_read.request_bytes == t_write.request_bytes
+    assert t_read.ops_at("server").kv_ops == t_write.ops_at("server").kv_ops
+
+
+def test_lossy_variant_first_read_works():
+    p = make(LossyReadModifyWrite)
+    assert p.read("k") == CONFIG.pad(b"precious-data")
+
+
+def test_lossy_variant_destroys_data_on_read():
+    """§1.1 verbatim: 'any subsequent reads after the first read operation
+    will fetch a dummy value, permanently losing an application's data!'"""
+    p = make(LossyReadModifyWrite)
+    first = p.read("k")
+    second = p.read("k")
+    assert first == CONFIG.pad(b"precious-data")
+    assert second != CONFIG.pad(b"precious-data")  # a random dummy
+
+
+def test_lossy_variant_write_then_read_then_read_still_loses():
+    p = make(LossyReadModifyWrite)
+    p.write("k", b"fresh")
+    assert p.read("k") == CONFIG.pad(b"fresh")   # consumes the value
+    assert p.read("k") != CONFIG.pad(b"fresh")   # gone
+
+
+@pytest.mark.parametrize("cls", [LeakyOneRound, LossyReadModifyWrite])
+def test_both_strawmen_are_single_round(cls):
+    p = make(cls)
+    assert p.access(Request.read("k")).num_rounds == 1

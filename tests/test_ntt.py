@@ -1,0 +1,128 @@
+"""Tests for the NTT fast-multiplication path."""
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.fhe import FheParams, FheScheme
+from repro.crypto.ntt import NegacyclicNtt, find_ntt_prime, negacyclic_convolve_ntt
+from repro.crypto.poly import Poly, RingParams, negacyclic_convolve
+from repro.errors import ConfigurationError
+
+
+def test_find_ntt_prime_properties():
+    for n in (8, 64, 256):
+        q = find_ntt_prime(n, 60)
+        assert (q - 1) % (2 * n) == 0
+        assert q.bit_length() in (60, 61)
+
+
+def test_find_ntt_prime_validation():
+    with pytest.raises(ConfigurationError):
+        find_ntt_prime(3, 60)  # not a power of two
+    with pytest.raises(ConfigurationError):
+        find_ntt_prime(256, 4)  # too few bits
+
+
+def test_forward_inverse_roundtrip():
+    n = 16
+    q = find_ntt_prime(n, 40)
+    ntt = NegacyclicNtt(n, q)
+    coeffs = list(range(n))
+    assert ntt.inverse(ntt.forward(coeffs)) == coeffs
+
+
+def test_ntt_matches_schoolbook():
+    n = 32
+    q = find_ntt_prime(n, 50)
+    a = [(i * 7 + 3) % q for i in range(n)]
+    b = [(i * i + 1) % q for i in range(n)]
+    expected = [c % q for c in negacyclic_convolve(a, b)]
+    assert negacyclic_convolve_ntt(a, b, q) == expected
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**40), min_size=16, max_size=16),
+    st.lists(st.integers(min_value=0, max_value=2**40), min_size=16, max_size=16),
+)
+@settings(max_examples=40, deadline=None)
+def test_ntt_matches_schoolbook_property(a, b):
+    q = find_ntt_prime(16, 45)
+    expected = [c % q for c in negacyclic_convolve(a, b)]
+    assert negacyclic_convolve_ntt(a, b, q) == expected
+
+
+def test_non_friendly_modulus_rejected():
+    with pytest.raises(ConfigurationError):
+        NegacyclicNtt(16, 1 << 40)  # power of two, not prime
+    with pytest.raises(ConfigurationError):
+        negacyclic_convolve_ntt([0] * 16, [0] * 16, (1 << 40) + 2)
+
+
+def test_for_modulus_caches_and_returns_none():
+    q = find_ntt_prime(16, 40)
+    assert NegacyclicNtt.for_modulus(16, q) is NegacyclicNtt.for_modulus(16, q)
+    assert NegacyclicNtt.for_modulus(16, 1 << 40) is None
+
+
+def test_poly_mul_uses_ntt_and_matches():
+    n = 32
+    q = find_ntt_prime(n, 50)
+    prime_ring = RingParams(n, q)
+    pow2_ring = RingParams(n, 1 << 50)
+    a_coeffs = [(i * 13 + 5) % q for i in range(n)]
+    b_coeffs = [(i * 3 + 1) % q for i in range(n)]
+    fast = Poly(prime_ring, a_coeffs) * Poly(prime_ring, b_coeffs)
+    slow_ints = negacyclic_convolve(a_coeffs, b_coeffs)
+    assert list(fast.coeffs) == [c % q for c in slow_ints]
+    # And the power-of-two ring still takes the schoolbook path correctly.
+    slow = Poly(pow2_ring, a_coeffs) * Poly(pow2_ring, b_coeffs)
+    assert list(slow.coeffs) == [c % (1 << 50) for c in slow_ints]
+
+
+# --------------------------------------------------------------------- #
+# FHE over NTT-friendly parameters
+# --------------------------------------------------------------------- #
+
+def test_fhe_with_ntt_params_roundtrip():
+    params = FheParams.ntt_friendly(n=64, q_bits=100)
+    assert params.q_prime is not None and (params.q_prime - 1) % 128 == 0
+    scheme = FheScheme(params)
+    value = bytes(range(60))
+    assert scheme.decrypt_bytes(scheme.encrypt_bytes(value), 60) == value
+
+
+def test_fhe_with_ntt_params_homomorphic_ops():
+    scheme = FheScheme(FheParams.ntt_friendly(n=32, q_bits=100))
+    value = bytes([9] * 16)
+    ct = scheme.encrypt_bytes(value)
+    kept = scheme.multiply(ct, scheme.encrypt_scalar(1))
+    assert scheme.decrypt_bytes(kept, 16) == value
+    rlk = scheme.make_relin_key()
+    reduced = FheScheme.relinearize(kept, rlk)
+    assert scheme.decrypt_bytes(reduced, 16) == value
+
+
+def test_fhe_ntt_serialization_roundtrip():
+    from repro.crypto.fhe import FheCiphertext
+
+    params = FheParams.ntt_friendly(n=32, q_bits=80)
+    scheme = FheScheme(params)
+    ct = scheme.encrypt_bytes(bytes(16))
+    assert FheCiphertext.from_bytes(params, ct.to_bytes()).components == ct.components
+
+
+def test_ntt_encryption_is_faster_at_scale():
+    """At n=256 the O(n log n) path must beat schoolbook encryption."""
+    def encrypt_time(params):
+        scheme = FheScheme(params)
+        start = time.perf_counter()
+        for _ in range(3):
+            scheme.encrypt_bytes(bytes(200))
+        return time.perf_counter() - start
+
+    slow = encrypt_time(FheParams(n=256, q_bits=100))
+    fast = encrypt_time(FheParams.ntt_friendly(n=256, q_bits=100))
+    assert fast < slow

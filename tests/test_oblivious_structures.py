@@ -1,0 +1,276 @@
+"""Tests for the oblivious stack and queue (fixed access-count profiles)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.oram.structures import ObliviousQueue, ObliviousStack
+
+
+def make_stack(capacity=8, value_len=4, seed=1):
+    return ObliviousStack(capacity, value_len, rng=random.Random(seed))
+
+
+def make_queue(capacity=8, value_len=4, seed=1):
+    return ObliviousQueue(capacity, value_len, rng=random.Random(seed))
+
+
+# --------------------------------------------------------------------- #
+# Stack semantics
+# --------------------------------------------------------------------- #
+
+def test_stack_lifo_order():
+    stack = make_stack()
+    for byte in (1, 2, 3):
+        stack.push(bytes([byte]) * 4)
+    assert stack.pop() == bytes([3]) * 4
+    assert stack.pop() == bytes([2]) * 4
+    assert stack.pop() == bytes([1]) * 4
+
+
+def test_stack_peek_does_not_remove():
+    stack = make_stack()
+    stack.push(b"aaaa")
+    assert stack.peek() == b"aaaa"
+    assert len(stack) == 1
+    assert stack.pop() == b"aaaa"
+
+
+def test_stack_interleaved_matches_reference():
+    stack = make_stack(capacity=16)
+    reference = []
+    rng = random.Random(7)
+    for _ in range(60):
+        if reference and rng.random() < 0.5:
+            assert stack.pop() == reference.pop()
+        elif len(reference) < 16:
+            value = rng.randbytes(4)
+            reference.append(value)
+            stack.push(value)
+    while reference:
+        assert stack.pop() == reference.pop()
+
+
+def test_stack_empty_and_full_errors():
+    stack = make_stack(capacity=2)
+    with pytest.raises(ProtocolError):
+        stack.pop()
+    with pytest.raises(ProtocolError):
+        stack.peek()
+    stack.push(b"aaaa")
+    stack.push(b"bbbb")
+    with pytest.raises(ConfigurationError):
+        stack.push(b"cccc")
+    with pytest.raises(ConfigurationError):
+        stack.push(b"xx")  # wrong length
+
+
+def test_stack_uniform_access_profile():
+    """Every stack operation — push, pop, peek, even failed pops — costs
+    exactly one ORAM access."""
+    stack = make_stack()
+    counts = []
+    before = stack.accesses
+    stack.push(b"aaaa")
+    counts.append(stack.accesses - before)
+    before = stack.accesses
+    stack.peek()
+    counts.append(stack.accesses - before)
+    before = stack.accesses
+    stack.pop()
+    counts.append(stack.accesses - before)
+    before = stack.accesses
+    with pytest.raises(ProtocolError):
+        stack.pop()
+    counts.append(stack.accesses - before)
+    assert counts == [1, 1, 1, 1]
+
+
+# --------------------------------------------------------------------- #
+# Queue semantics
+# --------------------------------------------------------------------- #
+
+def test_queue_fifo_order():
+    queue = make_queue()
+    for byte in (1, 2, 3):
+        queue.enqueue(bytes([byte]) * 4)
+    assert queue.dequeue() == bytes([1]) * 4
+    assert queue.dequeue() == bytes([2]) * 4
+    assert queue.dequeue() == bytes([3]) * 4
+
+
+def test_queue_drain_and_refill():
+    queue = make_queue(capacity=4)
+    queue.enqueue(b"aaaa")
+    assert queue.dequeue() == b"aaaa"
+    assert len(queue) == 0
+    queue.enqueue(b"bbbb")
+    queue.enqueue(b"cccc")
+    assert queue.dequeue() == b"bbbb"
+    assert queue.dequeue() == b"cccc"
+
+
+def test_queue_interleaved_matches_reference():
+    from collections import deque
+
+    queue = make_queue(capacity=16)
+    reference = deque()
+    rng = random.Random(9)
+    for _ in range(60):
+        if reference and rng.random() < 0.5:
+            assert queue.dequeue() == reference.popleft()
+        elif len(reference) < 16:
+            value = rng.randbytes(4)
+            reference.append(value)
+            queue.enqueue(value)
+    while reference:
+        assert queue.dequeue() == reference.popleft()
+
+
+def test_queue_uniform_access_profile():
+    """Enqueue (empty or not), dequeue, and failed dequeues all cost
+    exactly two ORAM accesses."""
+    queue = make_queue()
+    counts = []
+    before = queue.accesses
+    queue.enqueue(b"aaaa")  # empty-queue enqueue
+    counts.append(queue.accesses - before)
+    before = queue.accesses
+    queue.enqueue(b"bbbb")  # tail-patching enqueue
+    counts.append(queue.accesses - before)
+    before = queue.accesses
+    queue.dequeue()
+    counts.append(queue.accesses - before)
+    before = queue.accesses
+    queue.dequeue()
+    counts.append(queue.accesses - before)
+    before = queue.accesses
+    with pytest.raises(ProtocolError):
+        queue.dequeue()
+    counts.append(queue.accesses - before)
+    assert counts == [2, 2, 2, 2, 2]
+
+
+def test_queue_full_and_bad_length():
+    queue = make_queue(capacity=1)
+    queue.enqueue(b"aaaa")
+    with pytest.raises(ConfigurationError):
+        queue.enqueue(b"bbbb")
+    with pytest.raises(ConfigurationError):
+        make_queue().enqueue(b"x")
+
+
+@given(
+    ops=st.lists(
+        st.one_of(st.none(), st.binary(min_size=4, max_size=4)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=15, deadline=None)
+def test_queue_property_matches_deque(ops):
+    from collections import deque
+
+    queue = make_queue(capacity=30, seed=3)
+    reference = deque()
+    for op in ops:
+        if op is None:
+            if reference:
+                assert queue.dequeue() == reference.popleft()
+            else:
+                with pytest.raises(ProtocolError):
+                    queue.dequeue()
+        else:
+            reference.append(op)
+            queue.enqueue(op)
+    assert len(queue) == len(reference)
+
+
+# --------------------------------------------------------------------- #
+# Oblivious map
+# --------------------------------------------------------------------- #
+
+from repro.oram.structures import ObliviousMap
+
+
+def make_map(capacity=8, value_len=4, seed=2):
+    return ObliviousMap(capacity, value_len, rng=random.Random(seed))
+
+
+def test_map_put_get_delete():
+    omap = make_map()
+    omap.put(b"alpha", b"aaaa")
+    omap.put(b"beta", b"bbbb")
+    assert omap.get(b"alpha") == b"aaaa"
+    omap.put(b"alpha", b"a2a2")  # overwrite
+    assert omap.get(b"alpha") == b"a2a2"
+    omap.delete(b"alpha")
+    assert b"alpha" not in omap
+    assert omap.get(b"beta") == b"bbbb"
+
+
+def test_map_miss_raises_after_dummy():
+    omap = make_map()
+    before = omap.accesses
+    with pytest.raises(ProtocolError):
+        omap.get(b"ghost")
+    with pytest.raises(ProtocolError):
+        omap.delete(b"ghost")
+    assert omap.accesses == before + 2  # dummies keep the trace uniform
+
+
+def test_map_uniform_access_profile():
+    omap = make_map()
+    counts = []
+    for action in ("put", "get", "overwrite", "delete", "miss"):
+        before = omap.accesses
+        if action == "put":
+            omap.put(b"k", b"vvvv")
+        elif action == "get":
+            omap.get(b"k")
+        elif action == "overwrite":
+            omap.put(b"k", b"wwww")
+        elif action == "delete":
+            omap.delete(b"k")
+        else:
+            with pytest.raises(ProtocolError):
+                omap.get(b"k")
+        counts.append(omap.accesses - before)
+    assert counts == [1, 1, 1, 1, 1]
+
+
+def test_map_capacity_and_reuse():
+    omap = make_map(capacity=2)
+    omap.put(b"a", b"aaaa")
+    omap.put(b"b", b"bbbb")
+    with pytest.raises(ConfigurationError):
+        omap.put(b"c", b"cccc")
+    omap.delete(b"a")
+    omap.put(b"c", b"cccc")  # freed slot is reusable
+    assert omap.get(b"c") == b"cccc"
+
+
+def test_map_random_workload_matches_dict():
+    omap = make_map(capacity=12, seed=5)
+    reference = {}
+    rng = random.Random(5)
+    for _ in range(80):
+        key = f"k{rng.randrange(6)}".encode()
+        roll = rng.random()
+        if roll < 0.5:
+            value = rng.randbytes(4)
+            if key in reference or len(reference) < 12:
+                reference[key] = value
+                omap.put(key, value)
+        elif roll < 0.8:
+            if key in reference:
+                assert omap.get(key) == reference[key]
+        else:
+            if key in reference:
+                del reference[key]
+                omap.delete(key)
+    for key, value in reference.items():
+        assert omap.get(key) == value

@@ -1,0 +1,87 @@
+"""Side-channel tests (§4.3): the correct enclave is trace-oblivious, the
+deliberately leaky one is fully distinguishable."""
+
+import pytest
+
+from repro.crypto import aead
+from repro.errors import ProtocolError
+from repro.tee.sidechannel import (
+    LeakyEnclave,
+    TraceProbe,
+    build_enclave,
+    operation_type_advantage,
+)
+
+DATA_KEY = b"d" * 32
+
+
+def drive(enclave, is_read, probe):
+    selector = aead.encrypt(DATA_KEY, bytes([1 if is_read else 0]))
+    enclave.ecall_select_and_reencrypt(
+        selector,
+        aead.encrypt(DATA_KEY, b"old-value"),
+        aead.encrypt(DATA_KEY, b"new-value"),
+    )
+    probe.observe(enclave)
+
+
+def collect_traces(leaky):
+    enclave = build_enclave(leaky, DATA_KEY)
+    read_probe, write_probe = TraceProbe(), TraceProbe()
+    for _ in range(10):
+        drive(enclave, True, read_probe)
+        drive(enclave, False, write_probe)
+    return read_probe.traces, write_probe.traces
+
+
+def test_correct_enclave_has_zero_trace_advantage():
+    reads, writes = collect_traces(leaky=False)
+    assert operation_type_advantage(reads, writes) == 0.0
+
+
+def test_leaky_enclave_is_fully_distinguishable():
+    reads, writes = collect_traces(leaky=True)
+    assert operation_type_advantage(reads, writes) == 1.0
+
+
+def test_leaky_enclave_is_functionally_correct():
+    """The scary part: the broken enclave passes every functional test."""
+    enclave = build_enclave(leaky=True, data_key=DATA_KEY)
+    read_out = enclave.ecall_select_and_reencrypt(
+        aead.encrypt(DATA_KEY, b"\x01"),
+        aead.encrypt(DATA_KEY, b"old"),
+        aead.encrypt(DATA_KEY, b"new"),
+    )
+    write_out = enclave.ecall_select_and_reencrypt(
+        aead.encrypt(DATA_KEY, b"\x00"),
+        aead.encrypt(DATA_KEY, b"old"),
+        aead.encrypt(DATA_KEY, b"new"),
+    )
+    assert aead.decrypt(DATA_KEY, read_out) == b"old"
+    assert aead.decrypt(DATA_KEY, write_out) == b"new"
+
+
+def test_leaky_trace_shows_the_branch():
+    reads, writes = collect_traces(leaky=True)
+    assert all("decrypt-old" in t and "decrypt-new" not in t for t in reads)
+    assert all("decrypt-new" in t and "decrypt-old" not in t for t in writes)
+
+
+def test_leaky_enclave_still_requires_provisioning():
+    enclave = LeakyEnclave.__new__(LeakyEnclave)
+    from repro.tee.attestation import HardwareRoot
+
+    enclave.__init__(HardwareRoot())
+    with pytest.raises(ProtocolError):
+        enclave.ecall_select_and_reencrypt(b"x", b"y", b"z")
+
+
+def test_advantage_requires_both_trace_sets():
+    with pytest.raises(ProtocolError):
+        operation_type_advantage([], [("a",)])
+
+
+def test_advantage_on_partially_overlapping_traces():
+    reads = [("a",)] * 8 + [("b",)] * 2
+    writes = [("b",)] * 8 + [("a",)] * 2
+    assert operation_type_advantage(reads, writes) == pytest.approx(0.6)

@@ -1,0 +1,69 @@
+"""Tests for the WAN network model (Table 2 RTTs, bandwidth overhead)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.network import (
+    DATACENTER_RTT_MS,
+    DEFAULT_BANDWIDTH_MBPS,
+    NetworkLink,
+)
+
+
+def test_table2_values_match_paper():
+    assert DATACENTER_RTT_MS == {
+        "oregon": 21.84,
+        "n_virginia": 62.06,
+        "london": 147.73,
+        "mumbai": 230.3,
+    }
+
+
+def test_link_to_datacenter():
+    link = NetworkLink.to_datacenter("london")
+    assert link.rtt_ms == 147.73
+    assert link.bandwidth_mbps == DEFAULT_BANDWIDTH_MBPS
+
+
+def test_unknown_datacenter_rejected():
+    with pytest.raises(ConfigurationError):
+        NetworkLink.to_datacenter("antarctica")
+
+
+def test_round_trip_includes_rtt_and_serialization():
+    link = NetworkLink(rtt_ms=10.0, bandwidth_mbps=8.0)  # 8 Mbps = 1 byte/us
+    # 1000 bytes at 8 Mbps = 1 ms each way.
+    assert link.round_trip_ms(1000, 1000) == pytest.approx(10.0 + 2.0)
+
+
+def test_one_way_is_half_rtt_plus_serialization():
+    link = NetworkLink(rtt_ms=10.0, bandwidth_mbps=8.0)
+    assert link.one_way_ms(1000) == pytest.approx(5.0 + 1.0)
+
+
+def test_zero_bytes_costs_rtt_only():
+    link = NetworkLink(rtt_ms=21.84)
+    assert link.round_trip_ms(0, 0) == pytest.approx(21.84)
+
+
+def test_overhead_is_size_dependent_part():
+    link = NetworkLink(rtt_ms=10.0, bandwidth_mbps=8.0)
+    assert link.overhead_ms(500, 500) == pytest.approx(1.0)
+    assert link.round_trip_ms(500, 500) == pytest.approx(link.rtt_ms + link.overhead_ms(500, 500))
+
+
+def test_overhead_monotonic_in_size():
+    link = NetworkLink(rtt_ms=21.84)
+    sizes = [0, 100, 10_000, 1_000_000]
+    overheads = [link.overhead_ms(s, 0) for s in sizes]
+    assert overheads == sorted(overheads)
+    assert overheads[0] == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkLink(rtt_ms=-1)
+    with pytest.raises(ConfigurationError):
+        NetworkLink(rtt_ms=1, bandwidth_mbps=0)
+    with pytest.raises(ConfigurationError):
+        NetworkLink(rtt_ms=1).serialization_ms(-5)

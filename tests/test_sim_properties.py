@@ -1,0 +1,104 @@
+"""Property-based tests of the simulation kernel's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=50)
+def test_clock_is_monotone_and_reaches_max_delay(delays):
+    env = Environment()
+    observed = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for delay in delays:
+        env.process(proc(env, delay))
+    env.run()
+    assert observed == sorted(observed)
+    assert env.now == max(delays)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    jobs=st.lists(
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=15,
+    ),
+)
+@settings(max_examples=50)
+def test_resource_never_exceeds_capacity(capacity, jobs):
+    env = Environment()
+    resource = Resource(env, capacity)
+    peak = {"value": 0}
+    done = []
+
+    def worker(env, hold):
+        grant = resource.request()
+        yield grant
+        peak["value"] = max(peak["value"], resource.in_use)
+        try:
+            yield env.timeout(hold)
+        finally:
+            resource.release(grant)
+        done.append(hold)
+
+    for hold in jobs:
+        env.process(worker(env, hold))
+    env.run()
+    assert peak["value"] <= capacity
+    assert len(done) == len(jobs)  # no job starves
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    hold=st.floats(min_value=0.5, max_value=5.0, allow_nan=False),
+    jobs=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=50)
+def test_equal_jobs_finish_in_ceil_batches(capacity, hold, jobs):
+    """With identical jobs, the makespan is ceil(jobs/capacity) * hold."""
+    env = Environment()
+    resource = Resource(env, capacity)
+    finished = []
+
+    def worker(env):
+        yield from resource.use(env, hold)
+        finished.append(env.now)
+
+    for _ in range(jobs):
+        env.process(worker(env))
+    env.run()
+    batches = -(-jobs // capacity)
+    assert max(finished) == env.now
+    assert abs(env.now - batches * hold) < 1e-9
+
+
+@given(
+    sequence=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=8)
+)
+@settings(max_examples=30)
+def test_sequential_timeouts_accumulate(sequence):
+    env = Environment()
+    result = {}
+
+    def proc(env):
+        for delay in sequence:
+            yield env.timeout(delay)
+        result["end"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    assert abs(result["end"] - sum(sequence)) < 1e-9

@@ -1,0 +1,123 @@
+"""Tests for the KV engine and shard routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, KeyNotFoundError, StorageError
+from repro.storage import KeyValueStore, ShardRouter
+
+
+def test_put_get_roundtrip():
+    store = KeyValueStore()
+    store.put(b"k1", b"v1")
+    assert store.get(b"k1") == b"v1"
+    assert len(store) == 1
+    assert b"k1" in store
+
+
+def test_overwrite():
+    store = KeyValueStore()
+    store.put(b"k", b"v1")
+    store.put(b"k", b"v2")
+    assert store.get(b"k") == b"v2"
+    assert len(store) == 1
+
+
+def test_missing_key_raises():
+    with pytest.raises(KeyNotFoundError):
+        KeyValueStore().get(b"nope")
+
+
+def test_put_new_rejects_duplicates():
+    store = KeyValueStore()
+    store.put_new(b"k", 1)
+    with pytest.raises(StorageError):
+        store.put_new(b"k", 2)
+
+
+def test_non_bytes_keys_rejected():
+    with pytest.raises(StorageError):
+        KeyValueStore().put("str-key", 1)  # type: ignore[arg-type]
+
+
+def test_counters():
+    store = KeyValueStore()
+    store.put(b"a", 1)
+    store.put(b"b", 2)
+    store.get(b"a")
+    assert store.put_count == 2
+    assert store.get_count == 1
+
+
+def test_delete_and_clear():
+    store = KeyValueStore()
+    store.put(b"a", 1)
+    store.delete(b"a")
+    store.delete(b"a")  # idempotent
+    assert b"a" not in store
+    store.put(b"b", 2)
+    store.clear()
+    assert len(store) == 0
+
+
+def test_stores_arbitrary_value_types():
+    store = KeyValueStore()
+    store.put(b"labels", [b"l1", b"l2"])
+    assert store.get(b"labels") == [b"l1", b"l2"]
+
+
+def test_iteration():
+    store = KeyValueStore()
+    store.put(b"a", 1)
+    store.put(b"b", 2)
+    assert sorted(store) == [b"a", b"b"]
+
+
+# --------------------------------------------------------------------- #
+# Sharding
+# --------------------------------------------------------------------- #
+
+def test_shard_router_deterministic():
+    router = ShardRouter(5)
+    assert router.shard_of(b"key") == router.shard_of(b"key")
+
+
+def test_shard_router_range():
+    router = ShardRouter(3)
+    for i in range(100):
+        assert 0 <= router.shard_of(f"k{i}".encode()) < 3
+
+
+def test_single_shard_maps_everything_to_zero():
+    router = ShardRouter(1)
+    assert all(router.shard_of(f"k{i}".encode()) == 0 for i in range(20))
+
+
+def test_partition_covers_all_keys():
+    router = ShardRouter(4)
+    keys = [f"key-{i}".encode() for i in range(200)]
+    shards = router.partition(keys)
+    assert sum(len(s) for s in shards) == 200
+    assert sorted(k for shard in shards for k in shard) == sorted(keys)
+
+
+def test_shards_roughly_balanced():
+    router = ShardRouter(4)
+    keys = [f"key-{i}".encode() for i in range(4000)]
+    shards = router.partition(keys)
+    for shard in shards:
+        assert 800 <= len(shard) <= 1200  # within ±20% of 1000
+
+
+def test_invalid_shard_count():
+    with pytest.raises(ConfigurationError):
+        ShardRouter(0)
+
+
+@given(st.binary(min_size=1, max_size=32), st.integers(min_value=1, max_value=16))
+@settings(max_examples=50)
+def test_shard_stability_property(key, n):
+    router = ShardRouter(n)
+    assert router.shard_of(key) == router.shard_of(key)
+    assert 0 <= router.shard_of(key) < n

@@ -1,0 +1,162 @@
+"""Tests for the simulated TEE: attestation, sealing, and the oblivious ECALL."""
+
+import pytest
+
+from repro.crypto import aead
+from repro.errors import AttestationError, EnclaveSealedError, ProtocolError
+from repro.tee import AttestationService, Enclave, HardwareRoot
+from repro.tee.attestation import Quote, measure_code
+from repro.tee.enclave import ENCLAVE_CODE_IDENTITY
+
+DATA_KEY = b"d" * 32
+
+
+@pytest.fixture()
+def enclave():
+    enc = Enclave(HardwareRoot())
+    enc.provision_key(DATA_KEY)
+    return enc
+
+
+# --------------------------------------------------------------------- #
+# Attestation
+# --------------------------------------------------------------------- #
+
+def test_quote_verifies_for_expected_measurement():
+    hw = HardwareRoot()
+    enclave = Enclave(hw)
+    service = AttestationService(hw, measure_code(ENCLAVE_CODE_IDENTITY))
+    service.verify(enclave.generate_quote(b"nonce"))  # no raise
+
+
+def test_forged_quote_rejected():
+    hw = HardwareRoot()
+    service = AttestationService(hw, measure_code(ENCLAVE_CODE_IDENTITY))
+    fake = Quote(measure_code(ENCLAVE_CODE_IDENTITY), b"", b"\x00" * 32)
+    with pytest.raises(AttestationError):
+        service.verify(fake)
+
+
+def test_wrong_measurement_rejected():
+    hw = HardwareRoot()
+    enclave = Enclave(hw)
+    service = AttestationService(hw, measure_code("some-other-enclave"))
+    with pytest.raises(AttestationError):
+        service.verify(enclave.generate_quote())
+
+
+def test_quote_from_other_machine_rejected():
+    enclave = Enclave(HardwareRoot())
+    other_service = AttestationService(HardwareRoot(), enclave.measurement)
+    with pytest.raises(AttestationError):
+        other_service.verify(enclave.generate_quote())
+
+
+# --------------------------------------------------------------------- #
+# Sealing
+# --------------------------------------------------------------------- #
+
+def test_host_cannot_read_sealed_key(enclave):
+    with pytest.raises(EnclaveSealedError):
+        _ = enclave.sealed_key
+
+
+def test_unprovisioned_enclave_refuses_ecalls():
+    enclave = Enclave(HardwareRoot())
+    assert not enclave.is_provisioned
+    with pytest.raises(ProtocolError):
+        enclave.ecall_select_and_reencrypt(b"x", b"y", b"z")
+
+
+def test_short_provisioned_key_rejected():
+    enclave = Enclave(HardwareRoot())
+    with pytest.raises(ProtocolError):
+        enclave.provision_key(b"short")
+
+
+# --------------------------------------------------------------------- #
+# The oblivious ECALL
+# --------------------------------------------------------------------- #
+
+def _ecall(enclave, is_read, v_old, v_new):
+    return enclave.ecall_select_and_reencrypt(
+        aead.encrypt(DATA_KEY, bytes([1 if is_read else 0])),
+        aead.encrypt(DATA_KEY, v_old),
+        aead.encrypt(DATA_KEY, v_new),
+    )
+
+
+def test_read_selects_old_value(enclave):
+    out = _ecall(enclave, True, b"old-value!", b"new-value!")
+    assert aead.decrypt(DATA_KEY, out) == b"old-value!"
+
+
+def test_write_selects_new_value(enclave):
+    out = _ecall(enclave, False, b"old-value!", b"new-value!")
+    assert aead.decrypt(DATA_KEY, out) == b"new-value!"
+
+
+def test_output_is_reencrypted_not_replayed(enclave):
+    v_old_ct = aead.encrypt(DATA_KEY, b"old")
+    out = enclave.ecall_select_and_reencrypt(
+        aead.encrypt(DATA_KEY, bytes([1])), v_old_ct, aead.encrypt(DATA_KEY, b"xxx")
+    )
+    assert out != v_old_ct  # fresh nonce -> different ciphertext
+
+
+def test_trace_identical_for_reads_and_writes(enclave):
+    """The step sequence inside the enclave must not depend on the op type."""
+    _ecall(enclave, True, b"aa", b"bb")
+    read_trace = enclave.last_trace
+    _ecall(enclave, False, b"aa", b"bb")
+    write_trace = enclave.last_trace
+    assert read_trace == write_trace
+    assert read_trace == (
+        "decrypt-selector",
+        "decrypt-old",
+        "decrypt-new",
+        "select",
+        "encrypt-result",
+    )
+
+
+def test_ecall_count_increments(enclave):
+    before = enclave.ecall_count
+    _ecall(enclave, True, b"a", b"b")
+    _ecall(enclave, False, b"a", b"b")
+    assert enclave.ecall_count == before + 2
+
+
+def test_bad_selector_rejected(enclave):
+    with pytest.raises(ProtocolError):
+        enclave.ecall_select_and_reencrypt(
+            aead.encrypt(DATA_KEY, b"\x05"),
+            aead.encrypt(DATA_KEY, b"a"),
+            aead.encrypt(DATA_KEY, b"b"),
+        )
+    with pytest.raises(ProtocolError):
+        enclave.ecall_select_and_reencrypt(
+            aead.encrypt(DATA_KEY, b"10"),  # two bytes
+            aead.encrypt(DATA_KEY, b"a"),
+            aead.encrypt(DATA_KEY, b"b"),
+        )
+
+
+def test_mismatched_value_lengths_rejected(enclave):
+    with pytest.raises(ProtocolError):
+        enclave.ecall_select_and_reencrypt(
+            aead.encrypt(DATA_KEY, bytes([1])),
+            aead.encrypt(DATA_KEY, b"short"),
+            aead.encrypt(DATA_KEY, b"much-longer-value"),
+        )
+
+
+def test_wrong_key_ciphertexts_fail_inside_enclave(enclave):
+    from repro.errors import DecryptionError
+
+    with pytest.raises(DecryptionError):
+        enclave.ecall_select_and_reencrypt(
+            aead.encrypt(b"wrong-key-123456", bytes([1])),
+            aead.encrypt(DATA_KEY, b"a"),
+            aead.encrypt(DATA_KEY, b"b"),
+        )

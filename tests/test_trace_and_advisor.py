@@ -1,0 +1,119 @@
+"""Tests for workload traces and the deployment advisor."""
+
+import pytest
+
+from repro.analysis.advisor import recommend
+from repro.errors import ConfigurationError
+from repro.types import Operation, Request
+from repro.workloads.synthetic import RequestStream, WorkloadSpec
+from repro.workloads.trace import record_trace, replay_trace, trace_summary
+
+
+# --------------------------------------------------------------------- #
+# Traces
+# --------------------------------------------------------------------- #
+
+def test_trace_roundtrip(tmp_path):
+    requests = [
+        Request.read("a"),
+        Request.write("b", b"\x00\xffdata"),
+        Request.read("c"),
+    ]
+    path = tmp_path / "trace.jsonl"
+    assert record_trace(requests, path) == 3
+    replayed = list(replay_trace(path))
+    assert replayed == requests
+
+
+def test_trace_from_stream_roundtrip(tmp_path):
+    spec = WorkloadSpec(keys=("k1", "k2"), value_len=8, write_fraction=0.5, seed=3)
+    requests = RequestStream(spec).take(50)
+    path = tmp_path / "stream.jsonl"
+    record_trace(requests, path)
+    assert list(replay_trace(path)) == requests
+
+
+def test_trace_summary(tmp_path):
+    requests = [Request.read("a")] * 6 + [Request.write("b", b"x")] * 4
+    path = tmp_path / "trace.jsonl"
+    record_trace(requests, path)
+    summary = trace_summary(path)
+    assert summary == {
+        "requests": 10,
+        "reads": 6,
+        "writes": 4,
+        "write_fraction": 0.4,
+        "distinct_keys": 2,
+    }
+
+
+def test_trace_errors(tmp_path):
+    with pytest.raises(ConfigurationError):
+        list(replay_trace(tmp_path / "missing.jsonl"))
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"op": "read", "key": "a"}\n{"op": "nonsense"}\n')
+    with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+        list(replay_trace(bad))
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("\n\n")
+    with pytest.raises(ConfigurationError):
+        trace_summary(empty)
+
+
+def test_trace_skips_blank_lines(tmp_path):
+    path = tmp_path / "gaps.jsonl"
+    path.write_text('{"op": "read", "key": "a"}\n\n{"op": "read", "key": "b"}\n')
+    assert [r.key for r in replay_trace(path)] == ["a", "b"]
+
+
+# --------------------------------------------------------------------- #
+# Advisor (§6.3.2)
+# --------------------------------------------------------------------- #
+
+def test_tee_wins_when_available_and_trusted():
+    rec = recommend(value_len=160, server_rtt_ms="oregon",
+                    tee_available=True, tee_trusted=True)
+    assert rec.protocol == "tee"
+
+
+def test_tee_unavailable_falls_through_to_rule():
+    rec = recommend(value_len=160, server_rtt_ms="oregon",
+                    tee_available=True, tee_trusted=False)
+    assert rec.protocol in ("lbl", "baseline")
+
+
+def test_small_values_near_server_pick_lbl():
+    rec = recommend(value_len=50, server_rtt_ms="oregon")
+    assert rec.protocol == "lbl"
+    assert rec.rule_satisfied
+
+
+def test_large_values_near_server_pick_baseline():
+    rec = recommend(value_len=600, server_rtt_ms="oregon")
+    assert rec.protocol == "baseline"
+    assert not rec.rule_satisfied
+
+
+def test_gdpr_distance_rescues_lbl_at_300b():
+    """Figure 3d's scenario through the advisor."""
+    near = recommend(value_len=300, server_rtt_ms="oregon")
+    far = recommend(value_len=300, server_rtt_ms="london")
+    assert far.protocol == "lbl"
+    # Near the server, 300 B sits at the crossover; either answer is
+    # defensible but the far case must flip decisively toward LBL.
+    assert far.rtt_ms > near.rtt_ms
+
+
+def test_recommendation_carries_the_numbers():
+    rec = recommend(value_len=160, server_rtt_ms=100.0)
+    assert rec.rtt_ms == 100.0
+    assert rec.lbl_compute_ms > 0
+    assert rec.lbl_overhead_ms > 0
+    assert "§6.3.2" in rec.reason or "6.1" in rec.reason
+
+
+def test_advisor_validation():
+    with pytest.raises(ConfigurationError):
+        recommend(value_len=160, server_rtt_ms="atlantis")
+    with pytest.raises(ConfigurationError):
+        recommend(value_len=160, server_rtt_ms=-5.0)

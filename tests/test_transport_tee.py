@@ -1,0 +1,144 @@
+"""Tests for TEE-ORTOA over TCP with the remote-attestation handshake."""
+
+import socket
+
+import pytest
+
+from repro.errors import AttestationError, ProtocolError
+from repro.tee.attestation import AttestationService, HardwareRoot, measure_code
+from repro.tee.enclave import ENCLAVE_CODE_IDENTITY
+from repro.transport.framing import recv_frame, send_frame
+from repro.transport.tee_client import RemoteTeeOrtoa
+from repro.transport.tee_server import (
+    ATTEST_TAG,
+    TeeTcpServer,
+    pack_quote,
+    unpack_quote,
+)
+from repro.types import Request, StoreConfig
+
+CONFIG = StoreConfig(value_len=16)
+
+
+@pytest.fixture()
+def server():
+    tcp = TeeTcpServer()
+    tcp.serve_in_background()
+    yield tcp
+    tcp.shutdown()
+    tcp.server_close()
+
+
+def good_attestation(server):
+    return AttestationService(server.hardware, measure_code(ENCLAVE_CODE_IDENTITY))
+
+
+@pytest.fixture()
+def client(server):
+    remote = RemoteTeeOrtoa(CONFIG, server.address, good_attestation(server))
+    remote.initialize({"k1": b"one", "k2": b"two"})
+    yield remote
+    remote.close()
+
+
+# --------------------------------------------------------------------- #
+# The handshake
+# --------------------------------------------------------------------- #
+
+def test_handshake_provisions_enclave(server):
+    assert not server.enclave.is_provisioned
+    remote = RemoteTeeOrtoa(CONFIG, server.address, good_attestation(server))
+    assert server.enclave.is_provisioned
+    remote.close()
+
+
+def test_wrong_measurement_blocks_provisioning(server):
+    wrong = AttestationService(server.hardware, measure_code("rogue-enclave"))
+    with pytest.raises(AttestationError):
+        RemoteTeeOrtoa(CONFIG, server.address, wrong)
+    assert not server.enclave.is_provisioned
+
+
+def test_wrong_hardware_root_blocks_provisioning(server):
+    other_machine = AttestationService(
+        HardwareRoot(), measure_code(ENCLAVE_CODE_IDENTITY)
+    )
+    with pytest.raises(AttestationError):
+        RemoteTeeOrtoa(CONFIG, server.address, other_machine)
+
+
+def test_quote_carries_fresh_nonce(server):
+    sock = socket.create_connection(server.address, timeout=5)
+    try:
+        send_frame(sock, bytes([ATTEST_TAG]) + b"my-nonce-123")
+        quote = unpack_quote(recv_frame(sock))
+        assert quote.report_data == b"my-nonce-123"
+        good_attestation(server).verify(quote)
+    finally:
+        sock.close()
+
+
+def test_quote_pack_roundtrip(server):
+    quote = server.enclave.generate_quote(b"nonce")
+    assert unpack_quote(pack_quote(quote)) == quote
+
+
+def test_unprovisioned_server_refuses_accesses(server):
+    """Skip the handshake entirely: accesses must fail server-side."""
+    from repro.core.messages import TeeAccessRequest
+
+    sock = socket.create_connection(server.address, timeout=5)
+    try:
+        send_frame(
+            sock, TeeAccessRequest(b"key", b"selector", b"value").to_bytes()
+        )
+        reply = recv_frame(sock)
+        assert reply[0] == 0x7F  # error frame
+        assert b"provision" in reply or b"attest" in reply
+    finally:
+        sock.close()
+
+
+# --------------------------------------------------------------------- #
+# Data path
+# --------------------------------------------------------------------- #
+
+def test_read_write_over_tcp(client):
+    assert client.read("k1") == CONFIG.pad(b"one")
+    client.write("k1", b"updated")
+    assert client.read("k1") == CONFIG.pad(b"updated")
+    assert client.read("k2") == CONFIG.pad(b"two")
+
+
+def test_wire_shape_identical_for_reads_and_writes(client):
+    t_read = client.access(Request.read("k1"))
+    t_write = client.access(Request.write("k1", CONFIG.pad(b"x")))
+    assert t_read.request_bytes == t_write.request_bytes
+    assert t_read.response_bytes == t_write.response_bytes
+
+
+def test_server_state_rotates_on_reads(server, client):
+    encoded = client.keychain.encode_key("k1")
+    before = server.store.get(encoded)
+    client.read("k1")
+    assert server.store.get(encoded) != before
+
+
+def test_server_process_never_holds_plaintext_keys(server, client):
+    client.write("k1", b"sensitive")
+    for encoded_key in server.store:
+        assert b"k1" not in encoded_key
+
+
+def test_ecall_count_grows_per_access(server, client):
+    before = server.enclave.ecall_count
+    client.read("k1")
+    client.write("k2", b"v")
+    assert server.enclave.ecall_count == before + 2
+
+
+def test_malformed_load_rejected(server, client):
+    from repro.transport.tee_server import TEE_LOAD_TAG
+
+    with pytest.raises(ProtocolError, match="server error"):
+        client._exchange(bytes([TEE_LOAD_TAG]) + b"\x00\x00\x00\xffshort")

@@ -1,0 +1,90 @@
+"""Fuzz tests: parsers must fail *cleanly* (ProtocolError/ConfigurationError),
+never with unexpected exceptions, on arbitrary or mutated input."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import messages as m
+from repro.crypto.fhe import FheCiphertext, FheParams
+from repro.errors import ConfigurationError, ProtocolError
+
+PARSERS = [
+    m.ReadRequest,
+    m.ReadResponse,
+    m.WriteRequest,
+    m.WriteAck,
+    m.TeeAccessRequest,
+    m.TeeAccessResponse,
+    m.LblAccessRequest,
+    m.LblAccessResponse,
+    m.FheAccessRequest,
+    m.FheAccessResponse,
+]
+
+
+@pytest.mark.parametrize("parser", PARSERS, ids=lambda p: p.__name__)
+@given(data=st.binary(max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_parsers_never_crash_on_garbage(parser, data):
+    try:
+        parser.from_bytes(data)
+    except ProtocolError:
+        pass  # the only acceptable failure mode
+
+
+@given(
+    mutation_at=st.integers(min_value=0, max_value=10_000),
+    new_byte=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=50, deadline=None)
+def test_lbl_request_mutation_is_rejected_or_parses(mutation_at, new_byte):
+    """Any single-byte mutation of a valid message either still frames
+    correctly (payload corruption is the AEAD's job) or raises cleanly."""
+    original = m.LblAccessRequest(
+        b"encoded-key", ((b"ct-one" * 4, b"ct-two" * 4),) * 3
+    ).to_bytes()
+    mutated = bytearray(original)
+    mutated[mutation_at % len(mutated)] = new_byte
+    try:
+        parsed = m.LblAccessRequest.from_bytes(bytes(mutated))
+        assert isinstance(parsed.tables, tuple)
+    except ProtocolError:
+        pass
+
+
+@given(data=st.binary(max_size=400))
+@settings(max_examples=30, deadline=None)
+def test_fhe_ciphertext_parser_never_crashes(data):
+    params = FheParams(n=8, q_bits=40)
+    try:
+        FheCiphertext.from_bytes(params, data)
+    except ConfigurationError:
+        pass
+
+
+@given(
+    truncate_to=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_truncated_fhe_ciphertext_rejected(truncate_to):
+    from repro.crypto.fhe import FheScheme
+
+    params = FheParams(n=8, q_bits=40)
+    blob = FheScheme(params).encrypt_scalar(1).to_bytes()
+    if truncate_to >= len(blob):
+        return
+    with pytest.raises(ConfigurationError):
+        FheCiphertext.from_bytes(params, blob[:truncate_to])
+
+
+def test_cross_protocol_tag_confusion_rejected():
+    """Feeding one protocol's message to another parser must fail."""
+    lbl = m.LblAccessRequest(b"k", ((b"a", b"b"),)).to_bytes()
+    tee = m.TeeAccessRequest(b"k", b"s", b"v").to_bytes()
+    with pytest.raises(ProtocolError):
+        m.TeeAccessRequest.from_bytes(lbl)
+    with pytest.raises(ProtocolError):
+        m.LblAccessRequest.from_bytes(tee)
+    with pytest.raises(ProtocolError):
+        m.FheAccessRequest.from_bytes(tee)

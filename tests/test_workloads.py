@@ -1,0 +1,138 @@
+"""Tests for synthetic workloads and dataset builders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.types import Operation
+from repro.workloads import (
+    DATASETS,
+    RequestStream,
+    WorkloadSpec,
+    build_dataset,
+    synthetic_records,
+)
+
+
+# --------------------------------------------------------------------- #
+# Synthetic records and request streams
+# --------------------------------------------------------------------- #
+
+def test_synthetic_records_shape():
+    records = synthetic_records(100, 160, seed=1)
+    assert len(records) == 100
+    assert all(len(v) == 160 for v in records.values())
+
+
+def test_synthetic_records_deterministic():
+    assert synthetic_records(10, 16, seed=5) == synthetic_records(10, 16, seed=5)
+    assert synthetic_records(10, 16, seed=5) != synthetic_records(10, 16, seed=6)
+
+
+def test_stream_deterministic():
+    spec = WorkloadSpec(keys=("a", "b", "c"), value_len=8, seed=9)
+    assert [r.key for r in RequestStream(spec).take(20)] == [
+        r.key for r in RequestStream(spec).take(20)
+    ]
+
+
+def test_write_fraction_respected():
+    for fraction in (0.0, 0.3, 1.0):
+        spec = WorkloadSpec(keys=("k",), value_len=8, write_fraction=fraction, seed=2)
+        requests = RequestStream(spec).take(2000)
+        observed = sum(1 for r in requests if r.op is Operation.WRITE) / 2000
+        assert observed == pytest.approx(fraction, abs=0.05)
+
+
+def test_write_requests_carry_values_reads_dont():
+    spec = WorkloadSpec(keys=("k",), value_len=12, write_fraction=0.5, seed=3)
+    for request in RequestStream(spec).take(50):
+        if request.op is Operation.WRITE:
+            assert len(request.value) == 12
+        else:
+            assert request.value is None
+
+
+def test_uniform_key_coverage():
+    keys = tuple(f"k{i}" for i in range(10))
+    spec = WorkloadSpec(keys=keys, value_len=4, seed=4)
+    seen = {r.key for r in RequestStream(spec).take(500)}
+    assert seen == set(keys)
+
+
+def test_zipf_skews_toward_low_ranks():
+    keys = tuple(f"k{i}" for i in range(50))
+    spec = WorkloadSpec(keys=keys, value_len=4, zipf_s=1.2, seed=6)
+    requests = RequestStream(spec).take(3000)
+    counts = {k: 0 for k in keys}
+    for r in requests:
+        counts[r.key] += 1
+    assert counts["k0"] > 5 * counts["k49"]
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(keys=(), value_len=8)
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(keys=("k",), value_len=8, write_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(keys=("k",), value_len=8, zipf_s=-1)
+    with pytest.raises(ConfigurationError):
+        synthetic_records(0, 8)
+
+
+# --------------------------------------------------------------------- #
+# Datasets (§6.4)
+# --------------------------------------------------------------------- #
+
+def test_dataset_value_sizes_match_paper():
+    """EHR 10B, SmallBank 50B, e-commerce 40B — the §6.4 schemas."""
+    assert DATASETS["ehr"].value_len == 10
+    assert DATASETS["smallbank"].value_len == 50
+    assert DATASETS["ecommerce"].value_len == 40
+    for name, spec in DATASETS.items():
+        records = build_dataset(name, 64, seed=1)
+        assert all(len(v) == spec.value_len for v in records.values()), name
+
+
+def test_dataset_repeats_base_population():
+    """The paper repeats the 1024-row EHR data to fill 1M objects; values
+    recur while keys stay unique."""
+    records = build_dataset("ehr", 3000, seed=1)
+    assert len(records) == 3000  # unique keys
+    assert len(set(records.values())) <= 1024
+
+
+def test_dataset_deterministic():
+    assert build_dataset("smallbank", 50, seed=7) == build_dataset("smallbank", 50, seed=7)
+
+
+def test_dataset_keys_use_uuids():
+    records = build_dataset("ehr", 5, seed=1)
+    for key in records:
+        prefix, _, suffix = key.partition("-")
+        assert prefix == "patient"
+        assert len(suffix) == 36  # uuid format
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(ConfigurationError):
+        build_dataset("imaginary", 10)
+    with pytest.raises(ConfigurationError):
+        build_dataset("ehr", 0)
+
+
+def test_smallbank_values_parse():
+    records = build_dataset("smallbank", 5, seed=2)
+    for value in records.values():
+        text = value.rstrip(b"\x00").decode("ascii")
+        assert text.startswith("C") and "S" in text and "A" in text and "R" in text
+
+
+@given(st.sampled_from(sorted(DATASETS)), st.integers(min_value=1, max_value=200))
+@settings(max_examples=20, deadline=None)
+def test_dataset_size_property(name, n):
+    records = build_dataset(name, n, seed=0)
+    assert len(records) == n
+    assert all(len(v) == DATASETS[name].value_len for v in records.values())
