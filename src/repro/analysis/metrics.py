@@ -36,6 +36,12 @@ class RunMetrics:
         """The latency not explained by compute or size overhead (≈ RTTs)."""
         return self.avg_latency_ms - self.avg_compute_ms - self.avg_comm_overhead_ms
 
+    def to_dict(self) -> dict[str, float | int]:
+        """All fields (plus the derived RTT share) as a JSON-ready dict."""
+        out = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        out["avg_base_comm_ms"] = self.avg_base_comm_ms
+        return out
+
 
 def summarize(samples: list[LatencySample], duration_ms: float) -> RunMetrics:
     """Reduce per-request samples into a :class:`RunMetrics`.

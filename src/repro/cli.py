@@ -5,21 +5,31 @@ Usage::
     python -m repro list                      # what can be reproduced
     python -m repro run figure2a              # regenerate one figure
     python -m repro run figure2b --out f.txt  # save the table
+    python -m repro run figure2a --json       # machine-readable rows
+    python -m repro run figure3c --obs-json obs.json   # spans + metrics
     python -m repro demo                      # 30-second functional demo
     python -m repro cost                      # §6.3.3 dollar-cost estimate
+    python -m repro obs                       # metrics + obliviousness audit
 
 Experiment names match :mod:`repro.harness.experiments` (``table2``,
-``figure2a`` … ``figure6``, ``fhe_noise``, ``dollar_cost``).
+``figure2a`` … ``figure6``, ``fhe_noise``, ``dollar_cost``).  The global
+``--log-level`` flag (before the subcommand) configures the ``repro.*``
+logger hierarchy.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import random
 import sys
 from typing import Sequence
 
+from repro import obs
+from repro.errors import OrtoaError
 from repro.harness import experiments
 from repro.harness.report import render_table, rows_to_csv
+from repro.obs.logging import LEVELS
 
 #: name -> (callable, one-line description)
 EXPERIMENTS = {
@@ -54,8 +64,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         known = ", ".join(EXPERIMENTS)
         print(f"unknown experiment {args.experiment!r}; known: {known}", file=sys.stderr)
         return 2
-    rows = fn()
-    if args.format == "csv":
+    if args.obs_json:
+        with obs.capture():
+            rows = fn()
+            bundle = obs.export()
+        bundle["experiment"] = args.experiment
+        with open(args.obs_json, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, default=str)
+        print(
+            f"wrote {len(bundle['spans'])} spans and "
+            f"{sum(len(v) for v in bundle['metrics'].values())} metrics "
+            f"to {args.obs_json}"
+        )
+    else:
+        rows = fn()
+    if args.json:
+        text = json.dumps(rows, indent=2, default=str)
+    elif args.format == "csv":
         text = rows_to_csv(rows)
     else:
         text = render_table(description, rows)
@@ -93,6 +118,51 @@ def _cmd_cost(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Run an instrumented LBL workload; print metrics and the audit verdict."""
+    from repro.obs.audit import LeakyLblOrtoa, run_audit
+    from repro.core.lbl import LblOrtoa
+    from repro.types import StoreConfig
+
+    if args.base:
+        config = StoreConfig(value_len=args.value_len)
+    else:
+        config = StoreConfig(
+            value_len=args.value_len, group_bits=2, point_and_permute=True
+        )
+    protocol_cls = LeakyLblOrtoa if args.leaky else LblOrtoa
+    protocol = protocol_cls(config, rng=random.Random(args.seed))
+
+    obs.reset()
+    try:
+        report = run_audit(protocol, num_keys=args.keys, seed=args.seed)
+    except OrtoaError as exc:
+        print(f"audit failed to run: {exc}", file=sys.stderr)
+        return 2
+    snapshot = obs.REGISTRY.snapshot()
+
+    print(f"protocol: {protocol.name}  (value_len={config.value_len}, "
+          f"y={config.group_bits}, point_and_permute={config.point_and_permute})")
+    print("metrics:")
+    for name, value in sorted(snapshot["counters"].items()):
+        print(f"  {name:38s} {value}")
+    for name, gauge in sorted(snapshot["gauges"].items()):
+        print(f"  {name:38s} {gauge['value']} (max {gauge['max']})")
+    print(report.summary())
+
+    if args.json:
+        bundle = {
+            "protocol": protocol.name,
+            "metrics": snapshot,
+            "audit": report.to_dict(),
+            "spans": obs.TRACER.export(),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, default=str)
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Run every experiment and write one table file per artifact."""
     import pathlib
@@ -124,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ORTOA (EDBT 2024) reproduction toolkit",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LEVELS,
+        default="warning",
+        help="verbosity of the repro.* logger hierarchy (default: warning)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list reproducible tables/figures").set_defaults(
@@ -139,6 +215,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="output format (default: aligned text table)",
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the experiment rows as JSON (overrides --format)",
+    )
+    run.add_argument(
+        "--obs-json",
+        metavar="PATH",
+        help="capture spans + metrics during the run and write them to PATH",
+    )
     run.set_defaults(func=_cmd_run)
 
     sub.add_parser("demo", help="30-second functional demo").set_defaults(
@@ -147,6 +233,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("cost", help="§6.3.3 dollar-cost estimate").set_defaults(
         func=_cmd_cost
     )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="run an instrumented LBL workload; print metrics and the "
+        "obliviousness-audit verdict (exit 1 on a detected leak)",
+    )
+    obs_cmd.add_argument("--keys", type=int, default=32, help="workload size")
+    obs_cmd.add_argument("--value-len", type=int, default=16, help="value bytes")
+    obs_cmd.add_argument("--seed", type=int, default=0, help="workload seed")
+    obs_cmd.add_argument(
+        "--base",
+        action="store_true",
+        help="audit the plain §5.2 protocol (shuffled tables) instead of "
+        "the §10-optimized configuration",
+    )
+    obs_cmd.add_argument(
+        "--leaky",
+        action="store_true",
+        help="audit the deliberately leaky negative control (must FAIL)",
+    )
+    obs_cmd.add_argument("--json", metavar="PATH", help="also write a JSON bundle")
+    obs_cmd.set_defaults(func=_cmd_obs)
 
     reproduce = sub.add_parser(
         "reproduce", help="run every experiment, one table file per artifact"
@@ -161,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    obs.setup_logging(args.log_level)
     return args.func(args)
 
 

@@ -63,9 +63,12 @@ class LblOrtoa(OrtoaProtocol):
             self.server.load(encoded_key, labels)
 
     def access(self, request: Request) -> AccessTranscript:
-        req, proxy_ops = self.proxy.prepare(request)
-        resp, server_ops = self.server.process(req)
-        value, finalize_ops = self.proxy.finalize(request.key, resp)
+        from repro.obs.trace import TRACER
+
+        with TRACER.span("lbl.access", op=request.op.value):
+            req, proxy_ops = self.proxy.prepare(request)
+            resp, server_ops = self.server.process(req)
+            value, finalize_ops = self.proxy.finalize(request.key, resp)
         return AccessTranscript(
             op=request.op,
             phases=(

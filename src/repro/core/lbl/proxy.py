@@ -28,6 +28,9 @@ from repro.crypto import aead
 from repro.crypto.keys import KeyChain
 from repro.crypto.labels import LabelCodec, StoredLabel, value_to_groups
 from repro.errors import KeyNotFoundError, ProtocolError
+from repro.obs import _state as _obs
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.types import Request, StoreConfig
 
 #: Width of the serialized point-and-permute slot index appended to each
@@ -123,6 +126,7 @@ class LblProxy:
 
     def prepare(self, request: Request) -> tuple[LblAccessRequest, OpCounts]:
         """Build the one-round request and advance the access counter."""
+        span = TRACER.start_span("lbl.proxy.prepare") if _obs.enabled else None
         key = request.key
         ct = self.counter(key)
         new_ct = ct + 1
@@ -166,6 +170,20 @@ class LblProxy:
 
         self._counters[key] = new_ct
         ops = OpCounts(prf=prf_count + 1, aead_enc=enc_count)  # +1: key encoding
+        if span is not None:
+            labels_generated = 2 * table_size * self.codec.num_groups
+            span.set_attributes(
+                op=request.op.value,
+                groups=self.codec.num_groups,
+                table_size=table_size,
+                labels_generated=labels_generated,
+                ciphertexts_built=enc_count,
+                prf_calls=prf_count + 1,
+            )
+            TRACER.end(span)
+            REGISTRY.counter("lbl.proxy.prepares").inc()
+            REGISTRY.counter("lbl.proxy.labels_generated").inc(labels_generated)
+            REGISTRY.counter("lbl.proxy.ciphertexts_built").inc(enc_count)
         return (
             LblAccessRequest(self.keychain.encode_key(key), tuple(tables)),
             ops,
@@ -201,6 +219,8 @@ class LblProxy:
         new_ct = self.counter(key) if counter is None else counter
         value = self.codec.decode_labels(key, list(response.opened_labels), new_ct)
         ops = OpCounts(prf=self.codec.table_size * self.codec.num_groups)
+        if _obs.enabled:
+            REGISTRY.counter("lbl.proxy.finalizes").inc()
         return value, ops
 
 

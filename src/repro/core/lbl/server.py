@@ -15,6 +15,13 @@ either:
 Either way the decrypted payload becomes the group's new stored label, so
 *every* access rewrites storage — the server cannot distinguish a read from
 a write by watching its own state.
+
+When :mod:`repro.obs` capture is enabled, each ``process()`` call emits a
+:data:`SERVER_SPAN` span describing everything this component could observe
+about the request — table shapes, ciphertext bytes, decryption attempts,
+storage rewrites.  The obliviousness auditor (:mod:`repro.obs.audit`)
+consumes exactly this stream: if the span attributes distinguish reads from
+writes, the protocol leaks.
 """
 
 from __future__ import annotations
@@ -24,8 +31,14 @@ from repro.core.messages import LblAccessRequest, LblAccessResponse
 from repro.crypto import aead
 from repro.crypto.labels import StoredLabel
 from repro.errors import ProtocolError
+from repro.obs import _state as _obs
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.storage.kv import KeyValueStore
 from repro.core.lbl.proxy import DECRYPT_INDEX_BYTES
+
+#: Span name of the per-request server-side observation record.
+SERVER_SPAN = "lbl.server.process"
 
 
 class LblServer:
@@ -41,8 +54,18 @@ class LblServer:
             raise ProtocolError("point-and-permute server needs decrypt indices")
         self.store.put_new(encoded_key, labels)
 
+    def _commit(self, encoded_key: bytes, updated: list[StoredLabel]) -> int:
+        """Persist the rotated labels; returns how many labels were rewritten.
+
+        Split out so test doubles can model a *leaky* server that skips the
+        rewrite — the behaviour the obliviousness auditor must flag.
+        """
+        self.store.put(encoded_key, updated)
+        return len(updated)
+
     def process(self, request: LblAccessRequest) -> tuple[LblAccessResponse, OpCounts]:
         """Open one entry per group, update stored labels, return the labels."""
+        span = TRACER.start_span(SERVER_SPAN) if _obs.enabled else None
         stored = self.store.get(request.encoded_key)
         if len(request.tables) != len(stored):
             raise ProtocolError(
@@ -52,6 +75,7 @@ class LblServer:
         updated: list[StoredLabel] = []
         decrypts = 0
         failed = 0
+        slot_hits = 0
         for group_index, (table, current) in enumerate(zip(request.tables, stored)):
             if self.point_and_permute:
                 slot = current.decrypt_index
@@ -63,6 +87,7 @@ class LblServer:
                     raise ProtocolError(
                         f"designated entry failed to open at group {group_index}"
                     )
+                slot_hits += 1
                 if len(payload) <= DECRYPT_INDEX_BYTES:
                     raise ProtocolError("point-and-permute payload too short")
                 new_label = payload[:-DECRYPT_INDEX_BYTES]
@@ -85,13 +110,34 @@ class LblServer:
                     )
                 updated.append(StoredLabel(new_label))
                 opened.append(new_label)
-        self.store.put(request.encoded_key, updated)
+        rewritten = self._commit(request.encoded_key, updated)
         ops = OpCounts(
             kv_ops=2,
             aead_dec=decrypts - failed,
             failed_dec=failed,
         )
+        if span is not None:
+            table_entries = sum(len(table) for table in request.tables)
+            span.set_attributes(
+                groups=len(request.tables),
+                table_entries=table_entries,
+                ciphertext_bytes=sum(
+                    len(entry) for table in request.tables for entry in table
+                ),
+                decrypt_attempts=decrypts,
+                failed_decrypts=failed,
+                opened_labels=len(opened),
+                labels_rewritten=rewritten,
+                storage_writes=1 if rewritten else 0,
+                point_and_permute=self.point_and_permute,
+            )
+            TRACER.end(span)
+            REGISTRY.counter("lbl.server.requests").inc()
+            REGISTRY.counter("lbl.server.decrypt_attempts").inc(decrypts)
+            REGISTRY.counter("lbl.server.failed_decrypts").inc(failed)
+            REGISTRY.counter("lbl.server.slot_hits").inc(slot_hits)
+            REGISTRY.counter("lbl.server.labels_rewritten").inc(rewritten)
         return LblAccessResponse(tuple(opened)), ops
 
 
-__all__ = ["LblServer"]
+__all__ = ["LblServer", "SERVER_SPAN"]

@@ -24,6 +24,8 @@ import hmac
 import secrets
 
 from repro.errors import ConfigurationError, DecryptionError
+from repro.obs import _state as _obs
+from repro.obs.metrics import REGISTRY
 
 NONCE_LEN = 12
 TAG_LEN = 16
@@ -72,6 +74,8 @@ def encrypt(key: bytes, plaintext: bytes, *, nonce: bytes | None = None) -> byte
     enc_key, mac_key = _subkeys(key)
     body = bytes(p ^ k for p, k in zip(plaintext, _keystream(enc_key, nonce, len(plaintext))))
     tag = hmac.new(mac_key, nonce + body, _DIGEST).digest()[:TAG_LEN]
+    if _obs.enabled:
+        REGISTRY.counter("crypto.aead.encrypts").inc()
     return nonce + body + tag
 
 
@@ -86,6 +90,8 @@ def decrypt(key: bytes, ciphertext: bytes) -> bytes:
     if len(key) < 16:
         raise ConfigurationError("AEAD key must be at least 16 bytes")
     if len(ciphertext) < NONCE_LEN + TAG_LEN:
+        if _obs.enabled:
+            REGISTRY.counter("crypto.aead.decrypt_failures").inc()
         raise DecryptionError("ciphertext too short")
     nonce = ciphertext[:NONCE_LEN]
     body = ciphertext[NONCE_LEN:-TAG_LEN]
@@ -93,7 +99,11 @@ def decrypt(key: bytes, ciphertext: bytes) -> bytes:
     enc_key, mac_key = _subkeys(key)
     expected = hmac.new(mac_key, nonce + body, _DIGEST).digest()[:TAG_LEN]
     if not hmac.compare_digest(tag, expected):
+        if _obs.enabled:
+            REGISTRY.counter("crypto.aead.decrypt_failures").inc()
         raise DecryptionError("authentication tag mismatch")
+    if _obs.enabled:
+        REGISTRY.counter("crypto.aead.decrypts").inc()
     return bytes(c ^ k for c, k in zip(body, _keystream(enc_key, nonce, len(body))))
 
 

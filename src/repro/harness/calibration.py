@@ -9,18 +9,19 @@ counts into simulated time.  Two calibrations are provided:
   for 160 B values, §6.3.1/§6.3.3; enclave call overhead in the tens of
   microseconds).  This is the default for figure reproduction.
 * :meth:`CostModel.measured` — times this library's own (pure-Python)
-  primitives with ``time.perf_counter``, for machine-true what-if runs.
+  primitives through the :mod:`repro.obs.clock` abstraction (wall clock by
+  default, a fake clock under test), for machine-true what-if runs.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 
 from repro.core.base import OpCounts
 from repro.crypto import aead
 from repro.crypto.prf import Prf
 from repro.errors import ConfigurationError
+from repro.obs.clock import Clock, WallClock
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,15 +63,29 @@ class CostModel:
         return cls()
 
     @classmethod
-    def measured(cls, label_bytes: int = 16, samples: int = 2000) -> "CostModel":
+    def measured(
+        cls,
+        label_bytes: int = 16,
+        samples: int = 2000,
+        clock: Clock | None = None,
+    ) -> "CostModel":
         """Calibrate symmetric-crypto costs by timing this library.
 
         FHE and ecall costs keep their paper-like defaults (the FHE scheme
         here is educational-grade and the enclave is simulated, so timing
         them would not model any real deployment).
+
+        Args:
+            label_bytes: Payload size the primitives are timed at.
+            samples: Timed iterations per primitive.
+            clock: Time source (defaults to a fresh
+                :class:`~repro.obs.clock.WallClock`); tests inject a
+                :class:`~repro.obs.clock.FakeClock` for deterministic
+                calibration.
         """
         if samples < 10:
             raise ConfigurationError("need at least 10 samples to calibrate")
+        clock = clock or WallClock()
         prf = Prf(b"calibration-key-0123456789abcdef", out_bytes=label_bytes)
         key = b"k" * 16
         payload = b"p" * label_bytes
@@ -78,10 +93,10 @@ class CostModel:
         wrong_key = b"w" * 16
 
         def time_us(fn) -> float:
-            start = time.perf_counter()
+            start = clock.now()
             for i in range(samples):
                 fn(i)
-            return (time.perf_counter() - start) / samples * 1e6
+            return (clock.now() - start) / samples * 1e6
 
         prf_us = time_us(lambda i: prf.evaluate("calib", i))
         enc_us = time_us(lambda i: aead.encrypt(key, payload))

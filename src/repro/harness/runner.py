@@ -29,6 +29,10 @@ from repro.core import FheOrtoa, LblOrtoa, OrtoaProtocol, TeeOrtoa, TwoRoundBase
 from repro.core.base import AccessTranscript
 from repro.errors import ConfigurationError
 from repro.harness.calibration import CostModel
+from repro.obs import _state as _obs
+from repro.obs.clock import SimClock, use_clock
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.sim.core import Environment
 from repro.sim.network import CLIENT_PROXY_RTT_MS, DEFAULT_BANDWIDTH_MBPS, NetworkLink
 from repro.sim.resources import Resource
@@ -271,7 +275,10 @@ def run_experiment(
                     samples,
                 )
             )
-    env.run(until=spec.duration_ms)
+    # Spans recorded inside the simulation carry simulated-millisecond
+    # timestamps, making captured runs fully deterministic.
+    with use_clock(SimClock(env)):
+        env.run(until=spec.duration_ms)
 
     if not samples:
         raise ConfigurationError(
@@ -325,6 +332,16 @@ def _client_process(
         start = env.now
         compute_total = 0.0
         overhead_total = 0.0
+        # Manual span API: client generators interleave arbitrarily, so a
+        # context-managed (contextvar-nested) span would mis-parent siblings.
+        span = (
+            TRACER.start_span(
+                "harness.request", root=True, op=request_op.value,
+                protocol=spec.protocol,
+            )
+            if _obs.enabled
+            else None
+        )
 
         # Client → proxy hop (co-located datacenter).
         yield env.timeout(CLIENT_PROXY_RTT_MS / 2)
@@ -347,6 +364,19 @@ def _client_process(
         # Proxy → client hop.
         yield env.timeout(CLIENT_PROXY_RTT_MS / 2)
 
+        if span is not None:
+            request_bytes = sum(rt[0] for rt in profile.round_trips)
+            response_bytes = sum(rt[1] for rt in profile.round_trips)
+            span.set_attributes(
+                compute_ms=compute_total,
+                comm_overhead_ms=overhead_total,
+                request_bytes=request_bytes,
+                response_bytes=response_bytes,
+            )
+            TRACER.end(span)
+            REGISTRY.counter("harness.requests").inc()
+            REGISTRY.counter("harness.wire.request_bytes").inc(int(request_bytes))
+            REGISTRY.counter("harness.wire.response_bytes").inc(int(response_bytes))
         if env.now <= spec.duration_ms:
             samples.append(
                 LatencySample(
@@ -355,6 +385,7 @@ def _client_process(
                     end_ms=env.now,
                     compute_ms=compute_total,
                     comm_overhead_ms=overhead_total,
+                    trace_id=span.trace_id if span is not None else None,
                 )
             )
 

@@ -1,0 +1,15 @@
+"""Global on/off switch for the observability layer.
+
+Instrumented hot paths (AEAD, LBL proxy/server, framing, ORAM) guard every
+span/counter emission behind :data:`enabled`, a plain module attribute, so
+the disabled path costs one attribute read — the ≤5 % overhead budget of
+the observability design.  The switch lives in its own leaf module so that
+:mod:`repro.obs.trace` and :mod:`repro.obs.metrics` can read it without
+importing the package ``__init__`` (which would be circular).
+"""
+
+from __future__ import annotations
+
+#: True while observability capture is active.  Mutated only through
+#: :func:`repro.obs.enable` / :func:`repro.obs.disable`.
+enabled: bool = False

@@ -1,0 +1,315 @@
+"""Obliviousness auditing: the paper's §5 security argument as a runnable check.
+
+ORTOA's claim is that the *server's view* of an access is identical for GETs
+and PUTs.  The instrumented :class:`~repro.core.lbl.server.LblServer` emits
+one :data:`~repro.core.lbl.server.SERVER_SPAN` span per request describing
+everything the untrusted party could observe — table shapes, ciphertext
+bytes, decryption attempts and failures, opened labels, storage rewrites.
+This module pairs that span stream with the ground-truth operation sequence
+(known only on the trusted side) and checks, feature by feature, that the
+two per-operation distributions match:
+
+* **deterministic features** (table shape, bytes, rewrites) must have
+  *identical supports* — any value seen only for reads or only for writes is
+  a distinguisher;
+* **stochastic features** (decryption attempts under the shuffled base
+  protocol, where the opening position is uniform) are compared by mean with
+  a configurable relative tolerance, plus a support-range check.
+
+:class:`LeakyLblOrtoa` is the deliberate negative control: its server skips
+the storage rewrite on reads — precisely the §5.1 "only writes change the
+stored ciphertext" leak ORTOA exists to close — and the auditor must flag it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.lbl import LblOrtoa
+from repro.core.lbl.server import SERVER_SPAN, LblServer
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError
+from repro.obs import _state
+from repro.obs.trace import Span, TRACER
+from repro.types import Operation, Request, StoreConfig
+
+#: Deterministic server-visible features: the value sets must coincide.
+EXACT_FEATURES = (
+    "groups",
+    "table_entries",
+    "ciphertext_bytes",
+    "opened_labels",
+    "labels_rewritten",
+    "storage_writes",
+)
+#: Stochastic server-visible features: compared by mean within a tolerance.
+MEAN_FEATURES = ("decrypt_attempts", "failed_decrypts")
+
+
+@dataclass(frozen=True, slots=True)
+class ServerObservation:
+    """One request as the untrusted server saw it, tagged with ground truth.
+
+    ``op`` is *not* part of the server's view — it is the trusted side's
+    knowledge of what it asked for, used only to partition the observations.
+    """
+
+    op: Operation
+    features: dict[str, Any]
+
+
+@dataclass(frozen=True, slots=True)
+class AuditCheck:
+    """The verdict on one server-visible feature."""
+
+    feature: str
+    passed: bool
+    detail: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of this check."""
+        return {"feature": self.feature, "passed": self.passed, "detail": self.detail}
+
+
+@dataclass(frozen=True, slots=True)
+class AuditReport:
+    """The auditor's overall verdict plus per-feature evidence."""
+
+    passed: bool
+    num_reads: int
+    num_writes: int
+    checks: tuple[AuditCheck, ...] = field(default=())
+
+    @property
+    def failures(self) -> list[AuditCheck]:
+        """The checks that found a read/write distinguisher."""
+        return [c for c in self.checks if not c.passed]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of the report, checks included."""
+        return {
+            "passed": self.passed,
+            "num_reads": self.num_reads,
+            "num_writes": self.num_writes,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable verdict."""
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"obliviousness audit: {verdict} "
+            f"({self.num_reads} reads vs {self.num_writes} writes observed)"
+        ]
+        for check in self.checks:
+            mark = "ok " if check.passed else "LEAK"
+            lines.append(f"  [{mark}] {check.feature}: {check.detail}")
+        return "\n".join(lines)
+
+
+def observations_from_spans(
+    spans: Sequence[Span], ops: Sequence[Operation]
+) -> list[ServerObservation]:
+    """Pair the i-th server span with the i-th issued operation.
+
+    The pairing is positional because accesses are processed in issue order
+    (both in-process and over the serialized TCP dispatch path).
+    """
+    if len(spans) != len(ops):
+        raise ConfigurationError(
+            f"{len(spans)} server observations for {len(ops)} operations — "
+            "was capture enabled for the whole run?"
+        )
+    return [
+        ServerObservation(op, dict(span.attributes)) for span, op in zip(spans, ops)
+    ]
+
+
+def _feature_values(
+    observations: Iterable[ServerObservation], feature: str
+) -> list[Any]:
+    return [obs.features[feature] for obs in observations if feature in obs.features]
+
+
+def audit_observations(
+    observations: Sequence[ServerObservation],
+    *,
+    mean_tolerance: float = 0.15,
+) -> AuditReport:
+    """Compare the read-side and write-side server views feature by feature.
+
+    Args:
+        observations: Ground-truth-tagged server observations of one run,
+            covering at least one read and one write.
+        mean_tolerance: Maximum allowed relative difference of per-op means
+            for the stochastic features (the shuffled base protocol stops
+            after a uniformly distributed number of decryption attempts, so
+            finite samples never match exactly).
+
+    Returns:
+        An :class:`AuditReport`; ``passed`` is True iff no feature
+        distinguishes reads from writes.
+    """
+    reads = [o for o in observations if o.op.is_read]
+    writes = [o for o in observations if o.op.is_write]
+    if not reads or not writes:
+        raise ConfigurationError(
+            "audit needs at least one read and one write observation"
+        )
+
+    checks: list[AuditCheck] = []
+    for feature in EXACT_FEATURES:
+        read_support = set(_feature_values(reads, feature))
+        write_support = set(_feature_values(writes, feature))
+        if not read_support and not write_support:
+            continue
+        if read_support == write_support:
+            checks.append(
+                AuditCheck(feature, True, f"identical support {sorted(read_support)}")
+            )
+        else:
+            checks.append(
+                AuditCheck(
+                    feature,
+                    False,
+                    f"reads saw {sorted(read_support)}, writes saw "
+                    f"{sorted(write_support)}",
+                )
+            )
+
+    for feature in MEAN_FEATURES:
+        read_values = _feature_values(reads, feature)
+        write_values = _feature_values(writes, feature)
+        if not read_values or not write_values:
+            continue
+        read_mean = sum(read_values) / len(read_values)
+        write_mean = sum(write_values) / len(write_values)
+        scale = max(abs(read_mean), abs(write_mean))
+        if scale == 0:
+            passed = read_mean == write_mean
+            detail = "both identically zero"
+        else:
+            relative = abs(read_mean - write_mean) / scale
+            passed = relative <= mean_tolerance
+            detail = (
+                f"read mean {read_mean:.2f} vs write mean {write_mean:.2f} "
+                f"(relative diff {relative:.1%}, tolerance {mean_tolerance:.0%})"
+            )
+        checks.append(AuditCheck(feature, passed, detail))
+
+    return AuditReport(
+        passed=all(c.passed for c in checks),
+        num_reads=len(reads),
+        num_writes=len(writes),
+        checks=tuple(checks),
+    )
+
+
+def run_audit(
+    protocol: LblOrtoa,
+    *,
+    num_keys: int = 32,
+    seed: int = 0,
+    mean_tolerance: float = 0.15,
+) -> AuditReport:
+    """Drive a balanced read/write workload and audit the server's view.
+
+    The protocol must be freshly constructed (uninitialized).  Each of the
+    ``num_keys`` objects is accessed exactly once — half reads, half writes,
+    in a seeded shuffled order — so the audit also holds for deliberately
+    broken servers whose skipped rewrites would desynchronize any *second*
+    access to the same key.
+
+    Capture is enabled (and the span/metric state reset) for the duration;
+    the previous enabled/disabled state is restored afterwards.
+    """
+    if num_keys < 2:
+        raise ConfigurationError("audit workload needs at least 2 keys")
+    rng = random.Random(seed)
+    value_len = protocol.config.value_len
+    keys = [f"audit-{i}" for i in range(num_keys)]
+    requests = [
+        Request.read(key)
+        if index < num_keys // 2
+        else Request.write(key, bytes([index % 256]) * value_len)
+        for index, key in enumerate(keys)
+    ]
+    rng.shuffle(requests)
+
+    previous = _state.enabled
+    TRACER.reset()
+    _state.enabled = True
+    try:
+        protocol.initialize({key: bytes(value_len) for key in keys})
+        before = len(TRACER.spans(SERVER_SPAN))
+        for request in requests:
+            protocol.access(request)
+        spans = TRACER.spans(SERVER_SPAN)[before:]
+    finally:
+        _state.enabled = previous
+
+    observations = observations_from_spans(spans, [r.op for r in requests])
+    return audit_observations(observations, mean_tolerance=mean_tolerance)
+
+
+# --------------------------------------------------------------------- #
+# The deliberately leaky negative control
+# --------------------------------------------------------------------- #
+
+
+class LeakyLblServer(LblServer):
+    """A *broken* LBL server that skips the label rewrite on reads.
+
+    This reintroduces exactly the leak ORTOA closes: storage changes only on
+    writes, so an adversary watching its own state recovers the operation
+    type.  The op-type hint comes from :class:`LeakyLblOrtoa` out of band —
+    a real server never has it; this double exists solely so audit tests
+    have a true positive.
+    """
+
+    def __init__(self, point_and_permute: bool = False) -> None:
+        super().__init__(point_and_permute)
+        self.current_op: Operation | None = None
+
+    def _commit(self, encoded_key: bytes, updated) -> int:
+        if self.current_op is not None and self.current_op.is_read:
+            return 0  # leak: reads leave storage untouched
+        return super()._commit(encoded_key, updated)
+
+
+class LeakyLblOrtoa(LblOrtoa):
+    """LBL-ORTOA wired to a :class:`LeakyLblServer` (negative control)."""
+
+    name = "lbl-ortoa-leaky"
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        keychain: KeyChain | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(config, keychain=keychain, rng=rng)
+        self.server = LeakyLblServer(point_and_permute=config.point_and_permute)
+
+    def access(self, request: Request):
+        self.server.current_op = request.op
+        try:
+            return super().access(request)
+        finally:
+            self.server.current_op = None
+
+
+__all__ = [
+    "ServerObservation",
+    "AuditCheck",
+    "AuditReport",
+    "observations_from_spans",
+    "audit_observations",
+    "run_audit",
+    "LeakyLblServer",
+    "LeakyLblOrtoa",
+    "EXACT_FEATURES",
+    "MEAN_FEATURES",
+]

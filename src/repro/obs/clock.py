@@ -1,0 +1,140 @@
+"""Pluggable time sources for spans, metrics, and calibration.
+
+Everything in :mod:`repro.obs` asks *one* global time source for the current
+time instead of calling :func:`time.perf_counter` directly.  That makes the
+same tracer work in three regimes:
+
+* :class:`WallClock` — real elapsed seconds (the default);
+* :class:`SimClock` — simulated milliseconds read from a
+  :class:`repro.sim.core.Environment` (or anything with a ``now`` attribute),
+  so spans recorded inside a discrete-event run carry sim timestamps and are
+  bit-for-bit deterministic;
+* :class:`FakeClock` — a hand-cranked clock for tests, optionally
+  auto-advancing a fixed step per reading so timing loops terminate with
+  deterministic results.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Protocol
+
+from repro.errors import ConfigurationError
+
+
+class Clock(Protocol):
+    """Anything that can report the current time as a float."""
+
+    #: Human-readable unit of :meth:`now` ("s", "sim_ms", ...).
+    unit: str
+
+    def now(self) -> float:
+        """The current time in this clock's unit."""
+        ...
+
+
+class WallClock:
+    """Real time via :func:`time.perf_counter`, in seconds."""
+
+    unit = "s"
+
+    def now(self) -> float:
+        """Monotonic wall-clock seconds."""
+        return time.perf_counter()
+
+
+class SimClock:
+    """Reads simulated time from an environment-like object.
+
+    Args:
+        env: Any object exposing a numeric ``now`` attribute — designed for
+            :class:`repro.sim.core.Environment`, whose clock runs in
+            milliseconds.
+    """
+
+    unit = "sim_ms"
+
+    def __init__(self, env) -> None:
+        if not hasattr(env, "now"):
+            raise ConfigurationError("SimClock needs an object with a 'now' attribute")
+        self._env = env
+
+    def now(self) -> float:
+        """The environment's current simulated time."""
+        return float(self._env.now)
+
+
+class FakeClock:
+    """A deterministic test clock.
+
+    Args:
+        start: Initial reading.
+        auto_advance: Amount added *after* every :meth:`now` call.  A
+            non-zero step makes ``t1 = now(); ...; t2 = now()`` yield a
+            fixed, predictable duration — which is how calibration loops
+            are tested without real timing.
+    """
+
+    unit = "tick"
+
+    def __init__(self, start: float = 0.0, auto_advance: float = 0.0) -> None:
+        if auto_advance < 0:
+            raise ConfigurationError("auto_advance must be non-negative")
+        self._now = start
+        self._step = auto_advance
+
+    def now(self) -> float:
+        """The current reading (then advance by ``auto_advance``)."""
+        current = self._now
+        self._now += self._step
+        return current
+
+    def advance(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` (must be non-negative)."""
+        if delta < 0:
+            raise ConfigurationError("clocks cannot run backwards")
+        self._now += delta
+
+
+_time_source: Clock = WallClock()
+
+
+def get_time_source() -> Clock:
+    """The clock currently feeding spans and metrics timestamps."""
+    return _time_source
+
+
+def set_time_source(clock: Clock) -> Clock:
+    """Install ``clock`` as the global time source; returns the previous one."""
+    global _time_source
+    previous = _time_source
+    _time_source = clock
+    return previous
+
+
+def now() -> float:
+    """Shorthand for ``get_time_source().now()``."""
+    return _time_source.now()
+
+
+@contextmanager
+def use_clock(clock: Clock) -> Iterator[Clock]:
+    """Temporarily install ``clock`` as the global time source."""
+    previous = set_time_source(clock)
+    try:
+        yield clock
+    finally:
+        set_time_source(previous)
+
+
+__all__ = [
+    "Clock",
+    "WallClock",
+    "SimClock",
+    "FakeClock",
+    "get_time_source",
+    "set_time_source",
+    "now",
+    "use_clock",
+]

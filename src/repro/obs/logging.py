@@ -1,0 +1,67 @@
+"""Structured logging for the ``repro.*`` logger hierarchy.
+
+Library modules obtain loggers with :func:`get_logger` (children of the
+``repro`` root logger) and emit records freely; nothing is printed unless an
+application — typically the CLI via its ``--log-level`` flag — calls
+:func:`setup` to attach a handler.  A ``NullHandler`` on the root keeps the
+library silent by default, per standard library-logging practice.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.errors import ConfigurationError
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Accepted ``--log-level`` values (case-insensitive).
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Args:
+        name: Dotted suffix (``"transport.server"`` →
+            ``repro.transport.server``); omit for the root ``repro`` logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def setup(level: str = "warning", *, stream=None) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root at ``level``.
+
+    Calling it again replaces the previous handler (idempotent for the CLI,
+    which parses ``--log-level`` on every invocation).
+
+    Args:
+        level: One of :data:`LEVELS`, case-insensitive.
+        stream: Target stream (defaults to stderr).
+
+    Returns:
+        The configured root logger.
+    """
+    normalized = level.lower()
+    if normalized not in LEVELS:
+        raise ConfigurationError(
+            f"unknown log level {level!r}; choose from {', '.join(LEVELS)}"
+        )
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    root.setLevel(normalized.upper())
+    return root
+
+
+__all__ = ["get_logger", "setup", "LEVELS", "ROOT_LOGGER_NAME"]

@@ -1,0 +1,232 @@
+"""A small metrics registry: counters, gauges, fixed-bucket histograms.
+
+Instruments are created lazily by name (``REGISTRY.counter("aead.encrypt")``)
+and accumulate until :meth:`MetricsRegistry.reset`.  A snapshot is a plain
+nested dict of primitives, so it JSON-serializes directly and — because no
+wall-clock timestamps are baked in — is deterministic whenever the
+instrumented workload is.
+
+Thread safety: every mutation takes the registry's lock.  The LBL TCP server
+handles connections on threads, so counters would otherwise lose increments;
+the lock only costs anything while observability is enabled, since hot paths
+guard emission behind :data:`repro.obs._state.enabled`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Default histogram upper bounds — byte-ish scale, fits frame sizes and
+#: operation counts alike.  The last implicit bucket is +inf.
+DEFAULT_BUCKETS = (1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    kind = "counter"
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> int:
+        """The current total."""
+        return self.value
+
+    def reset(self) -> None:
+        """Zero the counter (the handle stays valid)."""
+        with self._lock:
+            self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (e.g. current stash occupancy)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value", "max_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Record the current reading (the high-water mark is kept too)."""
+        with self._lock:
+            self.value = float(value)
+            if value > self.max_value:
+                self.max_value = float(value)
+
+    def snapshot(self) -> dict[str, float]:
+        """The last reading and the high-water mark."""
+        return {"value": self.value, "max": self.max_value}
+
+    def reset(self) -> None:
+        """Zero the reading and the high-water mark."""
+        with self._lock:
+            self.value = 0.0
+            self.max_value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``value <= bound`` bucket semantics.
+
+    A value exactly equal to a bound lands in that bound's bucket; anything
+    above the last bound goes to the overflow (``+inf``) bucket.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max", "_lock")
+
+    def __init__(
+        self, name: str, lock: threading.Lock, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Count/sum/mean/min/max plus per-bucket counts (keys ``le_<bound>``)."""
+        buckets = {f"le_{bound:g}": count for bound, count in zip(self.bounds, self.bucket_counts)}
+        buckets["inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+    def reset(self) -> None:
+        """Drop all observations (bounds and handle stay valid)."""
+        with self._lock:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+
+
+class MetricsRegistry:
+    """Name-addressed home of all instruments of one observability session."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: str, factory):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif instrument.kind != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {instrument.kind}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get_or_create(name, "counter", lambda: Counter(name, self._lock))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get_or_create(name, "gauge", lambda: Gauge(name, self._lock))
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create the histogram called ``name``.
+
+        ``bounds`` only applies on first creation; later callers receive the
+        existing instrument unchanged.
+        """
+        return self._get_or_create(
+            name, "histogram", lambda: Histogram(name, self._lock, bounds)
+        )
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered instrument."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments grouped by kind — plain primitives, JSON-ready."""
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in self.names():
+            instrument = self._instruments[name]
+            out[instrument.kind + "s"][name] = instrument.snapshot()
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Zero every instrument (handles held by callers stay valid)."""
+        for instrument in list(self._instruments.values()):
+            instrument.reset()
+
+    def clear(self) -> None:
+        """Drop every instrument entirely."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: The process-wide default registry all built-in instrumentation writes to.
+REGISTRY = MetricsRegistry()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+]

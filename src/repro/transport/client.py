@@ -24,6 +24,9 @@ from repro.core.lbl.proxy import LblProxy
 from repro.core.messages import LblAccessResponse, LblBatchRequest, LblBatchResponse
 from repro.crypto.keys import KeyChain
 from repro.errors import ProtocolError
+from repro.obs import _state as _obs
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.transport import framing
 from repro.transport.server import ERROR_TAG, LOAD_ACK, pack_load
 from repro.types import Request, Response, StoreConfig
@@ -72,10 +75,16 @@ class RemoteLblOrtoa(OrtoaProtocol):
     # ------------------------------------------------------------------ #
 
     def _exchange(self, payload: bytes) -> bytes:
+        span = TRACER.start_span("transport.exchange") if _obs.enabled else None
         with self._io_lock:
             framing.send_frame(self._sock, payload)
             reply = framing.recv_frame(self._sock)
+        if span is not None:
+            span.set_attributes(request_bytes=len(payload), response_bytes=len(reply))
+            TRACER.end(span)
         if reply[:1] == bytes([ERROR_TAG]):
+            if _obs.enabled:
+                REGISTRY.counter("transport.error_frames_received").inc()
             raise ProtocolError(
                 f"server error: {reply[1:].decode('utf-8', 'replace')}"
             )

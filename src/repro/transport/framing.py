@@ -11,6 +11,8 @@ import socket
 import struct
 
 from repro.errors import ProtocolError
+from repro.obs import _state as _obs
+from repro.obs.metrics import REGISTRY
 
 _LEN = struct.Struct(">I")
 
@@ -25,6 +27,9 @@ def send_frame(sock: socket.socket, payload: bytes) -> None:
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(payload)} bytes exceeds the maximum")
     sock.sendall(_LEN.pack(len(payload)) + payload)
+    if _obs.enabled:
+        REGISTRY.counter("transport.frames_sent").inc()
+        REGISTRY.counter("transport.bytes_sent").inc(_LEN.size + len(payload))
 
 
 def recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -45,7 +50,11 @@ def recv_frame(sock: socket.socket) -> bytes:
     (length,) = _LEN.unpack(recv_exact(sock, _LEN.size))
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"peer announced a {length}-byte frame; refusing")
-    return recv_exact(sock, length)
+    payload = recv_exact(sock, length)
+    if _obs.enabled:
+        REGISTRY.counter("transport.frames_received").inc()
+        REGISTRY.counter("transport.bytes_received").inc(_LEN.size + length)
+    return payload
 
 
 __all__ = ["send_frame", "recv_frame", "recv_exact", "MAX_FRAME_BYTES"]

@@ -23,12 +23,17 @@ import threading
 from repro.core.lbl.server import LblServer
 from repro.core.messages import LblAccessRequest, LblBatchRequest, LblBatchResponse
 from repro.errors import OrtoaError, ProtocolError
+from repro.obs import _state as _obs
+from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.storage.persistence import LabelListCodec
 from repro.transport import framing
 
 LOAD_TAG = 0x40
 LOAD_ACK = bytes([0x41])
 ERROR_TAG = 0x7F
+
+_log = get_logger("transport.server")
 
 
 def pack_load(encoded_key: bytes, labels) -> bytes:
@@ -65,6 +70,9 @@ class _Handler(socketserver.BaseRequestHandler):
             try:
                 reply = server.dispatch(payload)
             except OrtoaError as exc:
+                _log.warning("request failed, returning error frame: %s", exc)
+                if _obs.enabled:
+                    REGISTRY.counter("transport.error_frames_sent").inc()
                 reply = bytes([ERROR_TAG]) + str(exc).encode("utf-8")
             try:
                 framing.send_frame(self.request, reply)
@@ -101,6 +109,8 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
 
     def dispatch(self, payload: bytes) -> bytes:
         """Route one decoded frame; returns the serialized reply."""
+        if _obs.enabled:
+            REGISTRY.counter("transport.requests_dispatched").inc()
         if not payload:
             raise ProtocolError("empty frame")
         if payload[0] == LOAD_TAG:

@@ -169,13 +169,19 @@ class AccessStats:
 
 @dataclass(frozen=True, slots=True)
 class LatencySample:
-    """One completed request as observed by the experiment harness."""
+    """One completed request as observed by the experiment harness.
+
+    ``trace_id`` links the sample to its ``harness.request`` span in
+    :data:`repro.obs.trace.TRACER` when the run was captured with
+    observability enabled; it is ``None`` otherwise.
+    """
 
     op: Operation
     start_ms: float
     end_ms: float
     compute_ms: float = 0.0
     comm_overhead_ms: float = 0.0
+    trace_id: int | None = None
 
     @property
     def latency_ms(self) -> float:

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import EXPERIMENTS, main
 
 
@@ -88,3 +91,51 @@ def test_reproduce_reports_failures(tmp_path, capsys, monkeypatch):
     )
     assert cli.main(["reproduce", "--out", str(tmp_path / "o")]) == 1
     assert "FAILED" in capsys.readouterr().err
+
+
+def test_run_json_output_parses(capsys):
+    assert main(["run", "table2", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert isinstance(rows, list) and rows
+    assert any(row.get("location") == "oregon" for row in rows)
+
+
+def test_run_obs_json_writes_span_bundle(tmp_path, capsys):
+    out = tmp_path / "obs.json"
+    assert main(["run", "table2", "--obs-json", str(out)]) == 0
+    bundle = json.loads(out.read_text())
+    assert bundle["experiment"] == "table2"
+    assert set(bundle) >= {"clock", "spans", "metrics"}
+    assert "wrote" in capsys.readouterr().out
+    # Capture is torn back down after the run.
+    assert not obs.is_enabled()
+
+
+def test_obs_command_passes_on_honest_protocol(capsys):
+    assert main(["obs", "--keys", "8", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "obliviousness audit: PASS" in out
+    assert "lbl.server.decrypt_attempts" in out
+
+
+def test_obs_command_fails_on_leaky_control(tmp_path, capsys):
+    bundle_path = tmp_path / "leaky.json"
+    code = main(
+        ["obs", "--keys", "8", "--seed", "0", "--leaky", "--json", str(bundle_path)]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "obliviousness audit: FAIL" in out
+    bundle = json.loads(bundle_path.read_text())
+    assert bundle["protocol"] == "lbl-ortoa-leaky"
+    assert bundle["audit"]["passed"] is False
+
+
+def test_obs_command_base_protocol(capsys):
+    assert main(["obs", "--keys", "16", "--seed", "3", "--base"]) == 0
+    assert "point_and_permute=False" in capsys.readouterr().out
+
+
+def test_log_level_flag_accepted(capsys):
+    assert main(["--log-level", "debug", "list"]) == 0
+    assert "table2" in capsys.readouterr().out

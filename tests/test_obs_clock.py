@@ -1,0 +1,111 @@
+"""Tests for the clock abstraction and the calibration path that uses it."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.calibration import CostModel
+from repro.obs.clock import (
+    FakeClock,
+    SimClock,
+    WallClock,
+    get_time_source,
+    now,
+    set_time_source,
+    use_clock,
+)
+
+
+def test_fake_clock_manual_advance():
+    clock = FakeClock(start=5.0)
+    assert clock.now() == 5.0
+    clock.advance(2.0)
+    assert clock.now() == 7.0
+    with pytest.raises(ConfigurationError):
+        clock.advance(-1.0)
+
+
+def test_fake_clock_auto_advance_steps_after_each_reading():
+    clock = FakeClock(auto_advance=0.5)
+    assert [clock.now() for _ in range(3)] == [0.0, 0.5, 1.0]
+
+
+def test_fake_clock_rejects_negative_step():
+    with pytest.raises(ConfigurationError):
+        FakeClock(auto_advance=-0.1)
+
+
+def test_use_clock_installs_and_restores():
+    original = get_time_source()
+    fake = FakeClock(start=100.0)
+    with use_clock(fake):
+        assert get_time_source() is fake
+        assert now() == 100.0
+    assert get_time_source() is original
+
+
+def test_use_clock_restores_on_exception():
+    original = get_time_source()
+    with pytest.raises(RuntimeError):
+        with use_clock(FakeClock()):
+            raise RuntimeError("boom")
+    assert get_time_source() is original
+
+
+def test_set_time_source_returns_previous():
+    original = get_time_source()
+    fake = FakeClock()
+    assert set_time_source(fake) is original
+    assert set_time_source(original) is fake
+
+
+def test_wall_clock_is_monotonic():
+    clock = WallClock()
+    assert clock.unit == "s"
+    assert clock.now() <= clock.now()
+
+
+def test_sim_clock_tracks_environment():
+    class Env:
+        now = 0.0
+
+    env = Env()
+    clock = SimClock(env)
+    assert clock.unit == "sim_ms"
+    assert clock.now() == 0.0
+    env.now = 42.5
+    assert clock.now() == 42.5
+
+
+def test_measured_cost_model_with_fake_clock_is_deterministic():
+    """Calibration timed by a fake clock yields exact, repeatable constants.
+
+    ``time_us`` takes two readings around ``samples`` iterations; with
+    ``auto_advance=step`` the elapsed span is exactly one step, so each
+    primitive's cost comes out to ``step / samples * 1e6`` microseconds.
+    """
+
+    def calibrate():
+        return CostModel.measured(
+            label_bytes=16, samples=10, clock=FakeClock(auto_advance=0.001)
+        )
+
+    model = calibrate()
+    expected_us = 0.001 / 10 * 1e6
+    assert model.prf_us == pytest.approx(expected_us)
+    assert model.aead_enc_us == pytest.approx(expected_us)
+    assert model.aead_dec_us == pytest.approx(expected_us)
+    assert model.failed_dec_us == pytest.approx(expected_us)
+    assert calibrate() == model
+    # FHE constants keep the paper-like defaults.
+    assert model.fhe_mul_ms == CostModel.paper_like().fhe_mul_ms
+
+
+def test_measured_cost_model_rejects_too_few_samples():
+    with pytest.raises(ConfigurationError):
+        CostModel.measured(samples=5)
+
+
+def test_measured_cost_model_defaults_to_wall_clock():
+    model = CostModel.measured(samples=10)
+    assert model.prf_us > 0
+    assert model.aead_enc_us > 0

@@ -1,0 +1,202 @@
+"""Tests for the span tracer: nesting, ordering, clocks, no-op path."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.clock import FakeClock, SimClock, WallClock, use_clock
+from repro.obs.trace import NOOP_SPAN, Tracer
+from repro.sim.core import Environment
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    with tracer.span("invisible") as span:
+        assert span is NOOP_SPAN
+        span.set_attribute("ignored", 1)  # must be a silent no-op
+    assert tracer.finished == []
+
+
+def test_span_nesting_and_parent_links():
+    obs.enable()
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("middle") as middle:
+            with tracer.span("inner") as inner:
+                pass
+    by_name = {s.name: s for s in tracer.finished}
+    assert by_name["outer"].parent_id is None
+    assert by_name["middle"].parent_id == by_name["outer"].span_id
+    assert by_name["inner"].parent_id == by_name["middle"].span_id
+    # All three share the root's trace id.
+    assert {s.trace_id for s in tracer.finished} == {by_name["outer"].span_id}
+
+
+def test_finish_order_is_innermost_first():
+    obs.enable()
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+        with tracer.span("c"):
+            pass
+    assert [s.name for s in tracer.finished] == ["b", "c", "a"]
+
+
+def test_siblings_reuse_parent_after_child_closes():
+    obs.enable()
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("first"):
+            pass
+        assert tracer.current_span() is root
+        with tracer.span("second") as second:
+            assert second.parent_id == root.span_id
+
+
+def test_attributes_captured_at_creation_and_later():
+    obs.enable()
+    tracer = Tracer()
+    with tracer.span("op", key="alice") as span:
+        span.set_attribute("decrypts", 640)
+        span.set_attributes(bytes_in=10, bytes_out=20)
+    (finished,) = tracer.finished
+    assert finished.attributes == {
+        "key": "alice",
+        "decrypts": 640,
+        "bytes_in": 10,
+        "bytes_out": 20,
+    }
+
+
+def test_manual_span_api_allows_interleaving():
+    """The runner's pattern: spans from interleaved generators, no contextvar."""
+    obs.enable()
+    tracer = Tracer()
+    a = tracer.start_span("req-a", root=True)
+    b = tracer.start_span("req-b", root=True)
+    tracer.end(a)
+    tracer.end(b)
+    assert [s.name for s in tracer.finished] == ["req-a", "req-b"]
+    assert all(s.parent_id is None for s in tracer.finished)
+    assert a.trace_id != b.trace_id
+
+
+def test_span_timestamps_come_from_fake_clock():
+    obs.enable()
+    tracer = Tracer()
+    clock = FakeClock()
+    with use_clock(clock):
+        with tracer.span("timed") as span:
+            clock.advance(2.5)
+    assert span.start == 0.0
+    assert span.end == 2.5
+    assert span.duration == 2.5
+
+
+def test_sim_clock_reads_environment_time():
+    obs.enable()
+    tracer = Tracer()
+    env = Environment()
+    spans = []
+
+    def process(env):
+        span = tracer.start_span("sim-op")
+        yield env.timeout(7.0)
+        tracer.end(span)
+        spans.append(span)
+
+    env.process(process(env))
+    with use_clock(SimClock(env)):
+        env.run()
+    assert spans[0].start == 0.0
+    assert spans[0].end == 7.0
+
+
+def test_sim_clock_requires_now_attribute():
+    with pytest.raises(ConfigurationError):
+        SimClock(object())
+
+
+def test_export_is_json_ready_and_deterministic_under_fake_clock():
+    obs.enable()
+    tracer = Tracer()
+
+    def record():
+        with use_clock(FakeClock(auto_advance=1.0)):
+            with tracer.span("x", n=1):
+                pass
+        exported = tracer.export()
+        tracer.reset()
+        return exported
+
+    assert record() == record()
+    (span_dict,) = record()
+    assert span_dict["name"] == "x"
+    assert span_dict["duration"] == span_dict["end"] - span_dict["start"]
+
+
+def test_reset_restarts_span_ids():
+    obs.enable()
+    tracer = Tracer()
+    with tracer.span("one"):
+        pass
+    first_id = tracer.finished[0].span_id
+    tracer.reset()
+    with tracer.span("two"):
+        pass
+    assert tracer.finished[0].span_id == first_id
+
+
+def test_threads_get_independent_current_spans():
+    obs.enable()
+    tracer = Tracer()
+    parents = {}
+    barrier = threading.Barrier(2)
+
+    def worker(name):
+        with tracer.span(name) as span:
+            barrier.wait(timeout=5)
+            parents[name] = span.parent_id
+
+    threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert parents == {"t0": None, "t1": None}
+
+
+def test_wall_clock_is_monotonic_nonzero_duration():
+    obs.enable()
+    tracer = Tracer()
+    assert isinstance(obs.get_time_source(), WallClock)
+    with tracer.span("real"):
+        pass
+    (span,) = tracer.finished
+    assert span.duration >= 0
+
+
+def test_capture_context_manager_restores_state_and_resets():
+    with obs.capture():
+        assert obs.is_enabled()
+        with obs.TRACER.span("inside"):
+            pass
+        assert len(obs.TRACER.finished) == 1
+    assert not obs.is_enabled()
+    # Data recorded inside capture is retained for export after exit.
+    assert len(obs.TRACER.finished) == 1
+    # A fresh capture starts clean.
+    with obs.capture():
+        assert obs.TRACER.finished == []
