@@ -47,7 +47,13 @@ EXPERIMENTS = {
     "fhe_noise": (experiments.fhe_noise, "§3.3: FHE noise exhaustion"),
     "dollar_cost": (experiments.dollar_cost, "§6.3.3: LBL dollar cost"),
     "oram": (experiments.oram_comparison, "§8: one-round ORAM vs PathORAM vs linear scan"),
+    "sharded": (experiments.sharded_scaling, "§6.2.4 over TCP: shard-count scaling"),
+    "pipeline": (experiments.pipeline_depth_sweep, "pipelined vs lockstep transport"),
 }
+
+#: CLI flag -> experiment keyword argument, forwarded when the experiment
+#: accepts it (see ``repro run --shards/--pipeline-depth``).
+_RUN_OVERRIDES = {"shards": "shards", "pipeline_depth": "pipeline_depth"}
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -64,9 +70,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         known = ", ".join(EXPERIMENTS)
         print(f"unknown experiment {args.experiment!r}; known: {known}", file=sys.stderr)
         return 2
+    import inspect
+
+    accepted = inspect.signature(fn).parameters
+    kwargs = {}
+    for flag, keyword in _RUN_OVERRIDES.items():
+        value = getattr(args, flag, None)
+        if value is None:
+            continue
+        if keyword not in accepted:
+            print(
+                f"experiment {args.experiment!r} does not take --{flag.replace('_', '-')}",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs[keyword] = value
+    fn_with_args = lambda: fn(**kwargs)  # noqa: E731
     if args.obs_json:
         with obs.capture():
-            rows = fn()
+            rows = fn_with_args()
             bundle = obs.export()
         bundle["experiment"] = args.experiment
         with open(args.obs_json, "w", encoding="utf-8") as handle:
@@ -77,7 +99,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"to {args.obs_json}"
         )
     else:
-        rows = fn()
+        rows = fn_with_args()
     if args.json:
         text = json.dumps(rows, indent=2, default=str)
     elif args.format == "csv":
@@ -120,7 +142,7 @@ def _cmd_cost(_args: argparse.Namespace) -> int:
 
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Run an instrumented LBL workload; print metrics and the audit verdict."""
-    from repro.obs.audit import LeakyLblOrtoa, run_audit
+    from repro.obs.audit import LeakyLblOrtoa, run_audit, run_sharded_audit
     from repro.core.lbl import LblOrtoa
     from repro.types import StoreConfig
 
@@ -130,6 +152,70 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         config = StoreConfig(
             value_len=args.value_len, group_bits=2, point_and_permute=True
         )
+
+    if args.shards:
+        # Sharded + pipelined audit over an in-process loopback cluster
+        # (thread-backed, so the shard servers' spans land in our tracer).
+        if args.leaky:
+            print(
+                "--leaky audits the in-process negative control; "
+                "it has no sharded deployment",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.core.sharded import ShardedLblDeployment
+        from repro.transport.cluster import ShardCluster
+
+        obs.reset()
+        try:
+            with ShardCluster(
+                args.shards,
+                point_and_permute=config.point_and_permute,
+                in_process=True,
+            ) as cluster:
+                deployment = ShardedLblDeployment(
+                    config,
+                    cluster.addresses,
+                    rng=random.Random(args.seed),
+                    pipeline_depth=args.pipeline_depth,
+                )
+                try:
+                    report = run_sharded_audit(
+                        deployment,
+                        num_keys=args.keys,
+                        seed=args.seed,
+                        pipeline_depth=args.pipeline_depth,
+                    )
+                finally:
+                    deployment.close()
+        except OrtoaError as exc:
+            print(f"audit failed to run: {exc}", file=sys.stderr)
+            return 2
+        snapshot = obs.REGISTRY.snapshot()
+        print(
+            f"protocol: {deployment.name}  (value_len={config.value_len}, "
+            f"y={config.group_bits}, "
+            f"point_and_permute={config.point_and_permute}, "
+            f"pipeline_depth={args.pipeline_depth})"
+        )
+        print("metrics:")
+        for name, value in sorted(snapshot["counters"].items()):
+            print(f"  {name:38s} {value}")
+        for name, gauge in sorted(snapshot["gauges"].items()):
+            print(f"  {name:38s} {gauge['value']} (max {gauge['max']})")
+        print(report.summary())
+        if args.json:
+            bundle = {
+                "protocol": deployment.name,
+                "metrics": snapshot,
+                "audit": report.to_dict(),
+                "spans": obs.TRACER.export(),
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(bundle, handle, indent=2, default=str)
+            print(f"wrote {args.json}")
+        return 0 if report.passed else 1
+
     protocol_cls = LeakyLblOrtoa if args.leaky else LblOrtoa
     protocol = protocol_cls(config, rng=random.Random(args.seed))
 
@@ -225,6 +311,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="capture spans + metrics during the run and write them to PATH",
     )
+    run.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="shard count for experiments that take one (e.g. `sharded`)",
+    )
+    run.add_argument(
+        "--pipeline-depth",
+        type=int,
+        metavar="D",
+        help="in-flight window for experiments that take one (e.g. `pipeline`)",
+    )
     run.set_defaults(func=_cmd_run)
 
     sub.add_parser("demo", help="30-second functional demo").set_defaults(
@@ -252,6 +350,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--leaky",
         action="store_true",
         help="audit the deliberately leaky negative control (must FAIL)",
+    )
+    obs_cmd.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="audit a sharded+pipelined deployment over N in-process "
+        "loopback servers (per-shard verdicts)",
+    )
+    obs_cmd.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=8,
+        metavar="D",
+        help="in-flight window for the sharded audit (default: 8)",
     )
     obs_cmd.add_argument("--json", metavar="PATH", help="also write a JSON bundle")
     obs_cmd.set_defaults(func=_cmd_obs)

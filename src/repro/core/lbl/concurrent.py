@@ -19,8 +19,16 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-from repro.core.base import AccessTranscript, PhaseRecord, RoundTrip
+from repro.core.base import (
+    AccessTranscript,
+    OpCounts,
+    OrtoaProtocol,
+    PhaseRecord,
+    RoundTrip,
+)
 from repro.core.lbl import LblOrtoa
+from repro.core.lbl.proxy import LblProxy
+from repro.core.messages import LblAccessResponse, LblErrorEntry
 from repro.errors import ConfigurationError
 from repro.types import Request, Response
 
@@ -96,8 +104,62 @@ def access_batch(protocol: LblOrtoa, requests: list[Request]) -> BatchTranscript
     )
 
 
+def finalize_batch_entries(
+    proxy: LblProxy,
+    prepared: list[tuple[Request, OpCounts, int]],
+    entries: tuple["LblAccessResponse | LblErrorEntry", ...],
+    shares: list[tuple[int, int]],
+) -> tuple[dict[int, AccessTranscript], dict[int, str]]:
+    """Finalize a batch response whose entries may include per-request errors.
+
+    Successful entries decode as usual.  For each failed entry the proxy's
+    counter for that key is rolled back to the last epoch the server
+    actually applied (the epoch before the key's *first* failure — the
+    server processes a batch in order, so once a key fails every later
+    request for it in the same batch fails too), which re-synchronizes
+    proxy and server so a retry decrypts correctly.
+
+    Args:
+        proxy: The trusted proxy that prepared the batch.
+        prepared: Per request: (request, prepare-phase op counts, epoch).
+        entries: The batch response entries, in request order.
+        shares: Per request: its (request bytes, response bytes) share of
+            the wire exchange that carried it.
+
+    Returns:
+        ``(transcripts, failures)`` keyed by original request index.
+    """
+    transcripts: dict[int, AccessTranscript] = {}
+    failures: dict[int, str] = {}
+    first_failed_epoch: dict[str, int] = {}
+    for index, ((request, proxy_ops, epoch), entry, share) in enumerate(
+        zip(prepared, entries, shares)
+    ):
+        if isinstance(entry, LblErrorEntry):
+            failures[index] = entry.message
+            key = request.key
+            first_failed_epoch[key] = min(
+                first_failed_epoch.get(key, epoch), epoch
+            )
+            continue
+        value, finalize_ops = proxy.finalize(request.key, entry, counter=epoch)
+        transcripts[index] = AccessTranscript(
+            op=request.op,
+            phases=(
+                PhaseRecord("proxy-build-tables", "proxy", proxy_ops),
+                PhaseRecord("server-remote", "server", OpCounts(kv_ops=2)),
+                PhaseRecord("proxy-decode", "proxy", finalize_ops),
+            ),
+            round_trips=(RoundTrip(share[0], share[1]),),
+            response=Response(request.key, value),
+        )
+    for key, epoch in first_failed_epoch.items():
+        proxy.force_counter(key, epoch - 1)
+    return transcripts, failures
+
+
 class ConcurrentLblProxy:
-    """Thread-safe front door over an :class:`LblOrtoa` deployment.
+    """Thread-safe front door over any single-threaded ORTOA deployment.
 
     Accesses to the same key are serialized by a striped lock (stripes keep
     the lock table bounded; collisions only cost parallelism, never
@@ -105,11 +167,13 @@ class ConcurrentLblProxy:
     the non-point-and-permute table shuffle.
 
     Args:
-        protocol: The underlying single-threaded deployment.
+        protocol: The underlying single-threaded deployment — an in-process
+            :class:`LblOrtoa`, a :class:`~repro.transport.client.RemoteLblOrtoa`,
+            or a :class:`~repro.core.sharded.ShardedLblDeployment`.
         num_stripes: Lock stripes; more stripes = more key parallelism.
     """
 
-    def __init__(self, protocol: LblOrtoa, num_stripes: int = 64) -> None:
+    def __init__(self, protocol: OrtoaProtocol, num_stripes: int = 64) -> None:
         if num_stripes < 1:
             raise ConfigurationError("num_stripes must be >= 1")
         self._protocol = protocol
@@ -145,4 +209,9 @@ class ConcurrentLblProxy:
         self.access(Request.write(key, self._protocol.config.pad(value)))
 
 
-__all__ = ["ConcurrentLblProxy", "BatchTranscript", "access_batch"]
+__all__ = [
+    "ConcurrentLblProxy",
+    "BatchTranscript",
+    "access_batch",
+    "finalize_batch_entries",
+]

@@ -119,6 +119,11 @@ class LblServer:
         if span is not None:
             table_entries = sum(len(table) for table in request.tables)
             span.set_attributes(
+                # The encoded key is already the server's storage key, so
+                # recording its prefix adds no observation power — but it
+                # lets the auditor pair spans with requests even when a
+                # worker pool processes them out of submission order.
+                key_fingerprint=request.encoded_key.hex()[:16],
                 groups=len(request.tables),
                 table_entries=table_entries,
                 ciphertext_bytes=sum(

@@ -258,10 +258,40 @@ class LblBatchRequest:
 
 
 @dataclass(frozen=True, slots=True)
-class LblBatchResponse:
-    """Per-request responses for a batch, in request order."""
+class LblErrorEntry:
+    """One failed request inside a batch response.
 
-    responses: tuple[LblAccessResponse, ...]
+    A request that cannot be served (unknown key, stale labels, malformed
+    tables) must not abort the whole batch: the server has already rotated
+    labels for the requests it processed earlier, so discarding their
+    responses would desynchronize every key the batch touched.  Instead the
+    server slots this entry at the failing position and keeps going.
+    """
+
+    message: str
+    TAG = 0x24
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the tagged, length-prefixed wire form."""
+        return _pack_fields(self.TAG, [self.message.encode("utf-8")])
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LblErrorEntry":
+        """Parse the wire form; raises ProtocolError when malformed."""
+        (message,) = _unpack_exactly(data, cls.TAG, 1)
+        return cls(message.decode("utf-8", "replace"))
+
+
+@dataclass(frozen=True, slots=True)
+class LblBatchResponse:
+    """Per-request responses for a batch, in request order.
+
+    Each entry is either an :class:`LblAccessResponse` (success) or an
+    :class:`LblErrorEntry` (that request failed; the rest of the batch was
+    still applied).
+    """
+
+    responses: tuple["LblAccessResponse | LblErrorEntry", ...]
     TAG = 0x23
 
     def to_bytes(self) -> bytes:
@@ -272,7 +302,20 @@ class LblBatchResponse:
     def from_bytes(cls, data: bytes) -> "LblBatchResponse":
         """Parse the wire form; raises ProtocolError when malformed."""
         fields = _unpack_fields(data, cls.TAG)
-        return cls(tuple(LblAccessResponse.from_bytes(f) for f in fields))
+        entries: list[LblAccessResponse | LblErrorEntry] = []
+        for field in fields:
+            if field[:1] == bytes([LblErrorEntry.TAG]):
+                entries.append(LblErrorEntry.from_bytes(field))
+            else:
+                entries.append(LblAccessResponse.from_bytes(field))
+        return cls(tuple(entries))
+
+    @property
+    def error_indices(self) -> tuple[int, ...]:
+        """Positions of the requests that failed server-side."""
+        return tuple(
+            i for i, r in enumerate(self.responses) if isinstance(r, LblErrorEntry)
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -329,6 +372,7 @@ __all__ = [
     "LblAccessResponse",
     "LblBatchRequest",
     "LblBatchResponse",
+    "LblErrorEntry",
     "FheAccessRequest",
     "FheAccessResponse",
 ]

@@ -1,0 +1,319 @@
+"""Sharded, pipelined LBL-ORTOA over real sockets (paper §6.2.4 at scale).
+
+The paper scales ORTOA by partitioning the key space across proxy/server
+pairs.  :class:`ShardedLblDeployment` is the networked realization: one
+trusted proxy fronting ``N`` independent
+:class:`~repro.transport.server.LblTcpServer` shards, with three levers the
+in-process :class:`~repro.core.deployment.ShardedDeployment` lacks:
+
+* **routing** — :class:`~repro.storage.sharding.ShardRouter` maps the
+  PRF-encoded key to a shard, so the routing tier sees exactly what each
+  storage server already sees (no new leakage);
+* **batching** — :meth:`access_batch` splits a batch into per-shard
+  sub-batches, ships them concurrently over pipelined connections, and
+  merges the replies back into request order;
+* **pipelining** — :meth:`access_pipelined` keeps up to ``pipeline_depth``
+  independent single-request frames in flight per deployment instead of
+  paying one round trip of dead air per access.
+
+Correctness under pipelining hinges on the same invariant as
+:class:`~repro.core.lbl.concurrent.ConcurrentLblProxy`: two in-flight
+accesses to one key would both build tables against the same label epoch
+and the second would fail to decrypt.  :meth:`access_pipelined` therefore
+never submits a request for a key that already has a frame in flight — it
+drains the window to that key first.  Within a batch the server processes
+sub-requests in order, so repeated keys inside one batch are always safe.
+
+The deployment itself is single-threaded (one proxy, mutable counters);
+wrap it in :class:`~repro.core.lbl.concurrent.ConcurrentLblProxy` to serve
+many client threads.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.core.base import (
+    AccessTranscript,
+    OpCounts,
+    OrtoaProtocol,
+    PhaseRecord,
+    RoundTrip,
+)
+from repro.core.lbl.concurrent import finalize_batch_entries
+from repro.core.lbl.proxy import LblProxy
+from repro.core.messages import LblAccessResponse, LblBatchRequest, LblBatchResponse
+from repro.crypto.keys import KeyChain
+from repro.errors import BatchPartialFailure, ConfigurationError, ProtocolError
+from repro.obs import _state as _obs
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+from repro.storage.sharding import ShardRouter
+from repro.transport.pipeline import PipelinedLblClient
+from repro.transport.server import LOAD_ACK, pack_load
+from repro.types import Request, Response, StoreConfig
+
+
+class ShardedLblDeployment(OrtoaProtocol):
+    """One trusted proxy over ``N`` TCP storage shards, pipelined.
+
+    Args:
+        config: Store configuration (``point_and_permute`` must match the
+            servers').
+        addresses: ``(host, port)`` of each shard's
+            :class:`~repro.transport.server.LblTcpServer`.
+        keychain: Key material — never leaves this process.
+        rng: Table-shuffle randomness.
+        pipeline_depth: Default in-flight window of
+            :meth:`access_pipelined`.
+        pool_size: Sockets per shard.
+        timeout: Connect timeout and per-reply wait (seconds).
+    """
+
+    name = "lbl-ortoa-sharded"
+    rounds = 1
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        addresses: list[tuple[str, int]],
+        keychain: KeyChain | None = None,
+        rng: random.Random | None = None,
+        pipeline_depth: int = 8,
+        pool_size: int = 1,
+        timeout: float = 30.0,
+    ) -> None:
+        super().__init__(config)
+        if not addresses:
+            raise ConfigurationError("deployment needs at least one shard address")
+        if pipeline_depth < 1:
+            raise ConfigurationError("pipeline_depth must be >= 1")
+        self.keychain = keychain or KeyChain(label_bits=config.label_bits)
+        self.proxy = LblProxy(config, self.keychain, rng=rng)
+        self.router = ShardRouter(len(addresses))
+        self.clients = [
+            PipelinedLblClient(address, pool_size=pool_size, timeout=timeout)
+            for address in addresses
+        ]
+        self.pipeline_depth = pipeline_depth
+        self.timeout = timeout
+        self._encoded: dict[str, bytes] = {}
+        self.name = f"lbl-ortoa-sharded-x{len(addresses)}"
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_shards(self) -> int:
+        """Storage shards in this deployment."""
+        return len(self.clients)
+
+    def encoded_key(self, key: str) -> bytes:
+        """The PRF-encoded (server-visible) form of ``key``, cached."""
+        encoded = self._encoded.get(key)
+        if encoded is None:
+            encoded = self.keychain.encode_key(key)
+            self._encoded[key] = encoded
+        return encoded
+
+    def shard_of(self, key: str) -> int:
+        """Which shard serves ``key`` (stable hash of the encoded key)."""
+        return self.router.shard_of(self.encoded_key(key))
+
+    def shard_sizes(self) -> list[int]:
+        """Keys routed to each shard so far (balance diagnostic)."""
+        sizes = [0] * self.num_shards
+        for key in self._encoded:
+            sizes[self.shard_of(key)] += 1
+        return sizes
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close every shard connection."""
+        for client in self.clients:
+            client.close()
+
+    def __enter__(self) -> "ShardedLblDeployment":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Protocol interface
+    # ------------------------------------------------------------------ #
+
+    def initialize(self, records: dict[str, bytes]) -> None:
+        """Bulk-load records, pipelining the LOAD frames across all shards."""
+        for key in records:
+            self.encoded_key(key)  # prime the routing cache for shard_sizes()
+        pending = []
+        for encoded_key, labels in self.proxy.initial_records(records):
+            shard = self.router.shard_of(encoded_key)
+            future = self.clients[shard].submit(pack_load(encoded_key, labels))
+            pending.append(future)
+        for future in pending:
+            if future.result(self.timeout) != LOAD_ACK:
+                raise ProtocolError("server rejected a load record")
+
+    def _transcript(
+        self,
+        request: Request,
+        proxy_ops: OpCounts,
+        finalize_ops: OpCounts,
+        request_bytes: int,
+        reply_bytes: int,
+        value: bytes,
+    ) -> AccessTranscript:
+        return AccessTranscript(
+            op=request.op,
+            phases=(
+                PhaseRecord("proxy-build-tables", "proxy", proxy_ops),
+                PhaseRecord("server-remote", "server", OpCounts(kv_ops=2)),
+                PhaseRecord("proxy-decode", "proxy", finalize_ops),
+            ),
+            round_trips=(RoundTrip(request_bytes, reply_bytes),),
+            response=Response(request.key, value),
+        )
+
+    def access(self, request: Request) -> AccessTranscript:
+        """One oblivious access routed to its shard (lockstep)."""
+        span = TRACER.start_span("sharded.access") if _obs.enabled else None
+        shard = self.shard_of(request.key)
+        lbl_request, proxy_ops = self.proxy.prepare(request)
+        payload = lbl_request.to_bytes()
+        reply = self.clients[shard].submit(payload).result(self.timeout)
+        response = LblAccessResponse.from_bytes(reply)
+        value, finalize_ops = self.proxy.finalize(request.key, response)
+        if span is not None:
+            span.set_attributes(shard=shard, request_bytes=len(payload))
+            TRACER.end(span)
+            REGISTRY.counter(f"sharded.shard{shard}.requests").inc()
+        return self._transcript(
+            request, proxy_ops, finalize_ops, len(payload), len(reply), value
+        )
+
+    def access_batch(self, requests: list[Request]) -> list[AccessTranscript]:
+        """Serve a batch with one concurrent sub-batch per shard.
+
+        Requests are prepared in order (epochs recorded, so repeated keys
+        decode correctly), partitioned by shard, shipped concurrently, and
+        the per-shard replies are merged back into request order.
+
+        Raises:
+            BatchPartialFailure: Some requests failed server-side; see
+                :class:`~repro.errors.BatchPartialFailure` for the retry
+                contract.
+        """
+        if not requests:
+            raise ProtocolError("batch must contain at least one request")
+        prepared = []
+        by_shard: dict[int, list[int]] = {}
+        for index, request in enumerate(requests):
+            shard = self.shard_of(request.key)
+            epoch = self.proxy.counter(request.key) + 1
+            lbl_request, proxy_ops = self.proxy.prepare(request)
+            prepared.append((request, lbl_request, proxy_ops, epoch))
+            by_shard.setdefault(shard, []).append(index)
+
+        # Ship every sub-batch before waiting on any reply: the shards
+        # work concurrently while this thread blocks on the slowest one.
+        shard_futures = {}
+        shard_wire_bytes = {}
+        for shard, indices in by_shard.items():
+            sub = LblBatchRequest(tuple(prepared[i][1] for i in indices))
+            wire = sub.to_bytes()
+            shard_wire_bytes[shard] = len(wire)
+            shard_futures[shard] = self.clients[shard].submit(wire)
+            if _obs.enabled:
+                REGISTRY.counter(f"sharded.shard{shard}.requests").inc(len(indices))
+                REGISTRY.gauge("sharded.batch.shards_in_flight").set(
+                    len(shard_futures)
+                )
+
+        entries: list = [None] * len(requests)
+        shares: list[tuple[int, int]] = [(0, 0)] * len(requests)
+        for shard, indices in by_shard.items():
+            reply = shard_futures[shard].result(self.timeout)
+            response = LblBatchResponse.from_bytes(reply)
+            if len(response.responses) != len(indices):
+                raise ProtocolError("batch response count mismatch")
+            share = (
+                shard_wire_bytes[shard] // len(indices),
+                len(reply) // len(indices),
+            )
+            for index, entry in zip(indices, response.responses):
+                entries[index] = entry
+                shares[index] = share
+
+        transcripts, failures = finalize_batch_entries(
+            self.proxy,
+            [(request, proxy_ops, epoch) for request, _, proxy_ops, epoch in prepared],
+            tuple(entries),
+            shares=shares,
+        )
+        if failures:
+            raise BatchPartialFailure(failures, transcripts)
+        return [transcripts[i] for i in range(len(requests))]
+
+    def access_pipelined(
+        self, requests: list[Request], depth: int | None = None
+    ) -> list[AccessTranscript]:
+        """Serve requests with up to ``depth`` frames in flight at once.
+
+        Unlike :meth:`access_batch` (one frame per shard), every request
+        travels as its own multiplexed frame, so the server's worker pool
+        processes them in parallel and replies stream back continuously.
+        Transcripts are returned in request order.
+        """
+        if not requests:
+            raise ProtocolError("pipeline needs at least one request")
+        depth = self.pipeline_depth if depth is None else depth
+        if depth < 1:
+            raise ConfigurationError("pipeline depth must be >= 1")
+
+        window: deque = deque()
+        keys_in_flight: set[str] = set()
+        transcripts: list[AccessTranscript] = []
+
+        def drain_one() -> None:
+            request, epoch, proxy_ops, future, request_bytes = window.popleft()
+            reply = future.result(self.timeout)
+            keys_in_flight.discard(request.key)
+            if _obs.enabled:
+                REGISTRY.gauge("sharded.pipeline.in_flight").set(len(window))
+            response = LblAccessResponse.from_bytes(reply)
+            value, finalize_ops = self.proxy.finalize(
+                request.key, response, counter=epoch
+            )
+            transcripts.append(
+                self._transcript(
+                    request, proxy_ops, finalize_ops, request_bytes, len(reply), value
+                )
+            )
+
+        for request in requests:
+            # Same-key ordering: never two in-flight epochs for one key.
+            while request.key in keys_in_flight or len(window) >= depth:
+                drain_one()
+            shard = self.shard_of(request.key)
+            epoch = self.proxy.counter(request.key) + 1
+            lbl_request, proxy_ops = self.proxy.prepare(request)
+            payload = lbl_request.to_bytes()
+            future = self.clients[shard].submit(payload)
+            window.append((request, epoch, proxy_ops, future, len(payload)))
+            keys_in_flight.add(request.key)
+            if _obs.enabled:
+                REGISTRY.counter(f"sharded.shard{shard}.requests").inc()
+                REGISTRY.gauge("sharded.pipeline.in_flight").set(len(window))
+        while window:
+            drain_one()
+        return transcripts
+
+
+__all__ = ["ShardedLblDeployment"]

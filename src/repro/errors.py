@@ -51,6 +51,32 @@ class KeyNotFoundError(ProtocolError):
     """The requested key does not exist in the store."""
 
 
+class BatchPartialFailure(ProtocolError):
+    """Some requests of a batch failed server-side; the rest completed.
+
+    The successful requests *did* rotate their labels (server- and
+    proxy-side state stays in sync for them), and the proxy rolled its
+    counters back for the failed keys, so retrying just the failed requests
+    is safe.
+
+    Attributes:
+        transcripts: ``original index -> AccessTranscript`` for the
+            requests that completed.
+        failures: ``original index -> server error message`` for the
+            requests that did not.
+    """
+
+    def __init__(self, failures: dict, transcripts: dict) -> None:
+        self.failures = dict(failures)
+        self.transcripts = dict(transcripts)
+        total = len(self.failures) + len(self.transcripts)
+        indices = ", ".join(str(i) for i in sorted(self.failures))
+        super().__init__(
+            f"{len(self.failures)} of {total} batch requests failed "
+            f"(indices {indices}); successful requests were applied"
+        )
+
+
 class StorageError(OrtoaError):
     """The storage engine rejected an operation."""
 

@@ -19,6 +19,10 @@ mapping to the paper:
 ``fhe_noise``   §3.3 — FHE noise exhaustion curve
 ``dollar_cost`` §6.3.3 — LBL operating cost estimate
 ==============  =====================================================
+
+Beyond the paper's artifacts, :func:`sharded_scaling` and
+:func:`pipeline_depth_sweep` measure the real-socket sharded deployment
+(§6.2.4 realized over TCP rather than the simulated testbed).
 """
 
 from __future__ import annotations
@@ -339,6 +343,60 @@ def oram_comparison(num_blocks: int = 32, accesses: int = 60) -> list[Row]:
     return schemes
 
 
+def sharded_scaling(
+    shards: int = 4,
+    num_requests: int = 64,
+    in_process: bool = True,
+) -> list[Row]:
+    """§6.2.4 on real sockets: throughput as loopback storage shards are added.
+
+    Unlike :func:`figure3a` (simulated testbed), this boots actual
+    :class:`~repro.transport.server.LblTcpServer` instances and drives them
+    through the pipelined sharded deployment; each shard applies an
+    emulated per-request service time, so capacity grows with shard count
+    on any machine (see
+    :func:`~repro.transport.cluster.measure_shard_scaling`).  Shard counts
+    are the powers of two up to ``shards``.
+
+    Args:
+        shards: Largest shard count to measure.
+        num_requests: Accesses per data point.
+        in_process: Thread-backed shard servers (default) or spawned
+            subprocesses.
+    """
+    from repro.transport.cluster import measure_shard_scaling
+
+    counts = [1]
+    while counts[-1] * 2 <= shards:
+        counts.append(counts[-1] * 2)
+    return measure_shard_scaling(
+        shard_counts=tuple(counts),
+        num_requests=num_requests,
+        in_process=in_process,
+    )
+
+
+def pipeline_depth_sweep(
+    pipeline_depth: int = 8,
+    num_requests: int = 48,
+    emulated_rtt_s: float = 0.01,
+) -> list[Row]:
+    """Lockstep vs pipelined throughput on one loopback shard.
+
+    Sweeps in-flight window depths 1 (lockstep), 2, and ``pipeline_depth``
+    against a server that delays each reply by ``emulated_rtt_s`` (standing
+    in for the WAN RTTs of Table 2, which pipelining exists to hide).
+    """
+    from repro.transport.cluster import measure_pipeline_gain
+
+    depths = tuple(sorted({1, 2, max(2, pipeline_depth)}))
+    return measure_pipeline_gain(
+        depths=depths,
+        num_requests=num_requests,
+        emulated_rtt_s=emulated_rtt_s,
+    )
+
+
 def dollar_cost() -> list[Row]:
     """§6.3.3: LBL-ORTOA's Google-Cloud cost breakdown."""
     estimate = estimate_lbl_cost()
@@ -376,4 +434,6 @@ __all__ = [
     "fhe_noise",
     "dollar_cost",
     "oram_comparison",
+    "sharded_scaling",
+    "pipeline_depth_sweep",
 ]

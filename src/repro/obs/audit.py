@@ -255,6 +255,170 @@ def run_audit(
 
 
 # --------------------------------------------------------------------- #
+# Sharded / pipelined deployments
+# --------------------------------------------------------------------- #
+
+
+def observations_by_fingerprint(
+    spans: Sequence[Span], op_by_fingerprint: dict[str, Operation]
+) -> list[ServerObservation]:
+    """Pair server spans with ground truth by the ``key_fingerprint`` attribute.
+
+    Positional pairing (:func:`observations_from_spans`) assumes spans finish
+    in issue order, which a pipelined deployment's server worker pool does
+    not guarantee.  Each span instead carries the prefix of the PRF-encoded
+    key it served — information the server already holds as its storage key —
+    and, because the audit workload touches every key exactly once, that
+    prefix identifies the operation unambiguously.
+    """
+    if len(spans) != len(op_by_fingerprint):
+        raise ConfigurationError(
+            f"{len(spans)} server observations for "
+            f"{len(op_by_fingerprint)} operations — was capture enabled for "
+            "the whole run?"
+        )
+    observations = []
+    for span in spans:
+        fingerprint = span.attributes.get("key_fingerprint")
+        op = op_by_fingerprint.get(fingerprint)
+        if op is None:
+            raise ConfigurationError(
+                f"server span carries unknown key fingerprint {fingerprint!r}"
+            )
+        observations.append(ServerObservation(op, dict(span.attributes)))
+    return observations
+
+
+@dataclass(frozen=True, slots=True)
+class ShardedAuditReport:
+    """Audit verdicts for a sharded deployment: overall and per shard.
+
+    Each shard's server sees only its own slice of the workload, so a
+    protocol could pass in aggregate while one shard's view distinguishes
+    reads from writes.  ``passed`` therefore requires the pooled view *and*
+    every per-shard view to pass.
+    """
+
+    overall: AuditReport
+    per_shard: tuple[AuditReport, ...]
+
+    @property
+    def passed(self) -> bool:
+        """True iff the pooled view and every shard's view pass."""
+        return self.overall.passed and all(r.passed for r in self.per_shard)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form: overall report plus one entry per shard."""
+        return {
+            "passed": self.passed,
+            "overall": self.overall.to_dict(),
+            "per_shard": [r.to_dict() for r in self.per_shard],
+        }
+
+    def summary(self) -> str:
+        """Human-readable verdict, shard by shard."""
+        lines = [
+            f"sharded obliviousness audit over {len(self.per_shard)} shards: "
+            + ("PASS" if self.passed else "FAIL"),
+            "overall (all shards pooled):",
+            _indent(self.overall.summary()),
+        ]
+        for shard, report in enumerate(self.per_shard):
+            lines.append(f"shard {shard}:")
+            lines.append(_indent(report.summary()))
+        return "\n".join(lines)
+
+
+def _indent(text: str) -> str:
+    return "\n".join("  " + line for line in text.splitlines())
+
+
+def run_sharded_audit(
+    deployment,
+    *,
+    num_keys: int = 32,
+    seed: int = 0,
+    mean_tolerance: float = 0.15,
+    pipeline_depth: int | None = None,
+) -> ShardedAuditReport:
+    """Audit a sharded, pipelined deployment's per-shard server views.
+
+    The deployment must be a freshly constructed (uninitialized)
+    :class:`~repro.core.sharded.ShardedLblDeployment` whose shard servers
+    run *in this process* (e.g. a thread-backed
+    :class:`~repro.transport.cluster.ShardCluster`) so their spans land in
+    this process's tracer.
+
+    The workload routes keys to shards first and then balances reads and
+    writes *within each shard*, so every shard's view contains both
+    operation types.  Accesses go through :meth:`access_pipelined`, the
+    path whose out-of-order completion the fingerprint pairing exists for.
+    """
+    if num_keys < 2 * deployment.num_shards:
+        raise ConfigurationError(
+            f"sharded audit needs >= 2 keys per shard "
+            f"({deployment.num_shards} shards, got {num_keys} keys)"
+        )
+    rng = random.Random(seed)
+    value_len = deployment.config.value_len
+    keys = [f"audit-{i}" for i in range(num_keys)]
+
+    by_shard: dict[int, list[str]] = {}
+    for key in keys:
+        by_shard.setdefault(deployment.shard_of(key), []).append(key)
+    for shard in range(deployment.num_shards):
+        if len(by_shard.get(shard, [])) < 2:
+            raise ConfigurationError(
+                f"shard {shard} drew fewer than 2 audit keys; "
+                "raise num_keys or change the seed"
+            )
+
+    requests = []
+    for shard_keys in by_shard.values():
+        for index, key in enumerate(shard_keys):
+            if index < len(shard_keys) // 2:
+                requests.append(Request.read(key))
+            else:
+                requests.append(
+                    Request.write(key, bytes([index % 256]) * value_len)
+                )
+    rng.shuffle(requests)
+
+    fingerprint_of = {
+        key: deployment.encoded_key(key).hex()[:16] for key in keys
+    }
+    op_by_fingerprint = {fingerprint_of[r.key]: r.op for r in requests}
+    shard_by_fingerprint = {
+        fingerprint_of[key]: deployment.shard_of(key) for key in keys
+    }
+
+    previous = _state.enabled
+    TRACER.reset()
+    _state.enabled = True
+    try:
+        deployment.initialize({key: bytes(value_len) for key in keys})
+        before = len(TRACER.spans(SERVER_SPAN))
+        deployment.access_pipelined(requests, depth=pipeline_depth)
+        spans = TRACER.spans(SERVER_SPAN)[before:]
+    finally:
+        _state.enabled = previous
+
+    observations = observations_by_fingerprint(spans, op_by_fingerprint)
+    overall = audit_observations(observations, mean_tolerance=mean_tolerance)
+    per_shard = []
+    for shard in range(deployment.num_shards):
+        shard_obs = [
+            obs
+            for obs, span in zip(observations, spans)
+            if shard_by_fingerprint[span.attributes["key_fingerprint"]] == shard
+        ]
+        per_shard.append(
+            audit_observations(shard_obs, mean_tolerance=mean_tolerance)
+        )
+    return ShardedAuditReport(overall=overall, per_shard=tuple(per_shard))
+
+
+# --------------------------------------------------------------------- #
 # The deliberately leaky negative control
 # --------------------------------------------------------------------- #
 
@@ -306,8 +470,11 @@ __all__ = [
     "AuditCheck",
     "AuditReport",
     "observations_from_spans",
+    "observations_by_fingerprint",
     "audit_observations",
     "run_audit",
+    "run_sharded_audit",
+    "ShardedAuditReport",
     "LeakyLblServer",
     "LeakyLblOrtoa",
     "EXACT_FEATURES",

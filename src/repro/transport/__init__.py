@@ -11,12 +11,25 @@ security properties carry over verbatim.
 
 Use :class:`~repro.transport.server.LblTcpServer` on the storage host and
 :class:`~repro.transport.client.RemoteLblOrtoa` wherever the trusted proxy
-runs.
+runs.  For high-throughput deployments,
+:class:`~repro.transport.pipeline.PipelinedLblClient` multiplexes many
+in-flight requests over pooled sockets (see :mod:`repro.core.sharded`),
+and :class:`~repro.transport.cluster.ShardCluster` boots a set of shard
+servers (threads or separate processes) for loopback experiments.
 """
 
 from repro.transport.client import RemoteLblOrtoa
+from repro.transport.cluster import ShardCluster
+from repro.transport.pipeline import PipelinedLblClient
 from repro.transport.server import LblTcpServer
 from repro.transport.tee_client import RemoteTeeOrtoa
 from repro.transport.tee_server import TeeTcpServer
 
-__all__ = ["LblTcpServer", "RemoteLblOrtoa", "TeeTcpServer", "RemoteTeeOrtoa"]
+__all__ = [
+    "LblTcpServer",
+    "RemoteLblOrtoa",
+    "PipelinedLblClient",
+    "ShardCluster",
+    "TeeTcpServer",
+    "RemoteTeeOrtoa",
+]

@@ -20,10 +20,11 @@ from repro.core.base import (
     PhaseRecord,
     RoundTrip,
 )
+from repro.core.lbl.concurrent import finalize_batch_entries
 from repro.core.lbl.proxy import LblProxy
 from repro.core.messages import LblAccessResponse, LblBatchRequest, LblBatchResponse
 from repro.crypto.keys import KeyChain
-from repro.errors import ProtocolError
+from repro.errors import BatchPartialFailure, ProtocolError
 from repro.obs import _state as _obs
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
@@ -126,6 +127,12 @@ class RemoteLblOrtoa(OrtoaProtocol):
         repeated keys decode correctly), shipped as one
         :class:`~repro.core.messages.LblBatchRequest`, and finalized from
         the single batched reply.
+
+        Raises:
+            BatchPartialFailure: Some requests failed server-side.  The
+                successful ones were applied (their transcripts ride on the
+                exception) and the failed keys' counters were rolled back,
+                so retrying just the failures is safe.
         """
         if not requests:
             raise ProtocolError("batch must contain at least one request")
@@ -141,28 +148,16 @@ class RemoteLblOrtoa(OrtoaProtocol):
         if len(batch_response.responses) != len(prepared):
             raise ProtocolError("batch response count mismatch")
 
-        transcripts = []
-        share_request = len(wire) // len(prepared)
-        share_reply = len(reply) // len(prepared)
-        for (request, _lbl_request, proxy_ops, epoch), response in zip(
-            prepared, batch_response.responses
-        ):
-            value, finalize_ops = self.proxy.finalize(
-                request.key, response, counter=epoch
-            )
-            transcripts.append(
-                AccessTranscript(
-                    op=request.op,
-                    phases=(
-                        PhaseRecord("proxy-build-tables", "proxy", proxy_ops),
-                        PhaseRecord("server-remote", "server", OpCounts(kv_ops=2)),
-                        PhaseRecord("proxy-decode", "proxy", finalize_ops),
-                    ),
-                    round_trips=(RoundTrip(share_request, share_reply),),
-                    response=Response(request.key, value),
-                )
-            )
-        return transcripts
+        share = (len(wire) // len(prepared), len(reply) // len(prepared))
+        transcripts, failures = finalize_batch_entries(
+            self.proxy,
+            [(request, proxy_ops, epoch) for request, _, proxy_ops, epoch in prepared],
+            batch_response.responses,
+            shares=[share] * len(prepared),
+        )
+        if failures:
+            raise BatchPartialFailure(failures, transcripts)
+        return [transcripts[i] for i in range(len(prepared))]
 
 
 __all__ = ["RemoteLblOrtoa"]

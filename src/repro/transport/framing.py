@@ -1,8 +1,17 @@
-"""Length-prefixed framing over stream sockets.
+"""Length-prefixed framing over stream sockets, plus request multiplexing.
 
 One frame = 4-byte big-endian payload length + payload.  The payload is a
 serialized :mod:`repro.core.messages` message (the first byte is its tag),
 so the framing layer stays completely protocol-agnostic.
+
+Pipelined clients additionally *multiplex* frames: a mux frame's payload is
+``[MUX_TAG][8-byte big-endian request id][inner payload]``.  The id lets a
+client keep many requests in flight over one socket and match responses as
+they come back — possibly out of order — instead of the strict
+request/reply lockstep of plain frames.  Because :data:`MUX_TAG` is just
+another tag byte, mux and plain frames share one connection and servers
+stay backward compatible: a peer that never sends mux frames never sees
+one back.
 """
 
 from __future__ import annotations
@@ -57,4 +66,48 @@ def recv_frame(sock: socket.socket) -> bytes:
     return payload
 
 
-__all__ = ["send_frame", "recv_frame", "recv_exact", "MAX_FRAME_BYTES"]
+# --------------------------------------------------------------------- #
+# Request multiplexing (pipelined connections)
+# --------------------------------------------------------------------- #
+
+#: Tag byte marking a multiplexed frame payload.
+MUX_TAG = 0x50
+#: Width of the request id carried by every mux frame.
+REQUEST_ID_BYTES = 8
+#: Request ids are unsigned and must fit :data:`REQUEST_ID_BYTES`.
+MAX_REQUEST_ID = 2 ** (8 * REQUEST_ID_BYTES) - 1
+_MUX_HEADER = 1 + REQUEST_ID_BYTES
+
+
+def wrap_mux(request_id: int, payload: bytes) -> bytes:
+    """Prefix ``payload`` with the mux tag and ``request_id``."""
+    if not 0 <= request_id <= MAX_REQUEST_ID:
+        raise ProtocolError(f"request id {request_id} out of range")
+    return bytes([MUX_TAG]) + request_id.to_bytes(REQUEST_ID_BYTES, "big") + payload
+
+
+def unwrap_mux(payload: bytes) -> tuple[int, bytes]:
+    """Split a mux frame payload into (request id, inner payload)."""
+    if len(payload) < _MUX_HEADER or payload[0] != MUX_TAG:
+        raise ProtocolError("malformed multiplexed frame")
+    request_id = int.from_bytes(payload[1:_MUX_HEADER], "big")
+    return request_id, payload[_MUX_HEADER:]
+
+
+def is_mux(payload: bytes) -> bool:
+    """Whether a frame payload carries the mux tag."""
+    return bool(payload) and payload[0] == MUX_TAG
+
+
+__all__ = [
+    "send_frame",
+    "recv_frame",
+    "recv_exact",
+    "MAX_FRAME_BYTES",
+    "MUX_TAG",
+    "REQUEST_ID_BYTES",
+    "MAX_REQUEST_ID",
+    "wrap_mux",
+    "unwrap_mux",
+    "is_mux",
+]

@@ -1,0 +1,190 @@
+"""Pipelined LBL transport: many in-flight requests over pooled sockets.
+
+:class:`RemoteLblOrtoa` runs in strict lockstep — one frame out, block, one
+frame back — so every access pays a full round trip of dead air.  This
+module removes that wait: :class:`PipelinedLblClient` wraps each request in
+a multiplexed frame (:func:`repro.transport.framing.wrap_mux`), returns a
+:class:`concurrent.futures.Future` immediately, and lets a background
+reader thread per connection complete futures as replies arrive — in
+whatever order the server finishes them.
+
+The client is transport-only: it moves opaque payloads (serialized
+:mod:`repro.core.messages` frames or LOAD records) and interprets nothing
+but the error tag.  Epoch ordering for same-key requests is the caller's
+job (see :class:`repro.core.sharded.ShardedLblDeployment`), because only
+the trusted side knows which payloads touch the same key.
+
+Thread safety: :meth:`submit` may be called from many threads; each
+connection has independent send/pending locks and request ids are drawn
+from one atomic counter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from concurrent.futures import Future
+
+from repro.errors import ProtocolError
+from repro.obs import _state as _obs
+from repro.obs.metrics import REGISTRY
+from repro.transport import framing
+from repro.transport.server import ERROR_TAG
+
+
+class _Connection:
+    """One socket plus its reader thread and pending-future table."""
+
+    def __init__(self, address: tuple[str, int], timeout: float) -> None:
+        self.sock = socket.create_connection(address, timeout=timeout)
+        # The reader blocks on recv indefinitely between replies; request
+        # timeouts are enforced by callers waiting on futures instead.
+        self.sock.settimeout(None)
+        # Bursts of small frames must not wait for ACKs of earlier ones:
+        # Nagle + delayed ACK turns a full pipeline window into ~40ms
+        # stalls, erasing exactly the overlap pipelining exists for.
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.send_lock = threading.Lock()
+        self.pending: dict[int, Future] = {}
+        self.pending_lock = threading.Lock()
+        self.dead = False
+        self.reader = threading.Thread(
+            target=self._read_loop, name="lbl-pipeline-reader", daemon=True
+        )
+        self.reader.start()
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                payload = framing.recv_frame(self.sock)
+                request_id, inner = framing.unwrap_mux(payload)
+            except (ProtocolError, OSError):
+                break  # closed, truncated mid-frame, or protocol violation
+            with self.pending_lock:
+                future = self.pending.pop(request_id, None)
+            if future is None:
+                continue  # reply for a request nobody is waiting on
+            if inner[:1] == bytes([ERROR_TAG]):
+                if _obs.enabled:
+                    REGISTRY.counter("transport.error_frames_received").inc()
+                future.set_exception(
+                    ProtocolError(
+                        f"server error: {inner[1:].decode('utf-8', 'replace')}"
+                    )
+                )
+            else:
+                future.set_result(inner)
+        self.fail_pending(ProtocolError("connection lost with requests in flight"))
+
+    def fail_pending(self, error: ProtocolError) -> None:
+        """Mark the connection dead and fail every outstanding future."""
+        self.dead = True
+        with self.pending_lock:
+            orphans = list(self.pending.values())
+            self.pending.clear()
+        for future in orphans:
+            # A future may have completed in a race with the reader; only
+            # fail ones still waiting.
+            if not future.done():
+                future.set_exception(error)
+
+    def close(self) -> None:
+        """Close the socket; the reader exits and fails any stragglers."""
+        self.dead = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class PipelinedLblClient:
+    """A connection pool speaking the multiplexed LBL wire format.
+
+    Args:
+        address: ``(host, port)`` of a running
+            :class:`~repro.transport.server.LblTcpServer`.
+        pool_size: Sockets to open; submissions round-robin across them.
+        timeout: Connect timeout per socket (seconds).
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        pool_size: int = 1,
+        timeout: float = 30.0,
+    ) -> None:
+        if pool_size < 1:
+            raise ProtocolError("pool_size must be >= 1")
+        self.address = address
+        self._connections = [_Connection(address, timeout) for _ in range(pool_size)]
+        self._ids = itertools.count(1)
+        self._rr = itertools.cycle(range(pool_size))
+        self._closed = False
+
+    @property
+    def num_connections(self) -> int:
+        """Sockets in the pool (dead ones included)."""
+        return len(self._connections)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet completed."""
+        return sum(len(c.pending) for c in self._connections)
+
+    def _pick(self) -> _Connection:
+        for _ in range(len(self._connections)):
+            conn = self._connections[next(self._rr)]
+            if not conn.dead:
+                return conn
+        raise ProtocolError(f"all connections to {self.address} are closed")
+
+    def submit(self, payload: bytes) -> Future:
+        """Send one payload; the future completes with the reply bytes.
+
+        The future fails with :class:`~repro.errors.ProtocolError` if the
+        server answered with an error frame or the connection died with the
+        request in flight.
+        """
+        if self._closed:
+            raise ProtocolError("client is closed")
+        conn = self._pick()
+        request_id = next(self._ids)
+        future: Future = Future()
+        with conn.pending_lock:
+            conn.pending[request_id] = future
+        try:
+            with conn.send_lock:
+                framing.send_frame(conn.sock, framing.wrap_mux(request_id, payload))
+        except OSError as exc:
+            with conn.pending_lock:
+                conn.pending.pop(request_id, None)
+            conn.fail_pending(ProtocolError(f"send failed: {exc}"))
+            raise ProtocolError(f"send to {self.address} failed: {exc}") from exc
+        if _obs.enabled:
+            REGISTRY.counter("transport.pipeline.submitted").inc()
+            REGISTRY.gauge("transport.pipeline.in_flight").set(self.in_flight)
+        return future
+
+    def request(self, payload: bytes, timeout: float | None = 30.0) -> bytes:
+        """Submit and block for the reply (lockstep convenience)."""
+        return self.submit(payload).result(timeout)
+
+    def close(self) -> None:
+        """Close every socket and fail any still-pending futures."""
+        self._closed = True
+        for conn in self._connections:
+            conn.close()
+        for conn in self._connections:
+            conn.reader.join(timeout=5.0)
+            conn.fail_pending(ProtocolError("client closed with requests in flight"))
+
+    def __enter__(self) -> "PipelinedLblClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+__all__ = ["PipelinedLblClient"]

@@ -9,20 +9,45 @@ Wire protocol (within the framing of :mod:`repro.transport.framing`):
 
 * a serialized :class:`~repro.core.messages.LblAccessRequest` (tag 0x20)
   → a serialized :class:`~repro.core.messages.LblAccessResponse`;
+* a :class:`~repro.core.messages.LblBatchRequest` (tag 0x22) → a
+  :class:`~repro.core.messages.LblBatchResponse` whose entries are
+  per-request — a failing request yields an
+  :class:`~repro.core.messages.LblErrorEntry` at its position while the
+  rest of the batch is still applied;
 * a LOAD frame (tag 0x40: encoded key + label blob) during bulk
   initialization → a 1-byte ack (0x41);
-* on any handling error → an error frame (tag 0x7F + UTF-8 message), so
-  clients fail with a described exception instead of a dead socket.
+* a multiplexed frame (tag 0x50: request id + any of the above) → the
+  reply wrapped under the same request id.  Mux frames from one connection
+  dispatch on a worker pool, so distinct keys process in parallel and
+  replies may return out of order — that is the point: pipelined clients
+  match replies by id;
+* on any handling error → an error frame (tag 0x7F + UTF-8 message, mux
+  wrapped iff the request was), so clients fail with a described exception
+  instead of a dead socket.
+
+Concurrency: requests touching the *same* encoded key are serialized by a
+striped lock (mirroring :class:`~repro.core.lbl.concurrent.ConcurrentLblProxy`
+on the trusted side); requests for distinct keys run in parallel on the
+worker pool instead of queueing behind one global lock.
 """
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.lbl.server import LblServer
-from repro.core.messages import LblAccessRequest, LblBatchRequest, LblBatchResponse
-from repro.errors import OrtoaError, ProtocolError
+from repro.core.messages import (
+    LblAccessRequest,
+    LblAccessResponse,
+    LblBatchRequest,
+    LblBatchResponse,
+    LblErrorEntry,
+)
+from repro.errors import ConfigurationError, OrtoaError, ProtocolError
 from repro.obs import _state as _obs
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
@@ -55,27 +80,39 @@ def unpack_load(payload: bytes):
     encoded_key = payload[5:5 + key_len]
     if len(encoded_key) != key_len:
         raise ProtocolError("truncated load record key")
-    labels = LabelListCodec().decode(payload[5 + key_len:])
+    try:
+        labels = LabelListCodec().decode(payload[5 + key_len:])
+    except OrtoaError:
+        raise
+    except Exception as exc:  # struct.error, IndexError on hostile blobs
+        raise ProtocolError(f"malformed load record labels: {exc}") from None
     return encoded_key, labels
 
 
 class _Handler(socketserver.BaseRequestHandler):
+    def setup(self) -> None:  # noqa: D401 - socketserver interface
+        # Replies are small frames written by independent worker threads;
+        # without NODELAY, Nagle holds each until the client ACKs the
+        # previous one and pipelined replies serialize on delayed ACKs.
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
     def handle(self) -> None:  # noqa: D401 - socketserver interface
         server: "LblTcpServer" = self.server  # type: ignore[assignment]
+        # Mux replies are written from pool threads while this thread may
+        # still write inline replies; one lock per connection orders them.
+        send_lock = threading.Lock()
         while True:
             try:
                 payload = framing.recv_frame(self.request)
             except (ProtocolError, OSError):
-                return  # connection closed
+                return  # connection closed (possibly mid-frame; that's fine)
+            if framing.is_mux(payload):
+                server.submit_mux(self.request, send_lock, payload)
+                continue
+            reply = server.safe_dispatch(payload)
             try:
-                reply = server.dispatch(payload)
-            except OrtoaError as exc:
-                _log.warning("request failed, returning error frame: %s", exc)
-                if _obs.enabled:
-                    REGISTRY.counter("transport.error_frames_sent").inc()
-                reply = bytes([ERROR_TAG]) + str(exc).encode("utf-8")
-            try:
-                framing.send_frame(self.request, reply)
+                with send_lock:
+                    framing.send_frame(self.request, reply)
             except OSError:
                 return
 
@@ -87,25 +124,72 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         host: Bind address (use ``127.0.0.1`` for tests).
         port: Bind port (0 picks an ephemeral one; read ``address``).
         point_and_permute: Must match the clients' configuration.
+        num_stripes: Per-key lock stripes; collisions only cost
+            parallelism, never correctness.
+        max_workers: Pool threads handling multiplexed frames; bounds how
+            many pipelined requests process concurrently.
+        response_delay_s: Artificial delay before every reply, emulating a
+            WAN round trip on loopback (benchmarks only; keep 0.0 in
+            production use).
     """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 point_and_permute: bool = True) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        point_and_permute: bool = True,
+        num_stripes: int = 64,
+        max_workers: int = 8,
+        response_delay_s: float = 0.0,
+    ) -> None:
+        if num_stripes < 1:
+            raise ConfigurationError("num_stripes must be >= 1")
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        if response_delay_s < 0:
+            raise ConfigurationError("response_delay_s cannot be negative")
         super().__init__((host, port), _Handler)
         self.lbl = LblServer(point_and_permute=point_and_permute)
-        # process() mutates per-key state; ThreadingTCPServer gives each
-        # connection a thread, so dispatch is serialized here.  (Per-key
-        # striping as in ConcurrentLblProxy would also work; a single lock
-        # keeps the untrusted component trivially auditable.)
-        self._lock = threading.Lock()
+        self.response_delay_s = response_delay_s
+        # process() mutates per-key state, so accesses to the same key must
+        # serialize — but only to the same key.  Striped locks (mirroring
+        # ConcurrentLblProxy) let distinct keys dispatch in parallel.
+        self._stripes = [threading.Lock() for _ in range(num_stripes)]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="lbl-mux"
+        )
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
 
     @property
     def address(self) -> tuple[str, int]:
         """The (host, port) the server is bound to."""
         return self.socket.getsockname()
+
+    @property
+    def in_flight(self) -> int:
+        """Multiplexed requests currently queued or executing."""
+        return self._in_flight
+
+    def _stripe_for(self, encoded_key: bytes) -> threading.Lock:
+        return self._stripes[hash(encoded_key) % len(self._stripes)]
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def safe_dispatch(self, payload: bytes) -> bytes:
+        """Dispatch one frame, converting failures into error frames."""
+        try:
+            return self.dispatch(payload)
+        except OrtoaError as exc:
+            _log.warning("request failed, returning error frame: %s", exc)
+            if _obs.enabled:
+                REGISTRY.counter("transport.error_frames_sent").inc()
+            return bytes([ERROR_TAG]) + str(exc).encode("utf-8")
 
     def dispatch(self, payload: bytes) -> bytes:
         """Route one decoded frame; returns the serialized reply."""
@@ -115,28 +199,93 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
             raise ProtocolError("empty frame")
         if payload[0] == LOAD_TAG:
             encoded_key, labels = unpack_load(payload)
-            with self._lock:
+            with self._stripe_for(encoded_key):
                 self.lbl.load(encoded_key, labels)
             return LOAD_ACK
         if payload[0] == LblAccessRequest.TAG:
             request = LblAccessRequest.from_bytes(payload)
-            with self._lock:
+            with self._stripe_for(request.encoded_key):
                 response, _ops = self.lbl.process(request)
             return response.to_bytes()
         if payload[0] == LblBatchRequest.TAG:
             batch = LblBatchRequest.from_bytes(payload)
-            with self._lock:
-                responses = tuple(
-                    self.lbl.process(request)[0] for request in batch.requests
-                )
-            return LblBatchResponse(responses).to_bytes()
+            entries: list[LblAccessResponse | LblErrorEntry] = []
+            for request in batch.requests:
+                # Per-request isolation: requests processed so far have
+                # already rotated their labels, so a later failure must not
+                # discard them — slot an error entry and keep going.
+                try:
+                    with self._stripe_for(request.encoded_key):
+                        response, _ops = self.lbl.process(request)
+                    entries.append(response)
+                except OrtoaError as exc:
+                    _log.warning("batch request failed: %s", exc)
+                    if _obs.enabled:
+                        REGISTRY.counter("transport.batch_error_entries").inc()
+                    entries.append(LblErrorEntry(str(exc)))
+            return LblBatchResponse(tuple(entries)).to_bytes()
         raise ProtocolError(f"unknown frame tag {payload[0]:#x}")
+
+    # ------------------------------------------------------------------ #
+    # Multiplexed (pipelined) frames
+    # ------------------------------------------------------------------ #
+
+    def submit_mux(self, sock, send_lock: threading.Lock, payload: bytes) -> None:
+        """Queue one mux frame for pool dispatch; replies carry its id."""
+        try:
+            request_id, inner = framing.unwrap_mux(payload)
+        except ProtocolError as exc:
+            # No id to mirror: reply with a plain error frame so the client
+            # at least sees a described failure.
+            try:
+                with send_lock:
+                    framing.send_frame(
+                        sock, bytes([ERROR_TAG]) + str(exc).encode("utf-8")
+                    )
+            except OSError:
+                pass
+            return
+        with self._in_flight_lock:
+            self._in_flight += 1
+            depth = self._in_flight
+        if _obs.enabled:
+            REGISTRY.counter("transport.mux_frames_received").inc()
+            REGISTRY.gauge("transport.server.in_flight").set(depth)
+        self._pool.submit(self._handle_mux, sock, send_lock, request_id, inner)
+
+    def _handle_mux(
+        self, sock, send_lock: threading.Lock, request_id: int, inner: bytes
+    ) -> None:
+        try:
+            if self.response_delay_s:
+                time.sleep(self.response_delay_s)
+            reply = self.safe_dispatch(inner)
+            try:
+                with send_lock:
+                    framing.send_frame(sock, framing.wrap_mux(request_id, reply))
+            except OSError:
+                pass  # client vanished mid-flight; nothing left to tell it
+        finally:
+            with self._in_flight_lock:
+                self._in_flight -= 1
+                depth = self._in_flight
+            if _obs.enabled:
+                REGISTRY.gauge("transport.server.in_flight").set(depth)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
 
     def serve_in_background(self) -> threading.Thread:
         """Start serving on a daemon thread; returns the thread."""
         thread = threading.Thread(target=self.serve_forever, daemon=True)
         thread.start()
         return thread
+
+    def server_close(self) -> None:
+        """Close the listener and stop the mux worker pool."""
+        super().server_close()
+        self._pool.shutdown(wait=False)
 
 
 __all__ = ["LblTcpServer", "pack_load", "unpack_load", "LOAD_TAG", "LOAD_ACK", "ERROR_TAG"]

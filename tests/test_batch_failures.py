@@ -1,0 +1,200 @@
+"""Batch partial-failure semantics: per-request errors, counter rollback.
+
+A batch is not transactional — the server applies each sub-request
+independently and slots an :class:`~repro.core.messages.LblErrorEntry` at
+any failing position.  The client contract under test:
+
+* successes in the same batch are applied and their transcripts returned
+  (riding on :class:`~repro.errors.BatchPartialFailure`);
+* each failed key's proxy counter is rolled back to the epoch before its
+  *first* failure, so once the underlying cause is repaired a retry
+  decrypts correctly (the stale-epoch regression this file pins down);
+* failure of one key never disturbs other keys' epochs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.messages import (
+    LblAccessResponse,
+    LblBatchResponse,
+    LblErrorEntry,
+)
+from repro.core.sharded import ShardedLblDeployment
+from repro.errors import BatchPartialFailure, ProtocolError
+from repro.transport import LblTcpServer, RemoteLblOrtoa
+from repro.transport.cluster import ShardCluster
+from repro.types import Request, StoreConfig
+
+pytestmark = pytest.mark.timeout(30)
+
+CONFIG = StoreConfig(value_len=16, group_bits=2, point_and_permute=True)
+
+
+@pytest.fixture()
+def server():
+    tcp = LblTcpServer(point_and_permute=True)
+    tcp.serve_in_background()
+    yield tcp
+    tcp.shutdown()
+    tcp.server_close()
+
+
+@pytest.fixture()
+def client(server):
+    remote = RemoteLblOrtoa(CONFIG, server.address, rng=random.Random(2))
+    remote.initialize({key: key.encode().ljust(16, b"\x00") for key in ("k1", "k2", "k3")})
+    yield remote
+    remote.close()
+
+
+def corrupt_key(server, client, key):
+    """Garble the server's stored labels for one key; returns the snapshot."""
+    encoded = client.keychain.encode_key(key)
+    good = list(server.lbl.store.get(encoded))
+    garbled = [type(sl)(bytes(len(sl.label)), sl.decrypt_index) for sl in good]
+    server.lbl.store.put(encoded, garbled)
+    return encoded, good
+
+
+# --------------------------------------------------------------------- #
+# Wire format
+# --------------------------------------------------------------------- #
+
+def test_error_entry_roundtrip():
+    entry = LblErrorEntry("no table entry opened at group 3")
+    assert LblErrorEntry.from_bytes(entry.to_bytes()) == entry
+
+
+def test_batch_response_with_mixed_entries_roundtrips():
+    response = LblBatchResponse(
+        (
+            LblAccessResponse((b"l1",)),
+            LblErrorEntry("stale label"),
+            LblAccessResponse((b"l2", b"l3")),
+        )
+    )
+    decoded = LblBatchResponse.from_bytes(response.to_bytes())
+    assert decoded == response
+    assert decoded.error_indices == (1,)
+
+
+# --------------------------------------------------------------------- #
+# Remote client semantics
+# --------------------------------------------------------------------- #
+
+def test_partial_failure_reports_only_failed_indices(server, client):
+    corrupt_key(server, client, "k2")
+    with pytest.raises(BatchPartialFailure) as excinfo:
+        client.access_batch(
+            [
+                Request.read("k1"),
+                Request.read("k2"),
+                Request.write("k3", CONFIG.pad(b"three")),
+            ]
+        )
+    failure = excinfo.value
+    assert set(failure.failures) == {1}
+    assert set(failure.transcripts) == {0, 2}
+    assert failure.transcripts[0].response.value.startswith(b"k1")
+    # The successes were really applied, and their epochs stayed in sync.
+    assert client.read("k1").startswith(b"k1")
+    assert client.read("k3") == CONFIG.pad(b"three")
+
+
+def test_failed_key_retries_after_repair(server, client):
+    """The stale-epoch regression: rollback makes a post-repair retry work.
+
+    Without the counter rollback the proxy would prepare the retry against
+    epoch N+2 while the repaired server still holds epoch N, and the retry
+    would fail to decrypt forever.
+    """
+    encoded, snapshot = corrupt_key(server, client, "k2")
+    with pytest.raises(BatchPartialFailure):
+        client.access_batch([Request.read("k1"), Request.read("k2")])
+    server.lbl.store.put(encoded, snapshot)  # operator repairs the shard
+    assert client.read("k2").startswith(b"k2")
+
+
+def test_repeated_failed_key_rolls_back_to_first_epoch(server, client):
+    """Several failures of one key in a batch roll back to the FIRST epoch."""
+    encoded, snapshot = corrupt_key(server, client, "k2")
+    with pytest.raises(BatchPartialFailure) as excinfo:
+        client.access_batch(
+            [
+                Request.read("k2"),
+                Request.write("k2", CONFIG.pad(b"w")),
+                Request.read("k1"),
+            ]
+        )
+    assert set(excinfo.value.failures) == {0, 1}
+    server.lbl.store.put(encoded, snapshot)
+    # Rolled back to before the first failed epoch — not the second — so
+    # the retry's tables are built against the server's actual labels.
+    assert client.read("k2").startswith(b"k2")
+
+
+def test_partial_failure_message_names_indices(server, client):
+    corrupt_key(server, client, "k3")
+    with pytest.raises(BatchPartialFailure, match=r"1 of 2 batch requests"):
+        client.access_batch([Request.read("k1"), Request.read("k3")])
+
+
+def test_fully_successful_batch_unaffected(client):
+    transcripts = client.access_batch(
+        [Request.read("k1"), Request.write("k2", CONFIG.pad(b"two"))]
+    )
+    assert len(transcripts) == 2
+
+
+# --------------------------------------------------------------------- #
+# Sharded deployment semantics
+# --------------------------------------------------------------------- #
+
+def test_sharded_batch_partial_failure_and_retry():
+    with ShardCluster(2, in_process=True) as cluster:
+        dep = ShardedLblDeployment(CONFIG, cluster.addresses, rng=random.Random(5))
+        try:
+            dep.initialize({f"k{i}": bytes([i]) * 16 for i in range(6)})
+            victim = "k4"
+            shard = dep.shard_of(victim)
+            encoded = dep.encoded_key(victim)
+            store = cluster.servers[shard].lbl.store
+            snapshot = list(store.get(encoded))
+            store.put(
+                encoded,
+                [type(sl)(bytes(len(sl.label)), sl.decrypt_index) for sl in snapshot],
+            )
+            requests = [Request.read(f"k{i}") for i in range(6)]
+            with pytest.raises(BatchPartialFailure) as excinfo:
+                dep.access_batch(requests)
+            assert set(excinfo.value.failures) == {4}
+            for index, transcript in excinfo.value.transcripts.items():
+                assert transcript.response.value == bytes([index]) * 16
+            store.put(encoded, snapshot)  # repair
+            assert dep.read(victim) == bytes([4]) * 16
+            # Untouched keys kept their epochs through the whole episode.
+            assert dep.read("k0") == bytes([0]) * 16
+        finally:
+            dep.close()
+
+
+def test_batch_error_does_not_kill_connection(server, client):
+    corrupt_key(server, client, "k1")
+    with pytest.raises(BatchPartialFailure):
+        client.access_batch([Request.read("k1"), Request.read("k2")])
+    # The same socket still serves follow-up traffic.
+    assert client.read("k2").startswith(b"k2")
+
+
+def test_whole_batch_failing_still_partial_not_error_frame(server, client):
+    """Even all-failed batches use per-entry errors, not one error frame."""
+    corrupt_key(server, client, "k1")
+    corrupt_key(server, client, "k2")
+    with pytest.raises(BatchPartialFailure) as excinfo:
+        client.access_batch([Request.read("k1"), Request.read("k2")])
+    assert set(excinfo.value.failures) == {0, 1}
+    assert excinfo.value.transcripts == {}
+    with pytest.raises(ProtocolError):
+        raise excinfo.value  # BatchPartialFailure IS a ProtocolError

@@ -7,7 +7,10 @@ from hypothesis import strategies as st
 
 from repro.core import messages as m
 from repro.crypto.fhe import FheCiphertext, FheParams
-from repro.errors import ConfigurationError, ProtocolError
+from repro.crypto.labels import StoredLabel
+from repro.errors import ConfigurationError, OrtoaError, ProtocolError
+from repro.transport.framing import MAX_REQUEST_ID, unwrap_mux, wrap_mux
+from repro.transport.server import LOAD_TAG, pack_load, unpack_load
 
 PARSERS = [
     m.ReadRequest,
@@ -20,6 +23,9 @@ PARSERS = [
     m.LblAccessResponse,
     m.FheAccessRequest,
     m.FheAccessResponse,
+    m.LblBatchRequest,
+    m.LblBatchResponse,
+    m.LblErrorEntry,
 ]
 
 
@@ -88,3 +94,105 @@ def test_cross_protocol_tag_confusion_rejected():
         m.LblAccessRequest.from_bytes(tee)
     with pytest.raises(ProtocolError):
         m.FheAccessRequest.from_bytes(tee)
+
+
+# --------------------------------------------------------------------- #
+# Bulk-load records (server-side parser for untrusted bytes)
+# --------------------------------------------------------------------- #
+
+stored_labels = st.lists(
+    st.builds(
+        StoredLabel,
+        label=st.binary(min_size=0, max_size=40),
+        decrypt_index=st.one_of(st.none(), st.integers(min_value=0, max_value=255)),
+    ),
+    max_size=8,
+)
+
+
+@given(encoded_key=st.binary(min_size=1, max_size=64), labels=stored_labels)
+@settings(max_examples=50, deadline=None)
+def test_load_record_roundtrip(encoded_key, labels):
+    decoded_key, decoded_labels = unpack_load(pack_load(encoded_key, labels))
+    assert decoded_key == encoded_key
+    assert list(decoded_labels) == labels
+
+
+@given(data=st.binary(max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_unpack_load_never_crashes_on_garbage(data):
+    try:
+        unpack_load(data)
+    except OrtoaError:
+        pass  # ProtocolError or StorageError; nothing rawer may escape
+
+
+@given(
+    encoded_key=st.binary(min_size=1, max_size=32),
+    labels=stored_labels,
+    truncate_to=st.integers(min_value=0, max_value=200),
+    claimed_len=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_unpack_load_adversarial_lengths(encoded_key, labels, truncate_to, claimed_len):
+    """Truncations and lying key-length headers must fail cleanly."""
+    blob = pack_load(encoded_key, labels)
+    try:
+        unpack_load(blob[: truncate_to % (len(blob) + 1)])
+    except OrtoaError:
+        pass
+    # Rewrite the 4-byte key length to an arbitrary claim.
+    lying = bytes([LOAD_TAG]) + claimed_len.to_bytes(4, "big") + blob[5:]
+    try:
+        unpack_load(lying)
+    except OrtoaError:
+        pass
+
+
+# --------------------------------------------------------------------- #
+# Mux framing (request-id envelope for pipelined transport)
+# --------------------------------------------------------------------- #
+
+@given(
+    request_id=st.integers(min_value=0, max_value=MAX_REQUEST_ID),
+    payload=st.binary(max_size=200),
+)
+@settings(max_examples=50, deadline=None)
+def test_mux_roundtrip(request_id, payload):
+    assert unwrap_mux(wrap_mux(request_id, payload)) == (request_id, payload)
+
+
+@given(data=st.binary(max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_unwrap_mux_never_crashes_on_garbage(data):
+    try:
+        request_id, inner = unwrap_mux(data)
+    except ProtocolError:
+        pass
+    else:
+        # Anything accepted must re-wrap to the identical bytes.
+        assert wrap_mux(request_id, inner) == data
+
+
+@given(
+    mutation_at=st.integers(min_value=0, max_value=10_000),
+    new_byte=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=50, deadline=None)
+def test_batch_response_mutation_is_rejected_or_parses(mutation_at, new_byte):
+    """Mixed success/error batch responses survive single-byte mutation
+    without raw struct/index errors escaping the parser."""
+    original = m.LblBatchResponse(
+        (
+            m.LblAccessResponse((b"label-one", b"label-two")),
+            m.LblErrorEntry("stale label at epoch 4"),
+            m.LblAccessResponse((b"label-three",)),
+        )
+    ).to_bytes()
+    mutated = bytearray(original)
+    mutated[mutation_at % len(mutated)] = new_byte
+    try:
+        parsed = m.LblBatchResponse.from_bytes(bytes(mutated))
+        assert isinstance(parsed.responses, tuple)
+    except ProtocolError:
+        pass
