@@ -11,10 +11,15 @@ import random
 from repro.core.lbl import LblOrtoa
 from repro.crypto import aead
 from repro.crypto.fhe import FheParams, FheScheme
-from repro.crypto.prf import Prf
+from repro.crypto.labels import LabelCodec
+from repro.crypto.prf import Prf, encode_components
 from repro.types import Request, StoreConfig
 
 KEY = b"k" * 16
+
+#: One paper-default access worth of labels: 160 B values, y=2 -> 640 groups
+#: of 4 candidates each.
+_BATCH = 640 * 4
 
 
 def test_prf_label_derivation(benchmark):
@@ -23,9 +28,55 @@ def test_prf_label_derivation(benchmark):
     assert len(label) == 16
 
 
+def test_prf_evaluate_many(benchmark):
+    """Batched PRF: one access worth of label derivations per call."""
+    prf = Prf(b"m" * 32, out_bytes=16)
+    suffixes = [(i % 640, i % 4, 42) for i in range(_BATCH)]
+    labels = benchmark(prf.evaluate_many, ("label", "key"), suffixes)
+    assert len(labels) == _BATCH and len(labels[0]) == 16
+
+
+def test_prf_context_tails(benchmark):
+    """The hottest kernel: pre-encoded tails through a shared context."""
+    prf = Prf(b"m" * 32, out_bytes=16)
+    ctx = prf.context("label", "key")
+    tails = [
+        encode_components(i % 640, i % 4, 42) for i in range(_BATCH)
+    ]
+    labels = benchmark(ctx.evaluate_tails, tails)
+    assert len(labels) == _BATCH
+
+
+def test_labels_for_groups(benchmark):
+    """Whole-table label derivation at the paper's 160 B / y=2 point."""
+    codec = LabelCodec(
+        Prf(b"m" * 32, out_bytes=16),
+        Prf(b"p" * 32, out_bytes=16),
+        value_len=160,
+        group_bits=2,
+    )
+    rows = benchmark(codec.labels_for_groups, "key", 7)
+    assert len(rows) == 640 and len(rows[0]) == 4
+
+
 def test_aead_encrypt_label(benchmark):
     ct = benchmark(aead.encrypt, KEY, b"l" * 16)
     assert len(ct) == aead.ciphertext_len(16)
+
+
+def test_aead_encrypt_many(benchmark):
+    """Batched AEAD: one access worth of table entries per call."""
+    keys = [bytes([i % 256]) * 16 for i in range(_BATCH)]
+    payloads = [b"l" * 16] * _BATCH
+    cts = benchmark(aead.encrypt_many, keys, payloads)
+    assert len(cts) == _BATCH and len(cts[0]) == aead.ciphertext_len(16)
+
+
+def test_aead_open_any(benchmark):
+    """The base-protocol server loop: trial-decrypt a 4-entry group table."""
+    table = [aead.encrypt(bytes([i]) * 16, b"l" * 16) for i in range(4)]
+    hit = benchmark(aead.open_any, b"\x02" * 16, table)
+    assert hit == (2, b"l" * 16)
 
 
 def test_aead_decrypt_label(benchmark):
@@ -44,6 +95,18 @@ def test_lbl_full_access_160b(benchmark):
     config = StoreConfig(value_len=160, group_bits=2, point_and_permute=True)
     protocol = LblOrtoa(config, rng=random.Random(1))
     protocol.initialize({"k": bytes(160)})
+    transcript = benchmark(protocol.access, Request.read("k"))
+    assert transcript.num_rounds == 1
+
+
+def test_lbl_full_access_160b_cached(benchmark):
+    """The same access with a warm label cache (steady-state hot key)."""
+    config = StoreConfig(
+        value_len=160, group_bits=2, point_and_permute=True, label_cache_entries=-1
+    )
+    protocol = LblOrtoa(config, rng=random.Random(1))
+    protocol.initialize({"k": bytes(160)})
+    protocol.access(Request.read("k"))  # populate cache + prefetch
     transcript = benchmark(protocol.access, Request.read("k"))
     assert transcript.num_rounds == 1
 

@@ -49,11 +49,17 @@ EXPERIMENTS = {
     "oram": (experiments.oram_comparison, "§8: one-round ORAM vs PathORAM vs linear scan"),
     "sharded": (experiments.sharded_scaling, "§6.2.4 over TCP: shard-count scaling"),
     "pipeline": (experiments.pipeline_depth_sweep, "pipelined vs lockstep transport"),
+    "lbl": (experiments.lbl_kernels, "crypto kernels: scalar vs batched vs cached"),
 }
 
 #: CLI flag -> experiment keyword argument, forwarded when the experiment
-#: accepts it (see ``repro run --shards/--pipeline-depth``).
-_RUN_OVERRIDES = {"shards": "shards", "pipeline_depth": "pipeline_depth"}
+#: accepts it (see ``repro run --shards/--pipeline-depth/--workers``).
+_RUN_OVERRIDES = {
+    "shards": "shards",
+    "pipeline_depth": "pipeline_depth",
+    "workers": "workers",
+    "label_cache": "label_cache",
+}
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -146,11 +152,15 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.core.lbl import LblOrtoa
     from repro.types import StoreConfig
 
+    label_cache = None if args.no_label_cache else -1
     if args.base:
-        config = StoreConfig(value_len=args.value_len)
+        config = StoreConfig(value_len=args.value_len, label_cache_entries=label_cache)
     else:
         config = StoreConfig(
-            value_len=args.value_len, group_bits=2, point_and_permute=True
+            value_len=args.value_len,
+            group_bits=2,
+            point_and_permute=True,
+            label_cache_entries=label_cache,
         )
 
     if args.shards:
@@ -178,6 +188,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                     cluster.addresses,
                     rng=random.Random(args.seed),
                     pipeline_depth=args.pipeline_depth,
+                    prepare_workers=args.workers,
                 )
                 try:
                     report = run_sharded_audit(
@@ -191,6 +202,11 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         except OrtoaError as exc:
             print(f"audit failed to run: {exc}", file=sys.stderr)
             return 2
+        cache = deployment.proxy.label_cache
+        if cache is not None:
+            obs.REGISTRY.gauge("lbl.proxy.label_cache.hit_rate").set(
+                round(cache.hit_rate, 3)
+            )
         snapshot = obs.REGISTRY.snapshot()
         print(
             f"protocol: {deployment.name}  (value_len={config.value_len}, "
@@ -225,6 +241,21 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     except OrtoaError as exc:
         print(f"audit failed to run: {exc}", file=sys.stderr)
         return 2
+    cache = protocol.proxy.label_cache
+    if cache is not None and not args.leaky:
+        # The audit touches each key exactly once (all cache misses by
+        # design); a follow-up read pass exercises the warm path so the
+        # reported hit rate reflects steady-state behaviour.  The leaky
+        # control is skipped: its server deliberately desynchronizes on
+        # reads, so any second access fails by construction.
+        from repro.types import Request
+
+        obs.enable()
+        for i in range(args.keys):
+            protocol.access(Request.read(f"audit-{i}"))
+        obs.REGISTRY.gauge("lbl.proxy.label_cache.hit_rate").set(
+            round(cache.hit_rate, 3)
+        )
     snapshot = obs.REGISTRY.snapshot()
 
     print(f"protocol: {protocol.name}  (value_len={config.value_len}, "
@@ -323,6 +354,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="D",
         help="in-flight window for experiments that take one (e.g. `pipeline`)",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="prepare-pool threads for experiments that take one (e.g. `lbl`)",
+    )
+    run.add_argument(
+        "--label-cache",
+        type=int,
+        metavar="M",
+        help="label-cache entries for experiments that take one "
+        "(-1 auto-sizes; e.g. `lbl`)",
+    )
     run.set_defaults(func=_cmd_run)
 
     sub.add_parser("demo", help="30-second functional demo").set_defaults(
@@ -364,6 +408,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         metavar="D",
         help="in-flight window for the sharded audit (default: 8)",
+    )
+    obs_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="prepare-pool threads for the sharded audit (default: 0, serial)",
+    )
+    obs_cmd.add_argument(
+        "--no-label-cache",
+        action="store_true",
+        help="audit without the proxy label cache (enabled by default)",
     )
     obs_cmd.add_argument("--json", metavar="PATH", help="also write a JSON bundle")
     obs_cmd.set_defaults(func=_cmd_obs)

@@ -1,0 +1,129 @@
+"""Multi-core table preparation for LBL-ORTOA.
+
+One LBL access touches exactly one key, and accesses to *different* keys
+share no mutable proxy state beyond dictionaries guarded here — so a batch
+of requests over distinct keys is embarrassingly parallel on the proxy side.
+:class:`ParallelPrepareEngine` fans a batch's ``prepare`` calls across a
+thread pool with the same striped-lock discipline as
+:class:`~repro.core.lbl.concurrent.ConcurrentLblProxy`:
+
+* requests for the **same key** are grouped and executed in submission order
+  inside a single task (each access consumes epoch ``ct`` and installs
+  ``ct + 1``; reordering would build tables against a stale epoch);
+* each task holds its key's **lock stripe** while touching the proxy, so
+  stripe collisions degrade parallelism but never correctness;
+* the **shuffle lock** serializes draws from the shared table-shuffle RNG
+  (base protocol only — point-and-permute deployments never shuffle).
+
+On a free-threaded or multi-core interpreter the pool overlaps the PRF/AEAD
+kernels of independent keys; under a GIL the crypto (tiny ``hashlib``
+updates that do not release the GIL) stays serialized and ``workers=0`` is
+the sensible default — which is why the benchmark gates measure the batched
+kernels, not the pool.  The engine's contract is identical either way:
+outputs match a sequential ``prepare`` loop exactly (modulo shuffle order
+consumed from the shared RNG).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.base import OpCounts
+from repro.core.lbl.proxy import LblProxy
+from repro.core.messages import LblAccessRequest
+from repro.errors import ConfigurationError
+from repro.obs import _state as _obs
+from repro.obs.metrics import REGISTRY
+from repro.types import Request
+
+
+class ParallelPrepareEngine:
+    """Prepare a batch of LBL accesses across a worker pool.
+
+    Args:
+        proxy: The trusted proxy whose ``prepare`` is fanned out.
+        workers: Pool size.  ``0`` (default) prepares serially on the
+            calling thread — correct everywhere, fastest under a GIL.
+        num_stripes: Per-key lock stripes (bounded lock table).
+    """
+
+    def __init__(
+        self, proxy: LblProxy, workers: int = 0, num_stripes: int = 64
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError("workers must be >= 0")
+        if num_stripes < 1:
+            raise ConfigurationError("num_stripes must be >= 1")
+        self.proxy = proxy
+        self.workers = workers
+        self._stripes = [threading.Lock() for _ in range(num_stripes)]
+        self._shuffle_lock = threading.Lock()
+        self._needs_shuffle_lock = not proxy.config.point_and_permute
+        self._pool = ThreadPoolExecutor(max_workers=workers) if workers else None
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelPrepareEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _prepare_one(
+        self, request: Request
+    ) -> tuple[LblAccessRequest, OpCounts, int]:
+        proxy = self.proxy
+        epoch = proxy.counter(request.key) + 1
+        if self._needs_shuffle_lock:
+            with self._shuffle_lock:
+                lbl_request, ops = proxy.prepare(request)
+        else:
+            lbl_request, ops = proxy.prepare(request)
+        return lbl_request, ops, epoch
+
+    def _prepare_key_group(
+        self, indexed: "list[tuple[int, Request]]"
+    ) -> "list[tuple[int, tuple[LblAccessRequest, OpCounts, int]]]":
+        # All requests here share one key: take its stripe once, run the
+        # group in submission order so epochs chain ct -> ct+1 -> ...
+        stripe = self._stripes[hash(indexed[0][1].key) % len(self._stripes)]
+        with stripe:
+            return [(index, self._prepare_one(request)) for index, request in indexed]
+
+    def prepare_batch(
+        self, requests: "list[Request]"
+    ) -> "list[tuple[LblAccessRequest, OpCounts, int]]":
+        """Prepare every request; results are in request order.
+
+        Returns one ``(wire_request, prepare_ops, epoch)`` triple per input,
+        where ``epoch`` is the label counter the access installs — what
+        ``finalize`` needs once the server response arrives.
+        """
+        if not requests:
+            raise ConfigurationError("prepare batch must contain at least one request")
+        if self._pool is None or len(requests) == 1:
+            return [self._prepare_one(request) for request in requests]
+        # Group by key, preserving submission order within each group.
+        groups: dict[str, list[tuple[int, Request]]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(request.key, []).append((index, request))
+        futures = [
+            self._pool.submit(self._prepare_key_group, indexed)
+            for indexed in groups.values()
+        ]
+        results: list = [None] * len(requests)
+        for future in futures:
+            for index, prepared in future.result():
+                results[index] = prepared
+        if _obs.enabled:
+            REGISTRY.counter("lbl.parallel.prepared").inc(len(requests))
+            REGISTRY.gauge("lbl.parallel.key_groups").set(len(groups))
+        return results
+
+
+__all__ = ["ParallelPrepareEngine"]

@@ -16,6 +16,18 @@ Per access to key ``k`` with counter ``ct`` the proxy:
 
 After the round trip, :meth:`LblProxy.finalize` maps the opened labels back
 to plaintext, which doubles as the §5.4 tamper check.
+
+Two implementations of step 1–4 coexist:
+
+* the **batched kernel path** (default) derives all labels through
+  :meth:`~repro.crypto.labels.LabelCodec.labels_for_groups` and encrypts the
+  whole table through :func:`~repro.crypto.aead.encrypt_many`, optionally
+  reusing a previous access's labels from the
+  :class:`~repro.core.lbl.cache.LabelCache`;
+* the **scalar path** (``batched=False``) issues one PRF/AEAD call per label
+  exactly as the seed implementation did.  It is kept as the benchmark
+  baseline and as an equivalence oracle — both paths produce tables that
+  open to byte-identical labels.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ from __future__ import annotations
 import random
 
 from repro.core.base import OpCounts
+from repro.core.lbl.cache import DEFAULT_LABEL_CACHE_BYTES, LabelCache, LabelCacheEntry
 from repro.core.messages import LblAccessRequest, LblAccessResponse
 from repro.crypto import aead
 from repro.crypto.keys import KeyChain
@@ -38,15 +51,30 @@ from repro.types import Request, StoreConfig
 #: simple and supports y up to 8.
 DECRYPT_INDEX_BYTES = 1
 
+#: Single-byte payload suffixes, pre-built so the table loop does not
+#: construct a fresh one-byte ``bytes`` object per entry.
+_BYTE = [bytes((v,)) for v in range(256)]
+
 
 class LblProxy:
-    """Trusted, stateful proxy: key material + per-object access counters."""
+    """Trusted, stateful proxy: key material + per-object access counters.
+
+    Args:
+        config: Deployment parameters; ``config.label_cache_entries``
+            enables the proxy label cache.
+        keychain: Key material.
+        rng: Table-shuffle randomness (base protocol only).
+        batched: Use the batched crypto kernels (default).  ``False``
+            selects the scalar per-label reference path.
+    """
 
     def __init__(
         self,
         config: StoreConfig,
         keychain: KeyChain,
         rng: random.Random | None = None,
+        *,
+        batched: bool = True,
     ) -> None:
         self.config = config
         self.keychain = keychain
@@ -58,6 +86,19 @@ class LblProxy:
         )
         self._rng = rng or random.Random()
         self._counters: dict[str, int] = {}
+        self.batched = batched
+        self.label_cache: LabelCache | None = None
+        entries = config.label_cache_entries
+        if entries is not None:
+            if entries == -1:
+                self.label_cache = LabelCache.from_bytes(
+                    self.codec.num_groups,
+                    self.codec.table_size,
+                    self.codec.label_len,
+                    DEFAULT_LABEL_CACHE_BYTES,
+                )
+            else:
+                self.label_cache = LabelCache(entries)
 
     # ------------------------------------------------------------------ #
     # State
@@ -80,19 +121,32 @@ class LblProxy:
         return dict(self._counters)
 
     def force_counter(self, key: str, value: int) -> None:
-        """Overwrite one key's counter — recovery resynchronization only."""
+        """Overwrite one key's counter — recovery resynchronization only.
+
+        Any cached label epochs for ``key`` are invalidated: after a forced
+        counter move the cache can no longer prove its entries correspond to
+        what the server currently stores.
+        """
         if value < 0:
             raise ProtocolError("counters cannot be negative")
         if key not in self._counters:
             raise KeyNotFoundError(f"key {key!r} was never initialized")
         self._counters[key] = value
+        if self.label_cache is not None:
+            self.label_cache.invalidate_key(key)
 
     def restore_counters(self, counters: dict[str, int]) -> None:
-        """Install a recovered counter table (crash recovery)."""
+        """Install a recovered counter table (crash recovery).
+
+        The label cache is cleared wholesale: recovery means the in-memory
+        epoch history is no longer trustworthy.
+        """
         for key, value in counters.items():
             if value < 0:
                 raise ProtocolError(f"negative counter for key {key!r}")
         self._counters = dict(counters)
+        if self.label_cache is not None:
+            self.label_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Initialization (the Init(kv) procedure of Figure 1)
@@ -101,22 +155,28 @@ class LblProxy:
     def initial_records(
         self, records: dict[str, bytes]
     ) -> list[tuple[bytes, list[StoredLabel]]]:
-        """Encode every plaintext pair into the server's stored form."""
+        """Encode every plaintext pair into the server's stored form.
+
+        The value is decomposed into groups exactly once per record (the
+        decomposition is index-independent), and point-and-permute slots are
+        derived with the batched offset kernel.
+        """
         out = []
+        point_and_permute = self.config.point_and_permute
         for key, value in records.items():
             if key in self._counters:
                 raise ProtocolError(f"duplicate key at init: {key!r}")
             padded = self.config.pad(value)
             self._counters[key] = 0
             labels = self.codec.encode_value(key, padded, counter=0)
-            stored = []
-            for index, label in enumerate(labels):
-                if self.config.point_and_permute:
-                    group_value = value_to_groups(padded, self.config.group_bits)[index]
-                    slot = self.codec.decrypt_index(key, index, group_value, 0)
-                    stored.append(StoredLabel(label, slot))
-                else:
-                    stored.append(StoredLabel(label))
+            if point_and_permute:
+                groups = value_to_groups(padded, self.config.group_bits)
+                slots = self.codec.decrypt_indices(key, groups, 0)
+                stored = [
+                    StoredLabel(label, slot) for label, slot in zip(labels, slots)
+                ]
+            else:
+                stored = [StoredLabel(label) for label in labels]
             out.append((self.keychain.encode_key(key), stored))
         return out
 
@@ -126,6 +186,145 @@ class LblProxy:
 
     def prepare(self, request: Request) -> tuple[LblAccessRequest, OpCounts]:
         """Build the one-round request and advance the access counter."""
+        if self.batched:
+            return self._prepare_batched(request)
+        return self._prepare_scalar(request)
+
+    def _emit_prepare_span(
+        self, span, request: Request, prf_count: int, enc_count: int, cache_hit: bool
+    ) -> None:
+        if span is None:
+            return
+        labels_generated = 2 * self.codec.table_size * self.codec.num_groups
+        span.set_attributes(
+            op=request.op.value,
+            groups=self.codec.num_groups,
+            table_size=self.codec.table_size,
+            labels_generated=labels_generated,
+            ciphertexts_built=enc_count,
+            prf_calls=prf_count,
+            label_cache_hit=cache_hit,
+        )
+        TRACER.end(span)
+        REGISTRY.counter("lbl.proxy.prepares").inc()
+        REGISTRY.counter("lbl.proxy.labels_generated").inc(labels_generated)
+        REGISTRY.counter("lbl.proxy.ciphertexts_built").inc(enc_count)
+
+    def _prepare_batched(self, request: Request) -> tuple[LblAccessRequest, OpCounts]:
+        """Kernel path: batch-derive labels, batch-encrypt the whole table."""
+        span = TRACER.start_span("lbl.proxy.prepare") if _obs.enabled else None
+        codec = self.codec
+        key = request.key
+        ct = self.counter(key)
+        new_ct = ct + 1
+        table_size = codec.table_size
+        num_groups = codec.num_groups
+        point_and_permute = self.config.point_and_permute
+
+        new_value = None
+        if request.op.is_write:
+            padded = self.config.pad(request.value)  # type: ignore[arg-type]
+            new_value = value_to_groups(padded, self.config.group_bits)
+
+        cached = (
+            self.label_cache.take(key, ct) if self.label_cache is not None else None
+        )
+        cache_hit = cached is not None
+        prf_count = 0
+        new_labels = None
+        new_offsets = None
+        if cache_hit:
+            old_labels = cached.labels
+            old_offsets = cached.offsets
+            old_schedules = cached.schedules
+            # ``finalize`` may have prefetched the new epoch too, in which
+            # case prepare performs no label derivation at all.
+            if cached.next_labels is not None:
+                new_labels = cached.next_labels
+                new_offsets = cached.next_offsets
+        else:
+            old_labels = codec.labels_for_groups(key, ct)
+            old_offsets = (
+                codec.permute_offsets(key, ct) if point_and_permute else None
+            )
+            old_schedules = None
+            prf_count += num_groups * table_size + (
+                num_groups if point_and_permute else 0
+            )
+
+        if new_labels is None:
+            new_labels = codec.labels_for_groups(key, new_ct)
+            prf_count += num_groups * table_size
+            if point_and_permute:
+                new_offsets = codec.permute_offsets(key, new_ct)
+                prf_count += num_groups
+
+        # Flatten the whole table build into one encrypt_many call: entry
+        # (index, value) encrypts payload(value) under old_labels[index][value].
+        flat_keys: list[bytes] = []
+        flat_payloads: list[bytes] = []
+        is_read = request.op.is_read
+        for index in range(num_groups):
+            old_row = old_labels[index]
+            new_row = new_labels[index]
+            flat_keys += old_row
+            if point_and_permute:
+                next_offset = new_offsets[index]  # type: ignore[index]
+                if is_read:
+                    flat_payloads += [
+                        new_row[value] + _BYTE[value ^ next_offset]
+                        for value in range(table_size)
+                    ]
+                else:
+                    target = new_value[index]  # type: ignore[index]
+                    payload = new_row[target] + _BYTE[target ^ next_offset]
+                    flat_payloads += [payload] * table_size
+            else:
+                if is_read:
+                    flat_payloads += new_row
+                else:
+                    flat_payloads += [new_row[new_value[index]]] * table_size  # type: ignore[index]
+
+        flat_schedules = None
+        if old_schedules is not None:
+            flat_schedules = [pair for row in old_schedules for pair in row]
+        ciphertexts = aead.encrypt_many(
+            flat_keys, flat_payloads, schedules=flat_schedules
+        )
+        enc_count = len(ciphertexts)
+
+        tables: list[tuple[bytes, ...]] = []
+        for index in range(num_groups):
+            chunk = ciphertexts[index * table_size : (index + 1) * table_size]
+            if point_and_permute:
+                offset = old_offsets[index]  # type: ignore[index]
+                entries: list[bytes] = [b""] * table_size
+                for value in range(table_size):
+                    entries[value ^ offset] = chunk[value]
+            else:
+                entries = chunk
+                self._rng.shuffle(entries)
+            tables.append(tuple(entries))
+
+        if self.label_cache is not None:
+            self.label_cache.put(
+                key, new_ct, LabelCacheEntry(labels=new_labels, offsets=new_offsets)
+            )
+        self._counters[key] = new_ct
+        ops = OpCounts(prf=prf_count + 1, aead_enc=enc_count)  # +1: key encoding
+        self._emit_prepare_span(span, request, prf_count + 1, enc_count, cache_hit)
+        return (
+            LblAccessRequest(self.keychain.encode_key(key), tuple(tables)),
+            ops,
+        )
+
+    def _prepare_scalar(self, request: Request) -> tuple[LblAccessRequest, OpCounts]:
+        """Seed reference path: one PRF/AEAD call per label and table entry.
+
+        Kept verbatim as the self-relative benchmark baseline
+        (``benchmarks/test_kernel_speedup.py``) and as the equivalence
+        oracle for the batched kernels.
+        """
         span = TRACER.start_span("lbl.proxy.prepare") if _obs.enabled else None
         key = request.key
         ct = self.counter(key)
@@ -170,20 +369,7 @@ class LblProxy:
 
         self._counters[key] = new_ct
         ops = OpCounts(prf=prf_count + 1, aead_enc=enc_count)  # +1: key encoding
-        if span is not None:
-            labels_generated = 2 * table_size * self.codec.num_groups
-            span.set_attributes(
-                op=request.op.value,
-                groups=self.codec.num_groups,
-                table_size=table_size,
-                labels_generated=labels_generated,
-                ciphertexts_built=enc_count,
-                prf_calls=prf_count + 1,
-            )
-            TRACER.end(span)
-            REGISTRY.counter("lbl.proxy.prepares").inc()
-            REGISTRY.counter("lbl.proxy.labels_generated").inc(labels_generated)
-            REGISTRY.counter("lbl.proxy.ciphertexts_built").inc(enc_count)
+        self._emit_prepare_span(span, request, prf_count + 1, enc_count, False)
         return (
             LblAccessRequest(self.keychain.encode_key(key), tuple(tables)),
             ops,
@@ -205,6 +391,16 @@ class LblProxy:
         value just written (the labels now encode it).  Either way the
         label-to-candidate match is the §5.4 integrity check.
 
+        When the label cache is enabled, the candidate set comes from the
+        epoch cached by :meth:`prepare` (no re-derivation), and the cached
+        entry is enriched with (a) precomputed AEAD key schedules so the
+        *next* access's table encryption skips its per-entry key derivation
+        and (b) the prefetched next-epoch labels/offsets so the next access
+        skips label derivation entirely.  All of it happens after the request
+        already left the proxy, i.e. off the one-round-trip critical path
+        (the work shift is visible in the finalize row of
+        ``BENCH_kernels.json``).
+
         Args:
             key: The accessed key.
             response: The server's opened labels.
@@ -217,8 +413,37 @@ class LblProxy:
             TamperDetectedError: a label matches no candidate.
         """
         new_ct = self.counter(key) if counter is None else counter
-        value = self.codec.decode_labels(key, list(response.opened_labels), new_ct)
-        ops = OpCounts(prf=self.codec.table_size * self.codec.num_groups)
+        labels = list(response.opened_labels)
+        cached = (
+            self.label_cache.peek(key, new_ct)
+            if self.label_cache is not None
+            else None
+        )
+        if cached is not None:
+            codec = self.codec
+            value = codec.decode_from_candidates(cached.labels, labels)
+            self.label_cache.attach_schedules(key, new_ct)
+            prefetch_prf = 0
+            if cached.next_labels is None:
+                # Label prefetch: epoch ``new_ct + 1`` is a deterministic
+                # function of the key, so derive it now — during the idle
+                # window after the response, not on the next access's
+                # request-build critical path.
+                point_and_permute = self.config.point_and_permute
+                next_labels = codec.labels_for_groups(key, new_ct + 1)
+                next_offsets = (
+                    codec.permute_offsets(key, new_ct + 1)
+                    if point_and_permute
+                    else None
+                )
+                prefetch_prf = codec.num_groups * codec.table_size + (
+                    codec.num_groups if point_and_permute else 0
+                )
+                self.label_cache.attach_prefetch(key, new_ct, next_labels, next_offsets)
+            ops = OpCounts(prf=prefetch_prf)
+        else:
+            value = self.codec.decode_labels(key, labels, new_ct)
+            ops = OpCounts(prf=self.codec.table_size * self.codec.num_groups)
         if _obs.enabled:
             REGISTRY.counter("lbl.proxy.finalizes").inc()
         return value, ops

@@ -95,19 +95,20 @@ class LblServer:
                 updated.append(StoredLabel(new_label, next_slot))
                 opened.append(new_label)
             else:
-                new_label = None
-                for entry in table:
-                    decrypts += 1
-                    payload = aead.try_decrypt(current.label, entry)
-                    if payload is not None:
-                        new_label = payload
-                        break
-                    failed += 1
-                if new_label is None:
+                # Batched scan: the stored label's key schedule is computed once
+                # and tried against every entry (same verdicts and attempt
+                # counts as a sequential try_decrypt loop).
+                found = aead.open_any(current.label, table)
+                if found is None:
+                    decrypts += len(table)
+                    failed += len(table)
                     raise ProtocolError(
                         f"no table entry opened at group {group_index}: "
                         "stored label is stale or corrupt"
                     )
+                slot, new_label = found
+                decrypts += slot + 1
+                failed += slot
                 updated.append(StoredLabel(new_label))
                 opened.append(new_label)
         rewritten = self._commit(request.encoded_key, updated)

@@ -9,9 +9,11 @@ in-process :class:`~repro.core.deployment.ShardedDeployment` lacks:
 * **routing** — :class:`~repro.storage.sharding.ShardRouter` maps the
   PRF-encoded key to a shard, so the routing tier sees exactly what each
   storage server already sees (no new leakage);
-* **batching** — :meth:`access_batch` splits a batch into per-shard
-  sub-batches, ships them concurrently over pipelined connections, and
-  merges the replies back into request order;
+* **batching** — :meth:`access_batch` builds the batch's tables through a
+  :class:`~repro.core.lbl.parallel.ParallelPrepareEngine` (``prepare_workers``
+  threads; serial by default), splits it into per-shard sub-batches, ships
+  them concurrently over pipelined connections, and merges the replies back
+  into request order;
 * **pipelining** — :meth:`access_pipelined` keeps up to ``pipeline_depth``
   independent single-request frames in flight per deployment instead of
   paying one round trip of dead air per access.
@@ -42,6 +44,7 @@ from repro.core.base import (
     RoundTrip,
 )
 from repro.core.lbl.concurrent import finalize_batch_entries
+from repro.core.lbl.parallel import ParallelPrepareEngine
 from repro.core.lbl.proxy import LblProxy
 from repro.core.messages import LblAccessResponse, LblBatchRequest, LblBatchResponse
 from repro.crypto.keys import KeyChain
@@ -69,6 +72,9 @@ class ShardedLblDeployment(OrtoaProtocol):
             :meth:`access_pipelined`.
         pool_size: Sockets per shard.
         timeout: Connect timeout and per-reply wait (seconds).
+        prepare_workers: Size of the :meth:`access_batch` table-build pool
+            (:class:`~repro.core.lbl.parallel.ParallelPrepareEngine`);
+            ``0`` prepares serially on the calling thread.
     """
 
     name = "lbl-ortoa-sharded"
@@ -83,6 +89,7 @@ class ShardedLblDeployment(OrtoaProtocol):
         pipeline_depth: int = 8,
         pool_size: int = 1,
         timeout: float = 30.0,
+        prepare_workers: int = 0,
     ) -> None:
         super().__init__(config)
         if not addresses:
@@ -91,6 +98,9 @@ class ShardedLblDeployment(OrtoaProtocol):
             raise ConfigurationError("pipeline_depth must be >= 1")
         self.keychain = keychain or KeyChain(label_bits=config.label_bits)
         self.proxy = LblProxy(config, self.keychain, rng=rng)
+        self.prepare_engine = ParallelPrepareEngine(
+            self.proxy, workers=prepare_workers
+        )
         self.router = ShardRouter(len(addresses))
         self.clients = [
             PipelinedLblClient(address, pool_size=pool_size, timeout=timeout)
@@ -134,7 +144,8 @@ class ShardedLblDeployment(OrtoaProtocol):
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Close every shard connection."""
+        """Close every shard connection and the prepare pool."""
+        self.prepare_engine.close()
         for client in self.clients:
             client.close()
 
@@ -212,14 +223,14 @@ class ShardedLblDeployment(OrtoaProtocol):
         """
         if not requests:
             raise ProtocolError("batch must contain at least one request")
+        built = self.prepare_engine.prepare_batch(requests)
         prepared = []
         by_shard: dict[int, list[int]] = {}
-        for index, request in enumerate(requests):
-            shard = self.shard_of(request.key)
-            epoch = self.proxy.counter(request.key) + 1
-            lbl_request, proxy_ops = self.proxy.prepare(request)
+        for index, (request, (lbl_request, proxy_ops, epoch)) in enumerate(
+            zip(requests, built)
+        ):
             prepared.append((request, lbl_request, proxy_ops, epoch))
-            by_shard.setdefault(shard, []).append(index)
+            by_shard.setdefault(self.shard_of(request.key), []).append(index)
 
         # Ship every sub-batch before waiting on any reply: the shards
         # work concurrently while this thread blocks on the slowest one.

@@ -5,7 +5,13 @@ and must discover which one its stored label can open (paper §5.2 step 2.1:
 "LBL-ORTOA uses authenticated encryption to ensure the server identifies
 successful decryptions").  This module provides exactly that primitive:
 
-* encrypt-then-MAC with independent keys derived from the caller's key,
+* encrypt-then-MAC under a single key with domain-separated HMAC-SHA256
+  invocations — keystream blocks are ``HMAC(key, "aead-enc" || nonce || ctr)``
+  and the tag is ``HMAC(key, "aead-mac" || nonce || body)``.  The two domains
+  are distinct fixed-length prefixes, so the PRF inputs can never collide and
+  the keystream/tag outputs are computationally independent (standard PRF
+  domain separation); one HMAC key schedule serves both directions, which is
+  what makes the per-table-entry cost two HMAC invocations instead of four.
 * a keystream built from HMAC-SHA256 in counter mode (a PRF in CTR mode is a
   standard stream cipher construction),
 * :func:`decrypt` raising :class:`~repro.errors.DecryptionError` on a wrong
@@ -15,6 +21,19 @@ The ciphertext layout is ``nonce(NONCE_LEN) || body(len(pt)) || tag(TAG_LEN)``.
 For ORTOA's label encryption the key (a fresh PRF label) is used at most once
 per direction, but a random nonce is included anyway so the primitive is safe
 under key reuse by other callers (e.g. the TEE variant's value encryption).
+
+Batch entry points serve the two hot loops of the LBL protocol:
+:func:`encrypt_many` builds a proxy's whole ciphertext table with nonce
+generation and per-entry setup hoisted out of the loop, and :func:`open_any`
+runs the server's try-every-entry scan computing the stored label's key
+schedule exactly once.  Both are byte-compatible with the scalar functions
+(the golden-vector tests pin the exact ciphertext bytes for fixed nonces).
+
+HMAC is evaluated in its explicit RFC 2104 form — ``sha256(k_opad ||
+sha256(k_ipad || msg))`` with the padded keys produced by a C-speed
+``bytes.translate`` — because driving raw ``hashlib`` one-shots is
+measurably faster than the ``hmac`` module's object machinery while
+producing identical bytes.
 """
 
 from __future__ import annotations
@@ -31,6 +50,17 @@ NONCE_LEN = 12
 TAG_LEN = 16
 _DIGEST = hashlib.sha256
 _DIGEST_BYTES = 32
+_BLOCK = 64
+
+# HMAC ipad/opad as byte-translation tables (see module docstring).
+_IPAD_TRANS = bytes(b ^ 0x36 for b in range(256))
+_OPAD_TRANS = bytes(b ^ 0x5C for b in range(256))
+
+# Fixed-length, distinct domain prefixes keeping keystream and tag inputs
+# disjoint under the shared key.
+_ENC_DOMAIN = b"aead-enc"
+_MAC_DOMAIN = b"aead-mac"
+_ZERO_CTR = b"\x00\x00\x00\x00"
 
 
 def ciphertext_len(plaintext_len: int) -> int:
@@ -38,19 +68,47 @@ def ciphertext_len(plaintext_len: int) -> int:
     return NONCE_LEN + plaintext_len + TAG_LEN
 
 
-def _subkeys(key: bytes) -> tuple[bytes, bytes]:
-    """Derive independent encryption and MAC keys from ``key``."""
-    enc_key = hmac.new(key, b"aead-enc", _DIGEST).digest()
-    mac_key = hmac.new(key, b"aead-mac", _DIGEST).digest()
-    return enc_key, mac_key
+def key_schedule(key: bytes) -> tuple[bytes, bytes]:
+    """The ``(ipad_block, opad_block)`` HMAC-SHA256 key schedule of ``key``.
+
+    ``HMAC(key, msg) == sha256(opad_block || sha256(ipad_block || msg))`` —
+    the RFC 2104 definition.  Exposed so callers that know a key will be used
+    soon (e.g. the LBL proxy's label cache) can precompute the schedule off
+    the critical path and hand it back via ``encrypt_many(..., schedules=…)``.
+
+    Raises:
+        ConfigurationError: if the key is shorter than 16 bytes.
+    """
+    if len(key) < 16:
+        raise ConfigurationError("AEAD key must be at least 16 bytes")
+    if len(key) > _BLOCK:
+        key = _DIGEST(key).digest()
+    padded = key.ljust(_BLOCK, b"\x00")
+    return padded.translate(_IPAD_TRANS), padded.translate(_OPAD_TRANS)
 
 
-def _keystream(enc_key: bytes, nonce: bytes, length: int) -> bytes:
+def _keystream(ipad: bytes, opad: bytes, nonce: bytes, length: int) -> bytes:
+    sha = _DIGEST
+    head = ipad + _ENC_DOMAIN + nonce
+    if length <= _DIGEST_BYTES:
+        # One-block fast path — every LBL label payload lands here.
+        return sha(opad + sha(head + _ZERO_CTR).digest()).digest()[:length]
     blocks = []
     for counter in range((length + _DIGEST_BYTES - 1) // _DIGEST_BYTES):
-        block = hmac.new(enc_key, nonce + counter.to_bytes(4, "big"), _DIGEST).digest()
-        blocks.append(block)
+        blocks.append(
+            sha(opad + sha(head + counter.to_bytes(4, "big")).digest()).digest()
+        )
     return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, keystream: bytes) -> bytes:
+    """XOR ``data`` with a keystream of at least the same length."""
+    n = len(data)
+    if n == 0:
+        return b""
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(keystream[:n], "big")
+    ).to_bytes(n, "big")
 
 
 def encrypt(key: bytes, plaintext: bytes, *, nonce: bytes | None = None) -> bytes:
@@ -65,18 +123,108 @@ def encrypt(key: bytes, plaintext: bytes, *, nonce: bytes | None = None) -> byte
     Returns:
         ``nonce || ciphertext-body || tag``.
     """
-    if len(key) < 16:
-        raise ConfigurationError("AEAD key must be at least 16 bytes")
+    ipad, opad = key_schedule(key)
     if nonce is None:
         nonce = secrets.token_bytes(NONCE_LEN)
     elif len(nonce) != NONCE_LEN:
         raise ConfigurationError(f"nonce must be exactly {NONCE_LEN} bytes")
-    enc_key, mac_key = _subkeys(key)
-    body = bytes(p ^ k for p, k in zip(plaintext, _keystream(enc_key, nonce, len(plaintext))))
-    tag = hmac.new(mac_key, nonce + body, _DIGEST).digest()[:TAG_LEN]
+    body = _xor(plaintext, _keystream(ipad, opad, nonce, len(plaintext)))
+    sha = _DIGEST
+    tag = sha(opad + sha(ipad + _MAC_DOMAIN + nonce + body).digest()).digest()[:TAG_LEN]
     if _obs.enabled:
         REGISTRY.counter("crypto.aead.encrypts").inc()
     return nonce + body + tag
+
+
+def encrypt_many(
+    keys: "list[bytes] | tuple[bytes, ...]",
+    payloads: "list[bytes] | tuple[bytes, ...]",
+    *,
+    nonces: "list[bytes] | None" = None,
+    schedules: "list[tuple[bytes, bytes]] | None" = None,
+) -> list[bytes]:
+    """Encrypt ``payloads[i]`` under ``keys[i]`` for every ``i``, batched.
+
+    Nonce generation (one ``secrets`` draw for the whole batch) and
+    per-entry setup are hoisted out of the loop; each output is
+    byte-compatible with :func:`encrypt` and opens with :func:`decrypt`.
+
+    Args:
+        keys: One symmetric key (≥ 16 bytes) per payload.
+        payloads: Plaintexts to protect.
+        nonces: Optional explicit nonces (deterministic tests); defaults to
+            fresh random nonces.
+        schedules: Optional precomputed :func:`key_schedule` output per key
+            (e.g. from the proxy's label cache); each pair MUST match its
+            key or the ciphertext will not open under that key.
+
+    Returns:
+        One ``nonce || body || tag`` ciphertext per input, in order.
+    """
+    n = len(keys)
+    if len(payloads) != n:
+        raise ConfigurationError(f"{n} keys for {len(payloads)} payloads")
+    if nonces is None:
+        # One entropy draw for the whole batch; the slices are NONCE_LEN by
+        # construction, so the per-entry length check is skipped below.
+        pool = secrets.token_bytes(NONCE_LEN * n)
+        nonces = [pool[i * NONCE_LEN : (i + 1) * NONCE_LEN] for i in range(n)]
+    else:
+        if len(nonces) != n:
+            raise ConfigurationError(f"{n} keys for {len(nonces)} nonces")
+        for nonce in nonces:
+            if len(nonce) != NONCE_LEN:
+                raise ConfigurationError(f"nonce must be exactly {NONCE_LEN} bytes")
+    if schedules is not None and len(schedules) != n:
+        raise ConfigurationError(f"{n} keys for {len(schedules)} key schedules")
+    sha = _DIGEST
+    ipad_trans = _IPAD_TRANS
+    opad_trans = _OPAD_TRANS
+    enc_domain = _ENC_DOMAIN
+    mac_domain = _MAC_DOMAIN
+    zero_ctr = _ZERO_CTR
+    from_bytes = int.from_bytes
+    digest_bytes = _DIGEST_BYTES
+    block = _BLOCK
+    out: list[bytes] = []
+    append = out.append
+    # The loops below are key_schedule + _keystream + tag inlined into
+    # straight-line hashlib one-shots — byte-identical to the scalar path
+    # (golden-pinned), but without per-entry function overhead.  One LBL
+    # table build runs this num_groups * 2^y times, which makes it the
+    # hottest loop in the whole proxy.
+    if schedules is None:
+        pairs = []
+        pairs_append = pairs.append
+        for key in keys:
+            if len(key) < 16:
+                raise ConfigurationError("AEAD key must be at least 16 bytes")
+            padded = (key if len(key) <= block else sha(key).digest()).ljust(
+                block, b"\x00"
+            )
+            pairs_append((padded.translate(ipad_trans), padded.translate(opad_trans)))
+        schedules = pairs
+    for (ipad, opad), plaintext, nonce in zip(schedules, payloads, nonces):
+        plen = len(plaintext)
+        if 0 < plen <= digest_bytes:
+            keystream = sha(
+                opad + sha(ipad + enc_domain + nonce + zero_ctr).digest()
+            ).digest()
+            body = (
+                from_bytes(plaintext, "big") ^ from_bytes(keystream[:plen], "big")
+            ).to_bytes(plen, "big")
+        elif plen == 0:
+            body = b""
+        else:
+            body = _xor(plaintext, _keystream(ipad, opad, nonce, plen))
+        nonce_body = nonce + body
+        append(
+            nonce_body
+            + sha(opad + sha(ipad + mac_domain + nonce_body).digest()).digest()[:TAG_LEN]
+        )
+    if _obs.enabled:
+        REGISTRY.counter("crypto.aead.encrypts").inc(n)
+    return out
 
 
 def decrypt(key: bytes, ciphertext: bytes) -> bytes:
@@ -87,8 +235,7 @@ def decrypt(key: bytes, ciphertext: bytes) -> bytes:
             different key, or was modified in transit.  This is the signal
             LBL-ORTOA's server uses to discard the wrong table entry.
     """
-    if len(key) < 16:
-        raise ConfigurationError("AEAD key must be at least 16 bytes")
+    ipad, opad = key_schedule(key)
     if len(ciphertext) < NONCE_LEN + TAG_LEN:
         if _obs.enabled:
             REGISTRY.counter("crypto.aead.decrypt_failures").inc()
@@ -96,15 +243,17 @@ def decrypt(key: bytes, ciphertext: bytes) -> bytes:
     nonce = ciphertext[:NONCE_LEN]
     body = ciphertext[NONCE_LEN:-TAG_LEN]
     tag = ciphertext[-TAG_LEN:]
-    enc_key, mac_key = _subkeys(key)
-    expected = hmac.new(mac_key, nonce + body, _DIGEST).digest()[:TAG_LEN]
+    sha = _DIGEST
+    expected = sha(opad + sha(ipad + _MAC_DOMAIN + nonce + body).digest()).digest()[
+        :TAG_LEN
+    ]
     if not hmac.compare_digest(tag, expected):
         if _obs.enabled:
             REGISTRY.counter("crypto.aead.decrypt_failures").inc()
         raise DecryptionError("authentication tag mismatch")
     if _obs.enabled:
         REGISTRY.counter("crypto.aead.decrypts").inc()
-    return bytes(c ^ k for c, k in zip(body, _keystream(enc_key, nonce, len(body))))
+    return _xor(body, _keystream(ipad, opad, nonce, len(body)))
 
 
 def try_decrypt(key: bytes, ciphertext: bytes) -> bytes | None:
@@ -118,4 +267,59 @@ def try_decrypt(key: bytes, ciphertext: bytes) -> bytes | None:
         return None
 
 
-__all__ = ["encrypt", "decrypt", "try_decrypt", "ciphertext_len", "NONCE_LEN", "TAG_LEN"]
+def open_any(
+    key: bytes, ciphertexts: "list[bytes] | tuple[bytes, ...]"
+) -> tuple[int, bytes] | None:
+    """Find and open the one ciphertext that ``key`` decrypts, if any.
+
+    The LBL base-protocol server holds one label and a table of ``2^y``
+    ciphertexts of which exactly one is keyed by that label.  This scan
+    computes the label's key schedule once and reuses it across candidates,
+    instead of re-running the full :func:`decrypt` setup per entry.
+    Verdicts match a sequential ``try_decrypt`` loop exactly.
+
+    Args:
+        key: Symmetric key, at least 16 bytes.
+        ciphertexts: Candidate ciphertexts, scanned in order.
+
+    Returns:
+        ``(index, plaintext)`` of the first ciphertext that authenticates, or
+        ``None`` if none does.
+    """
+    ipad, opad = key_schedule(key)
+    sha = _DIGEST
+    mac_head = ipad + _MAC_DOMAIN
+    compare = hmac.compare_digest
+    failures = 0
+    found: tuple[int, bytes] | None = None
+    for index, ciphertext in enumerate(ciphertexts):
+        if len(ciphertext) < NONCE_LEN + TAG_LEN:
+            failures += 1
+            continue
+        body_end = len(ciphertext) - TAG_LEN
+        expected = sha(opad + sha(mac_head + ciphertext[:body_end]).digest()).digest()
+        if compare(ciphertext[body_end:], expected[:TAG_LEN]):
+            nonce = ciphertext[:NONCE_LEN]
+            body = ciphertext[NONCE_LEN:body_end]
+            found = (index, _xor(body, _keystream(ipad, opad, nonce, len(body))))
+            break
+        failures += 1
+    if _obs.enabled:
+        if failures:
+            REGISTRY.counter("crypto.aead.decrypt_failures").inc(failures)
+        if found is not None:
+            REGISTRY.counter("crypto.aead.decrypts").inc()
+    return found
+
+
+__all__ = [
+    "encrypt",
+    "encrypt_many",
+    "decrypt",
+    "try_decrypt",
+    "open_any",
+    "key_schedule",
+    "ciphertext_len",
+    "NONCE_LEN",
+    "TAG_LEN",
+]

@@ -13,13 +13,19 @@ nothing but the object's key and its access counter.  This module owns:
 * label derivation for one group or a whole value,
 * inversion (labels back to plaintext) used by the proxy after a read,
 * the point-and-permute bits of §10.2.
+
+The batch entry points (:meth:`LabelCodec.labels_for_groups`,
+:meth:`LabelCodec.permute_offsets`, :meth:`LabelCodec.decrypt_indices`)
+derive everything an access needs in one pass over a pre-encoded PRF prefix;
+outputs are byte-identical to the scalar methods (golden-vector pinned), so
+callers can mix tiers freely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.prf import Prf
+from repro.crypto.prf import Prf, encode_components
 from repro.errors import ConfigurationError, TamperDetectedError
 
 
@@ -127,7 +133,39 @@ class LabelCodec:
                 f"value must be exactly {self.value_len} bytes, got {len(value)}"
             )
         groups = value_to_groups(value, self.group_bits)
-        return [self.label(key, i, g, counter) for i, g in enumerate(groups)]
+        ctx = self._label_prf.context("label", key)
+        enc = encode_components
+        enc_ct = enc(counter)
+        return ctx.evaluate_tails(
+            [enc(i) + enc(g) + enc_ct for i, g in enumerate(groups)]
+        )
+
+    def labels_for_groups(self, key: str, counter: int) -> list[list[bytes]]:
+        """All ``num_groups × 2^y`` candidate labels for one access, batched.
+
+        Row ``i`` equals :meth:`labels_for_group`\\ ``(key, i, counter)``;
+        the whole table is derived via one pre-encoded PRF prefix instead of
+        ``num_groups * 2^y`` independent :meth:`label` calls.
+        """
+        table_size = self.table_size
+        ctx = self._label_prf.context("label", key)
+        enc = encode_components
+        # The counter and the 2^y group values repeat across the whole batch:
+        # encode each exactly once and build the per-label PRF tails by byte
+        # concatenation instead of per-tuple encoding.
+        tails_by_value = [enc(value) + enc(counter) for value in range(table_size)]
+        enc_indices = [enc(index) for index in range(self.num_groups)]
+        flat = ctx.evaluate_tails(
+            [
+                enc_index + tail
+                for enc_index in enc_indices
+                for tail in tails_by_value
+            ]
+        )
+        return [
+            flat[start : start + table_size]
+            for start in range(0, len(flat), table_size)
+        ]
 
     # ------------------------------------------------------------------ #
     # Inversion (proxy decodes the server's response after a read)
@@ -146,15 +184,34 @@ class LabelCodec:
             raise ConfigurationError(
                 f"expected {self.num_groups} labels, got {len(labels)}"
             )
+        return self.decode_from_candidates(self.labels_for_groups(key, counter), labels)
+
+    def decode_from_candidates(
+        self, candidate_rows: list[list[bytes]], labels: list[bytes]
+    ) -> bytes:
+        """:meth:`decode_labels` against an already-derived candidate table.
+
+        Lets callers that still hold the epoch's label table (e.g. the
+        proxy's label cache) skip the PRF re-derivation entirely.
+
+        Raises:
+            TamperDetectedError: if any label is not a valid candidate.
+        """
+        if len(labels) != self.num_groups or len(candidate_rows) != self.num_groups:
+            raise ConfigurationError(
+                f"expected {self.num_groups} labels, got {len(labels)}"
+            )
         groups: list[int] = []
         for index, stored in enumerate(labels):
-            candidates = self.labels_for_group(key, index, counter)
-            try:
-                groups.append(candidates.index(stored))
-            except ValueError:
+            # Candidate-set lookup: 2^y candidates per group, resolved via a
+            # dict built from the batch derivation (no per-group list.index).
+            lookup = {label: value for value, label in enumerate(candidate_rows[index])}
+            value = lookup.get(stored)
+            if value is None:
                 raise TamperDetectedError(
                     f"label at group {index} matches no candidate: data was tampered"
-                ) from None
+                )
+            groups.append(value)
         return groups_to_value(groups, self.group_bits, self.value_len)
 
     # ------------------------------------------------------------------ #
@@ -177,6 +234,44 @@ class LabelCodec:
         (§10.2's ``d1 d2 = b1 b2 ⊕ r1 r2``, generalized to ``y`` bits).
         """
         return group_value ^ self.permute_offset(key, index, counter)
+
+    def permute_offsets(self, key: str, counter: int) -> list[int]:
+        """Per-group permute offsets for one access, batched.
+
+        Entry ``i`` equals :meth:`permute_offset`\\ ``(key, i, counter)``.
+        One pre-encoded PRF prefix serves all ``num_groups`` offsets — and,
+        because the offset of a group is shared by all its table slots, one
+        PRF call per group replaces the ``2^y`` redundant
+        :meth:`decrypt_index` derivations of the scalar path.
+        """
+        table_size = self.table_size
+        ctx = self._permute_prf.context("permute", key)
+        enc = encode_components
+        enc_ct = enc(counter)
+        return [
+            int.from_bytes(raw, "big") % table_size
+            for raw in ctx.evaluate_tails(
+                [enc(index) + enc_ct for index in range(self.num_groups)]
+            )
+        ]
+
+    def decrypt_indices(
+        self, key: str, groups: "tuple[int, ...] | list[int]", counter: int
+    ) -> list[int]:
+        """Batched :meth:`decrypt_index` for one group value per group.
+
+        Args:
+            key: The accessed datastore key.
+            groups: The group value occupying each group (``num_groups``
+                entries).
+            counter: Label epoch.
+        """
+        if len(groups) != self.num_groups:
+            raise ConfigurationError(
+                f"expected {self.num_groups} group values, got {len(groups)}"
+            )
+        offsets = self.permute_offsets(key, counter)
+        return [g ^ off for g, off in zip(groups, offsets)]
 
 
 __all__ = [

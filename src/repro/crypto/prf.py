@@ -6,16 +6,60 @@ Both uses are served by :class:`Prf`, a thin, domain-separated wrapper over
 HMAC-SHA256.  HMAC with a secret key is the textbook PRF instantiation, and
 determinism — same inputs, same output, forever — is exactly the property the
 protocols lean on.
+
+Hot-path design: one LBL access derives thousands of labels, so this module
+offers three tiers of the *same* function (outputs are byte-identical across
+all of them, pinned by golden-vector tests):
+
+* :meth:`Prf.evaluate` — the general entry point.  The keyed HMAC state is
+  computed once per :class:`Prf` and ``.copy()``-ed per evaluation, which
+  skips the per-call key schedule.
+* :meth:`Prf.evaluate_many` — encodes a shared component prefix once and
+  evaluates a whole batch of suffix tuples in one pass.
+* :class:`PrfContext` — a pre-encoded prefix (e.g. ``("label", key, index)``)
+  for repeated tail-only evaluations across calls.
 """
 
 from __future__ import annotations
 
 import hashlib
-import hmac
+from typing import Iterable, Sequence
 
 from repro.errors import ConfigurationError
 
 _DIGEST_BYTES = hashlib.sha256().digest_size
+_BLOCK_BYTES = 64
+
+# HMAC ipad/opad as byte-translation tables: ``key.translate(_IPAD_TRANS)``
+# XORs every byte with 0x36 at C speed, which makes the explicit
+# inner/outer-hash form of HMAC (RFC 2104) cheaper than the ``hmac`` module's
+# object machinery while producing identical bytes.
+_IPAD_TRANS = bytes(b ^ 0x36 for b in range(256))
+_OPAD_TRANS = bytes(b ^ 0x5C for b in range(256))
+
+
+def hmac_sha256_pair(key: bytes) -> "tuple[hashlib._Hash, hashlib._Hash]":
+    """The keyed inner/outer SHA-256 states of ``HMAC-SHA256(key, ·)``.
+
+    ``HMAC(key, msg)`` equals ``outer(inner(msg))`` where ``inner`` starts
+    from ``sha256(key ⊕ ipad)`` and ``outer`` from ``sha256(key ⊕ opad)`` —
+    the RFC 2104 definition.  Callers ``copy()`` the returned states per
+    message, paying the key schedule exactly once.
+    """
+    if len(key) > _BLOCK_BYTES:
+        key = hashlib.sha256(key).digest()
+    padded = key.ljust(_BLOCK_BYTES, b"\x00")
+    return (
+        hashlib.sha256(padded.translate(_IPAD_TRANS)),
+        hashlib.sha256(padded.translate(_OPAD_TRANS)),
+    )
+
+#: Memo of encoded small non-negative integers.  Group values, group indices,
+#: and access counters dominate PRF inputs and repeat endlessly; encoding is
+#: pure, so a process-wide cache is safe.  Bounded by only admitting small
+#: ints (the set of distinct small ints is finite).
+_INT_ENCODING_CACHE: dict[int, bytes] = {}
+_INT_CACHE_LIMIT = 1 << 16
 
 
 def _encode_component(component: bytes | str | int) -> bytes:
@@ -32,13 +76,32 @@ def _encode_component(component: bytes | str | int) -> bytes:
         payload = component.encode("utf-8")
         tag = b"S"
     elif isinstance(component, int):
+        cached = _INT_ENCODING_CACHE.get(component)
+        if cached is not None:
+            return cached
         if component < 0:
             raise ConfigurationError("PRF integer inputs must be non-negative")
         payload = component.to_bytes((component.bit_length() + 7) // 8 or 1, "big")
-        tag = b"I"
+        encoded = b"I" + len(payload).to_bytes(4, "big") + payload
+        if component < _INT_CACHE_LIMIT:
+            _INT_ENCODING_CACHE[component] = encoded
+        return encoded
     else:
         raise ConfigurationError(f"unsupported PRF input type: {type(component)!r}")
     return tag + len(payload).to_bytes(4, "big") + payload
+
+
+def encode_components(*components: bytes | str | int) -> bytes:
+    """The injective byte encoding :class:`Prf` applies to an input tuple.
+
+    Exposed so batch callers (e.g. :class:`~repro.crypto.labels.LabelCodec`)
+    can pre-encode the components that repeat across a batch and hand the
+    concatenations to :meth:`PrfContext.evaluate_tails`.
+    """
+    return b"".join([_encode_component(c) for c in components])
+
+
+_ZERO_COUNTER = (0).to_bytes(4, "big")
 
 
 class Prf:
@@ -53,6 +116,8 @@ class Prf:
         out_bytes: Default output length of :meth:`evaluate`.
     """
 
+    __slots__ = ("_key", "out_bytes", "_inner0", "_outer0")
+
     def __init__(self, key: bytes, out_bytes: int = 16) -> None:
         if len(key) < 16:
             raise ConfigurationError("PRF key must be at least 16 bytes")
@@ -60,6 +125,27 @@ class Prf:
             raise ConfigurationError("PRF output length must be positive")
         self._key = key
         self.out_bytes = out_bytes
+        # The HMAC key schedule (two compression-function applications plus
+        # object setup) is identical for every evaluation; pay it once here
+        # and ``.copy()`` the keyed states per call.
+        self._inner0, self._outer0 = hmac_sha256_pair(key)
+
+    def _raw(self, message: bytes, n: int) -> bytes:
+        """``n`` output bytes for an already-encoded ``message``."""
+        if n <= _DIGEST_BYTES:
+            inner = self._inner0.copy()
+            inner.update(_ZERO_COUNTER + message)
+            outer = self._outer0.copy()
+            outer.update(inner.digest())
+            return outer.digest()[:n]
+        blocks = []
+        for counter in range((n + _DIGEST_BYTES - 1) // _DIGEST_BYTES):
+            inner = self._inner0.copy()
+            inner.update(counter.to_bytes(4, "big") + message)
+            outer = self._outer0.copy()
+            outer.update(inner.digest())
+            blocks.append(outer.digest())
+        return b"".join(blocks)[:n]
 
     def evaluate(self, *components: bytes | str | int, out_bytes: int | None = None) -> bytes:
         """Evaluate the PRF on a tuple of components.
@@ -76,11 +162,57 @@ class Prf:
         if n <= 0:
             raise ConfigurationError("PRF output length must be positive")
         message = b"".join(_encode_component(c) for c in components)
-        blocks = []
-        for counter in range((n + _DIGEST_BYTES - 1) // _DIGEST_BYTES):
-            mac = hmac.new(self._key, counter.to_bytes(4, "big") + message, hashlib.sha256)
-            blocks.append(mac.digest())
-        return b"".join(blocks)[:n]
+        return self._raw(message, n)
+
+    def evaluate_many(
+        self,
+        prefix_components: Sequence[bytes | str | int],
+        suffixes: Iterable[Sequence[bytes | str | int]],
+        *,
+        out_bytes: int | None = None,
+    ) -> list[bytes]:
+        """Evaluate the PRF on ``(*prefix_components, *suffix)`` per suffix.
+
+        The shared prefix is encoded exactly once; each output is
+        byte-identical to ``evaluate(*prefix_components, *suffix)``.
+
+        Args:
+            prefix_components: Components shared by every evaluation.
+            suffixes: One component tuple per desired output.
+            out_bytes: Override the instance's default output length.
+
+        Returns:
+            One PRF output per suffix, in iteration order.
+        """
+        n = self.out_bytes if out_bytes is None else out_bytes
+        if n <= 0:
+            raise ConfigurationError("PRF output length must be positive")
+        prefix = b"".join(_encode_component(c) for c in prefix_components)
+        encode = _encode_component
+        digest_len = _DIGEST_BYTES
+        out: list[bytes] = []
+        append = out.append
+        if n <= digest_len:
+            # Single-block fast path: two state copies + updates per output.
+            head = _ZERO_COUNTER + prefix
+            inner0 = self._inner0
+            outer0 = self._outer0
+            for suffix in suffixes:
+                inner = inner0.copy()
+                inner.update(head + b"".join([encode(c) for c in suffix]))
+                outer = outer0.copy()
+                outer.update(inner.digest())
+                append(outer.digest()[:n])
+        else:
+            for suffix in suffixes:
+                append(self._raw(prefix + b"".join([encode(c) for c in suffix]), n))
+        return out
+
+    def context(
+        self, *prefix_components: bytes | str | int, out_bytes: int | None = None
+    ) -> "PrfContext":
+        """A :class:`PrfContext` with ``prefix_components`` pre-encoded."""
+        return PrfContext(self, prefix_components, out_bytes=out_bytes)
 
     def encode_key(self, key: str) -> bytes:
         """Encode a datastore key as it is stored at the server (``PRF(k)``)."""
@@ -91,4 +223,89 @@ class Prf:
         return self.evaluate("subkey", purpose, out_bytes=32)
 
 
-__all__ = ["Prf"]
+class PrfContext:
+    """A PRF with a frozen, pre-encoded component prefix.
+
+    Captures the common shape of LBL label derivation — a fixed
+    ``("label", key, …)`` head followed by a varying tail — so repeated
+    evaluations skip re-encoding the prefix.  Outputs are byte-identical to
+    ``prf.evaluate(*prefix, *tail)``.
+
+    Args:
+        prf: The keyed PRF to evaluate under.
+        prefix_components: Components shared by every later evaluation.
+        out_bytes: Output length for all evaluations (defaults to the PRF's).
+    """
+
+    __slots__ = ("_prf", "_prefix", "_head", "out_bytes")
+
+    def __init__(
+        self,
+        prf: Prf,
+        prefix_components: Sequence[bytes | str | int],
+        *,
+        out_bytes: int | None = None,
+    ) -> None:
+        n = prf.out_bytes if out_bytes is None else out_bytes
+        if n <= 0:
+            raise ConfigurationError("PRF output length must be positive")
+        self._prf = prf
+        self._prefix = b"".join(_encode_component(c) for c in prefix_components)
+        self._head = _ZERO_COUNTER + self._prefix
+        self.out_bytes = n
+
+    def evaluate(self, *tail: bytes | str | int) -> bytes:
+        """PRF output for ``(*prefix, *tail)``."""
+        return self.evaluate_tail(b"".join([_encode_component(c) for c in tail]))
+
+    def evaluate_tail(self, tail: bytes) -> bytes:
+        """PRF output for an already-encoded (:func:`encode_components`) tail."""
+        n = self.out_bytes
+        if n <= _DIGEST_BYTES:
+            prf = self._prf
+            inner = prf._inner0.copy()
+            inner.update(self._head + tail)
+            outer = prf._outer0.copy()
+            outer.update(inner.digest())
+            return outer.digest()[:n]
+        return self._prf._raw(self._prefix + tail, n)
+
+    def evaluate_many(
+        self, suffixes: Iterable[Sequence[bytes | str | int]]
+    ) -> list[bytes]:
+        """One PRF output per suffix tuple, sharing this context's prefix."""
+        encode = _encode_component
+        return self.evaluate_tails(
+            [b"".join([encode(c) for c in suffix]) for suffix in suffixes]
+        )
+
+    def evaluate_tails(self, tails: Iterable[bytes]) -> list[bytes]:
+        """One PRF output per already-encoded tail (the hot label kernel).
+
+        Callers encode repeating components once (:func:`encode_components`)
+        and pass byte concatenations; each output is byte-identical to
+        ``evaluate(*suffix)`` for the suffix the tail encodes.
+        """
+        n = self.out_bytes
+        out: list[bytes] = []
+        append = out.append
+        if n <= _DIGEST_BYTES:
+            prf = self._prf
+            inner0 = prf._inner0
+            outer0 = prf._outer0
+            head = self._head
+            for tail in tails:
+                inner = inner0.copy()
+                inner.update(head + tail)
+                outer = outer0.copy()
+                outer.update(inner.digest())
+                append(outer.digest()[:n])
+        else:
+            raw = self._prf._raw
+            prefix = self._prefix
+            for tail in tails:
+                append(raw(prefix + tail, n))
+        return out
+
+
+__all__ = ["Prf", "PrfContext", "encode_components", "hmac_sha256_pair"]

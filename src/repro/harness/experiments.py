@@ -397,6 +397,119 @@ def pipeline_depth_sweep(
     )
 
 
+def lbl_kernels(
+    workers: int = 0,
+    label_cache: int | None = -1,
+    num_keys: int = 8,
+    num_requests: int = 48,
+    value_len: int = 160,
+) -> list[Row]:
+    """Batched-kernel throughput: scalar vs batched vs batched+cache.
+
+    Measures in-process LBL accesses per second under the three proxy
+    kernel configurations (scalar reference path, batched PRF/AEAD
+    kernels, batched kernels with a warm label cache), then drives one
+    batch through the sharded deployment's
+    :class:`~repro.core.lbl.parallel.ParallelPrepareEngine` so
+    ``--workers`` exercises the multi-core prepare path end to end.
+
+    Args:
+        workers: Prepare-pool threads for the sharded batch row
+            (0 = serial).
+        label_cache: ``label_cache_entries`` for the cached rows
+            (-1 auto-sizes, ``None`` disables — the cached row is then
+            skipped).
+        num_keys: Distinct keys in the workload.
+        num_requests: Accesses per measured configuration.
+        value_len: Object size in bytes (paper default 160).
+    """
+    import random
+    import time
+
+    from repro.core.lbl import LblOrtoa
+    from repro.types import Request, StoreConfig
+
+    def _measure(store, requests) -> float:
+        start = time.perf_counter()
+        for request in requests:
+            store.access(request)
+        return len(requests) / (time.perf_counter() - start)
+
+    def _workload(config: StoreConfig) -> tuple[dict, list]:
+        rng = random.Random(1)
+        records = {
+            f"key-{i:03d}": config.pad(f"value-{i}".encode()) for i in range(num_keys)
+        }
+        requests = []
+        for _ in range(num_requests):
+            key = f"key-{rng.randrange(num_keys):03d}"
+            if rng.random() < 0.5:
+                requests.append(Request.read(key))
+            else:
+                requests.append(Request.write(key, config.pad(b"updated")))
+        return records, requests
+
+    base = StoreConfig(value_len=value_len, group_bits=2, point_and_permute=True)
+    cached = replace(base, label_cache_entries=label_cache)
+    rows: list[Row] = []
+
+    for mode, config, batched, warm in (
+        ("scalar", base, False, False),
+        ("batched", base, True, False),
+        ("batched+cache", cached, True, True),
+    ):
+        if warm and label_cache is None:
+            continue
+        records, requests = _workload(config)
+        store = LblOrtoa(config, rng=random.Random(2), batched=batched)
+        store.initialize(records)
+        if warm:
+            for request in requests:  # populate + prefetch every key's epoch
+                store.access(request)
+        ops_per_sec = _measure(store, requests)
+        cache = store.proxy.label_cache
+        rows.append(
+            {
+                "mode": mode,
+                "workers": "-",
+                "ops_per_sec": round(ops_per_sec, 1),
+                "cache_hit_rate": round(cache.hit_rate, 3) if cache else "-",
+            }
+        )
+
+    # End-to-end batch through the parallel prepare engine on one
+    # loopback shard (thread-backed server, real wire format).
+    from repro.core.sharded import ShardedLblDeployment
+    from repro.transport.cluster import ShardCluster
+
+    config = cached if label_cache is not None else base
+    records, requests = _workload(config)
+    with ShardCluster(1, point_and_permute=True, in_process=True) as cluster:
+        deployment = ShardedLblDeployment(
+            config,
+            cluster.addresses,
+            rng=random.Random(2),
+            prepare_workers=workers,
+        )
+        try:
+            deployment.initialize(records)
+            start = time.perf_counter()
+            deployment.access_batch(requests)
+            elapsed = time.perf_counter() - start
+            cache = deployment.proxy.label_cache
+            rows.append(
+                {
+                    "mode": "sharded-batch",
+                    "workers": workers,
+                    "ops_per_sec": round(len(requests) / elapsed, 1),
+                    "cache_hit_rate": round(cache.hit_rate, 3) if cache else "-",
+                }
+            )
+        finally:
+            deployment.close()
+    return rows
+
+
 def dollar_cost() -> list[Row]:
     """§6.3.3: LBL-ORTOA's Google-Cloud cost breakdown."""
     estimate = estimate_lbl_cost()
@@ -436,4 +549,5 @@ __all__ = [
     "oram_comparison",
     "sharded_scaling",
     "pipeline_depth_sweep",
+    "lbl_kernels",
 ]

@@ -87,12 +87,19 @@ class StoreConfig:
             label represents (§10.1; ``y=2`` is the paper's optimum).
         point_and_permute: Enable the decryption-bits optimization (§10.2) so
             the server decrypts exactly one ciphertext per group.
+        label_cache_entries: Proxy-side label cache capacity in epochs
+            (``(key, counter)`` entries).  ``None`` disables the cache;
+            ``-1`` sizes it automatically from
+            :data:`repro.core.lbl.cache.DEFAULT_LABEL_CACHE_BYTES`.  A warm
+            hit skips re-deriving the access's old labels (see
+            ``docs/performance.md``).
     """
 
     value_len: int = 160
     label_bits: int = 128
     group_bits: int = 1
     point_and_permute: bool = False
+    label_cache_entries: int | None = None
 
     def __post_init__(self) -> None:
         if self.value_len <= 0:
@@ -101,6 +108,14 @@ class StoreConfig:
             raise ConfigurationError("label_bits must be a positive multiple of 8")
         if self.group_bits < 1:
             raise ConfigurationError("group_bits must be >= 1")
+        if self.label_cache_entries is not None and self.label_cache_entries == 0:
+            raise ConfigurationError(
+                "label_cache_entries must be None (disabled), -1 (auto), or >= 1"
+            )
+        if self.label_cache_entries is not None and self.label_cache_entries < -1:
+            raise ConfigurationError(
+                "label_cache_entries must be None (disabled), -1 (auto), or >= 1"
+            )
         if self.point_and_permute and self.group_bits == 1:
             # Point-and-permute is defined over ciphertext tables of >= 2
             # entries; it works for y=1 too (2-entry table), so allow it.

@@ -1,0 +1,272 @@
+"""Label cache, next-epoch prefetch, parallel prepare, and init complexity.
+
+The cache is a pure optimization: every test here ultimately checks either
+that it changes nothing observable (scalar / batched-cold / batched-warm
+decode identical values) or that its bookkeeping (LRU bound, consuming
+take, invalidation on counter moves) holds, since a stale epoch served from
+the cache would make the next access undecodable.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core.lbl import LblOrtoa
+from repro.core.lbl.cache import LabelCache, LabelCacheEntry
+from repro.core.lbl.parallel import ParallelPrepareEngine
+from repro.core.lbl.proxy import LblProxy
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError
+from repro.types import Request, StoreConfig
+
+
+def _config(**overrides) -> StoreConfig:
+    params = dict(
+        value_len=8, group_bits=2, point_and_permute=True, label_cache_entries=-1
+    )
+    params.update(overrides)
+    return StoreConfig(**params)
+
+
+def _store(config: StoreConfig, *, batched: bool = True, seed: int = 5) -> LblOrtoa:
+    store = LblOrtoa(config, rng=random.Random(seed), batched=batched)
+    store.initialize(
+        {f"k{i}": config.pad(f"v{i}".encode()) for i in range(4)}
+    )
+    return store
+
+
+# --------------------------------------------------------------------- #
+# LabelCache unit behaviour
+# --------------------------------------------------------------------- #
+
+
+def test_cache_take_is_consuming():
+    cache = LabelCache(4)
+    cache.put("k", 1, LabelCacheEntry(labels=[[b"a"]]))
+    assert cache.take("k", 1) is not None
+    assert cache.take("k", 1) is None  # consumed
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_cache_epoch_must_match_exactly():
+    cache = LabelCache(4)
+    cache.put("k", 2, LabelCacheEntry(labels=[[b"a"]]))
+    assert cache.take("k", 1) is None
+    assert cache.take("k", 3) is None
+    assert cache.take("k", 2) is not None
+
+
+def test_cache_lru_bound():
+    cache = LabelCache(2)
+    for counter in range(3):
+        cache.put(f"k{counter}", 1, LabelCacheEntry(labels=[[b"x"]]))
+    assert len(cache) == 2
+    assert cache.peek("k0", 1) is None  # oldest evicted
+    assert cache.peek("k2", 1) is not None
+
+
+def test_cache_invalidate_key_drops_every_epoch():
+    cache = LabelCache(8)
+    cache.put("k", 1, LabelCacheEntry(labels=[[b"a"]]))
+    cache.put("k", 2, LabelCacheEntry(labels=[[b"b"]]))
+    cache.put("other", 1, LabelCacheEntry(labels=[[b"c"]]))
+    assert cache.invalidate_key("k") == 2
+    assert cache.peek("k", 1) is None and cache.peek("k", 2) is None
+    assert cache.peek("other", 1) is not None
+
+
+def test_cache_rejects_bad_capacity():
+    with pytest.raises(ConfigurationError):
+        LabelCache(0)
+    with pytest.raises(ConfigurationError):
+        LabelCache.from_bytes(640, 4, 16, budget_bytes=0)
+
+
+def test_cache_from_bytes_sizes_at_least_one_entry():
+    cache = LabelCache.from_bytes(640, 4, 16, budget_bytes=1)
+    assert cache.capacity == 1
+
+
+def test_config_rejects_zero_cache_entries():
+    with pytest.raises(ConfigurationError):
+        StoreConfig(value_len=8, label_cache_entries=0)
+    with pytest.raises(ConfigurationError):
+        StoreConfig(value_len=8, label_cache_entries=-2)
+
+
+# --------------------------------------------------------------------- #
+# Proxy integration: hits, prefetch, invalidation
+# --------------------------------------------------------------------- #
+
+
+def test_repeated_access_hits_cache_and_prefetch():
+    store = _store(_config())
+    cache = store.proxy.label_cache
+    store.access(Request.read("k0"))  # miss: populates epoch 1
+    entry = cache.peek("k0", 1)
+    assert entry is not None
+    assert entry.next_labels is not None  # finalize prefetched epoch 2
+    assert entry.schedules is not None
+    before = cache.hits
+    store.access(Request.read("k0"))  # warm: consumes epoch 1 entry
+    assert cache.hits == before + 1
+    assert cache.peek("k0", 2) is not None  # replaced by the new epoch
+
+
+def test_cache_disabled_when_config_omits_it():
+    store = _store(_config(label_cache_entries=None))
+    assert store.proxy.label_cache is None
+    store.access(Request.read("k0"))  # still works, just cold every time
+    assert store.read("k0").rstrip(b"\x00") == b"v0"
+
+
+def test_force_counter_invalidates_cached_epochs():
+    store = _store(_config())
+    store.access(Request.read("k0"))
+    assert store.proxy.label_cache.peek("k0", 1) is not None
+    store.proxy.force_counter("k0", 1)
+    assert store.proxy.label_cache.peek("k0", 1) is None
+
+
+def test_restore_counters_clears_cache():
+    store = _store(_config())
+    store.access(Request.read("k0"))
+    store.access(Request.read("k1"))
+    assert len(store.proxy.label_cache) > 0
+    store.proxy.restore_counters({"k0": 1, "k1": 1})
+    assert len(store.proxy.label_cache) == 0
+
+
+# --------------------------------------------------------------------- #
+# Equivalence: scalar / batched-cold / batched-warm decode identically
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("pnp", [True, False])
+def test_three_paths_decode_identically(pnp):
+    """Same keychain, same workload: every kernel path returns the same bytes."""
+    workload = [
+        Request.read("k0"),
+        Request.write("k1", b"new-val1".ljust(8, b"\x00")),
+        Request.read("k1"),
+        Request.read("k0"),
+        Request.write("k0", b"new-val0".ljust(8, b"\x00")),
+        Request.read("k0"),
+    ]
+    results = []
+    keychain = KeyChain(label_bits=128)
+    for batched, cache_entries in ((False, None), (True, None), (True, -1)):
+        config = _config(point_and_permute=pnp, label_cache_entries=cache_entries)
+        store = LblOrtoa(
+            config, keychain=keychain, rng=random.Random(9), batched=batched
+        )
+        store.initialize({f"k{i}": config.pad(f"v{i}".encode()) for i in range(4)})
+        results.append([store.access(req).response.value for req in workload])
+    assert results[0] == results[1] == results[2]
+    assert results[0][-1].rstrip(b"\x00") == b"new-val0"
+
+
+# --------------------------------------------------------------------- #
+# ParallelPrepareEngine
+# --------------------------------------------------------------------- #
+
+
+def _proxy(pnp: bool = True) -> LblProxy:
+    config = _config(point_and_permute=pnp)
+    proxy = LblProxy(config, KeyChain(label_bits=config.label_bits))
+    list(proxy.initial_records({f"k{i}": config.pad(b"v") for i in range(4)}))
+    return proxy
+
+
+def test_parallel_engine_orders_epochs_per_key():
+    proxy = _proxy()
+    requests = [
+        Request.read("k0"),
+        Request.read("k1"),
+        Request.read("k0"),
+        Request.read("k0"),
+        Request.read("k2"),
+    ]
+    with ParallelPrepareEngine(proxy, workers=4) as engine:
+        built = engine.prepare_batch(requests)
+    assert len(built) == len(requests)
+    k0_epochs = [
+        epoch for req, (_, _, epoch) in zip(requests, built) if req.key == "k0"
+    ]
+    assert k0_epochs == [1, 2, 3]
+    assert proxy.counter("k0") == 3
+    assert proxy.counter("k1") == 1 and proxy.counter("k2") == 1
+
+
+def test_parallel_engine_serial_fallback_matches():
+    proxy = _proxy()
+    requests = [Request.read("k0"), Request.read("k1")]
+    engine = ParallelPrepareEngine(proxy, workers=0)
+    built = engine.prepare_batch(requests)
+    assert [epoch for _, _, epoch in built] == [1, 1]
+    engine.close()  # no-op without a pool
+
+
+def test_parallel_engine_shuffle_lock_on_base_protocol():
+    proxy = _proxy(pnp=False)
+    with ParallelPrepareEngine(proxy, workers=3) as engine:
+        assert engine._needs_shuffle_lock
+        built = engine.prepare_batch([Request.read(f"k{i}") for i in range(4)])
+    assert len(built) == 4
+
+
+def test_parallel_engine_many_threads_stress():
+    """Concurrent distinct-key prepares leave every counter consistent."""
+    proxy = _proxy()
+    requests = [Request.read(f"k{i % 4}") for i in range(24)]
+    barrier_results = []
+    with ParallelPrepareEngine(proxy, workers=8, num_stripes=2) as engine:
+        def run():
+            barrier_results.append(engine.prepare_batch(requests[:12]))
+
+        threads = [threading.Thread(target=run) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert sum(proxy.counter(f"k{i}") for i in range(4)) == 24
+
+
+def test_parallel_engine_rejects_bad_params():
+    proxy = _proxy()
+    with pytest.raises(ConfigurationError):
+        ParallelPrepareEngine(proxy, workers=-1)
+    with pytest.raises(ConfigurationError):
+        ParallelPrepareEngine(proxy, num_stripes=0)
+    with pytest.raises(ConfigurationError):
+        ParallelPrepareEngine(proxy).prepare_batch([])
+
+
+# --------------------------------------------------------------------- #
+# initial_records complexity regression
+# --------------------------------------------------------------------- #
+
+
+def test_initial_records_grouping_is_linear(monkeypatch):
+    """`value_to_groups` runs once per record, not once per record pair."""
+    from repro.core.lbl import proxy as proxy_module
+
+    calls = {"count": 0}
+    real = proxy_module.value_to_groups
+
+    def counting(value, group_bits):
+        calls["count"] += 1
+        return real(value, group_bits)
+
+    monkeypatch.setattr(proxy_module, "value_to_groups", counting)
+    config = _config()
+    proxy = LblProxy(config, KeyChain(label_bits=config.label_bits))
+    records = {f"key-{i}": config.pad(b"x") for i in range(32)}
+    out = proxy.initial_records(records)
+    assert len(out) == 32
+    assert calls["count"] == 32
