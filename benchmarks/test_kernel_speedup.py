@@ -37,6 +37,7 @@ import random
 import time
 
 import pytest
+from conftest import record_bench
 
 from repro.core.lbl import LblOrtoa
 from repro.types import Request, StoreConfig
@@ -125,6 +126,14 @@ def measured() -> dict[str, dict[str, float]]:
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\n[kernel gates] {json.dumps(payload['speedups'])}")
     print(f"[saved to {BENCH_JSON}]")
+    # Trajectory: speedup ratios are self-relative so they gate across
+    # machines; raw prepare ops/sec ride along ungated.
+    for name, speedup in payload["speedups"].items():
+        record_bench(f"kernels.{name}", speedup, unit="x")
+    for name, ops in prepare.items():
+        record_bench(
+            f"kernels.{name}.prepare_ops_per_sec", ops, unit="ops/s", gate=False
+        )
     return results
 
 

@@ -10,6 +10,9 @@ Usage::
     python -m repro demo                      # 30-second functional demo
     python -m repro cost                      # §6.3.3 dollar-cost estimate
     python -m repro obs                       # metrics + obliviousness audit
+    python -m repro trace --chrome t.json     # merged trace -> Perfetto JSON
+    python -m repro top localhost:9464        # live telemetry terminal view
+    python -m repro bench check               # regression gate vs BENCH history
 
 Experiment names match :mod:`repro.harness.experiments` (``table2``,
 ``figure2a`` … ``figure6``, ``fhe_noise``, ``dollar_cost``).  The global
@@ -28,6 +31,7 @@ from typing import Sequence
 from repro import obs
 from repro.errors import OrtoaError
 from repro.harness import experiments
+from repro.harness.bench import DEFAULT_HISTORY, DEFAULT_THRESHOLD
 from repro.harness.report import render_table, rows_to_csv
 from repro.obs.logging import LEVELS
 
@@ -219,6 +223,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print(f"  {name:38s} {value}")
         for name, gauge in sorted(snapshot["gauges"].items()):
             print(f"  {name:38s} {gauge['value']} (max {gauge['max']})")
+        print(f"span errors: {snapshot['counters'].get('trace.span_errors', 0)}")
         print(report.summary())
         if args.json:
             bundle = {
@@ -265,6 +270,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"  {name:38s} {value}")
     for name, gauge in sorted(snapshot["gauges"].items()):
         print(f"  {name:38s} {gauge['value']} (max {gauge['max']})")
+    print(f"span errors: {snapshot['counters'].get('trace.span_errors', 0)}")
     print(report.summary())
 
     if args.json:
@@ -278,6 +284,107 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             json.dump(bundle, handle, indent=2, default=str)
         print(f"wrote {args.json}")
     return 0 if report.passed else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a traced sharded workload; merge spans and export Chrome JSON."""
+    from repro.core.sharded import ShardedLblDeployment
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.propagate import orphan_spans, trace_roots
+    from repro.transport.cluster import ShardCluster
+    from repro.types import Request, StoreConfig
+
+    config = StoreConfig(value_len=args.value_len, group_bits=2, point_and_permute=True)
+    rng = random.Random(args.seed)
+    obs.reset()
+    obs.enable()
+    try:
+        with ShardCluster(
+            args.shards,
+            point_and_permute=True,
+            in_process=not args.processes,
+            enable_obs=args.processes,
+        ) as cluster:
+            deployment = ShardedLblDeployment(
+                config,
+                cluster.addresses,
+                rng=random.Random(args.seed),
+                pipeline_depth=args.pipeline_depth,
+            )
+            try:
+                deployment.initialize(
+                    {f"trace-{i}": f"v{i}".encode() for i in range(args.keys)}
+                )
+                requests = []
+                for i in range(args.keys):
+                    key = f"trace-{rng.randrange(args.keys)}"
+                    if rng.random() < 0.5:
+                        requests.append(Request.read(key))
+                    else:
+                        requests.append(Request.write(key, config.pad(b"w%d" % i)))
+                deployment.access_pipelined(requests)
+                remote = deployment.collect_remote_obs() if args.processes else None
+                spans = deployment.merged_spans(remote)
+            finally:
+                deployment.close()
+    except OrtoaError as exc:
+        print(f"traced run failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        obs.disable()
+    roots = trace_roots(spans)
+    orphans = orphan_spans(spans)
+    backing = f"{args.shards} process-backed" if args.processes else f"{args.shards} in-process"
+    print(
+        f"merged {len(spans)} spans from {backing} shard(s): "
+        f"{len(roots)} root(s), {len(orphans)} orphan(s)"
+    )
+    if orphans:
+        print("orphaned spans (parent missing after merge):", file=sys.stderr)
+        for span in orphans[:10]:
+            print(f"  {span['name']} (id {span['span_id']})", file=sys.stderr)
+    if args.chrome:
+        events = write_chrome_trace(args.chrome, spans)
+        print(f"wrote {events} trace events to {args.chrome} (load in Perfetto)")
+    return 1 if orphans else 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal telemetry scraped from --metrics-port endpoints."""
+    from repro.obs.top import run_top
+
+    try:
+        run_top(
+            args.targets,
+            interval_s=args.interval,
+            iterations=args.iterations,
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    """Gate the latest benchmark run against the best recorded runs."""
+    from repro.harness.bench import check_history
+
+    try:
+        results = check_history(args.history, threshold=args.threshold)
+    except OrtoaError as exc:
+        print(f"cannot check {args.history}: {exc}", file=sys.stderr)
+        return 2
+    if not results:
+        print("no benchmark history recorded yet (nothing to gate)")
+        return 0
+    regressed = False
+    for result in results:
+        print(result.message)
+        regressed = regressed or result.regressed
+    if regressed and args.warn_only:
+        print("regressions found, but --warn-only set", file=sys.stderr)
+        return 0
+    return 1 if regressed else 0
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -423,6 +530,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_cmd.add_argument("--json", metavar="PATH", help="also write a JSON bundle")
     obs_cmd.set_defaults(func=_cmd_obs)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced sharded workload, merge per-process spans into "
+        "one trace, and optionally export Chrome/Perfetto JSON "
+        "(exit 1 if any span is orphaned after the merge)",
+    )
+    trace.add_argument("--shards", type=int, default=2, help="shard count (default: 2)")
+    trace.add_argument("--keys", type=int, default=32, help="workload size")
+    trace.add_argument("--value-len", type=int, default=16, help="value bytes")
+    trace.add_argument("--seed", type=int, default=0, help="workload seed")
+    trace.add_argument(
+        "--pipeline-depth", type=int, default=8, metavar="D", help="in-flight window"
+    )
+    trace.add_argument(
+        "--processes",
+        action="store_true",
+        help="process-backed shards: each runs its own tracer, dumps are "
+        "pulled over the wire and merged (default: in-process threads)",
+    )
+    trace.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="write the merged trace as Chrome trace-event JSON "
+        "(open at https://ui.perfetto.dev)",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of one or more --metrics-port endpoints "
+        "(ops/s, latency percentiles, cache hit rate, queue depth)",
+    )
+    top.add_argument(
+        "targets",
+        nargs="+",
+        metavar="HOST:PORT",
+        help="metrics endpoints to scrape (bare host:port or full URL)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="refresh seconds (default: 1)"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N refreshes (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen (for logs/tests)",
+    )
+    top.set_defaults(func=_cmd_top)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark trajectory tools (see `repro bench check`)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="fail if the latest run's gated metrics regressed >20%% vs the "
+        "best recorded run (warns when there is no history yet)",
+    )
+    bench_check.add_argument(
+        "--history",
+        default=str(DEFAULT_HISTORY),
+        help="trajectory file (default: BENCH_history.json at the repo root)",
+    )
+    bench_check.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional regression vs best (default: 0.2)",
+    )
+    bench_check.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (bootstrap mode)",
+    )
+    bench_check.set_defaults(func=_cmd_bench_check)
 
     reproduce = sub.add_parser(
         "reproduce", help="run every experiment, one table file per artifact"

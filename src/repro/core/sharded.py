@@ -33,7 +33,9 @@ many client threads.
 
 from __future__ import annotations
 
+import json
 import random
+import time
 from collections import deque
 
 from repro.core.base import (
@@ -51,10 +53,11 @@ from repro.crypto.keys import KeyChain
 from repro.errors import BatchPartialFailure, ConfigurationError, ProtocolError
 from repro.obs import _state as _obs
 from repro.obs.metrics import REGISTRY
+from repro.obs.propagate import TraceContext, merge_span_dumps
 from repro.obs.trace import TRACER
 from repro.storage.sharding import ShardRouter
 from repro.transport.pipeline import PipelinedLblClient
-from repro.transport.server import LOAD_ACK, pack_load
+from repro.transport.server import LOAD_ACK, OBS_DUMP_TAG, OBS_PULL_TAG, pack_load
 from repro.types import Request, Response, StoreConfig
 
 
@@ -149,6 +152,38 @@ class ShardedLblDeployment(OrtoaProtocol):
         for client in self.clients:
             client.close()
 
+    def collect_remote_obs(self) -> list[dict]:
+        """Pull every shard's telemetry dump (spans + metrics) over the wire.
+
+        Call before :meth:`close` when the shards are *process-backed*
+        (each has its own tracer); merge the result with
+        :meth:`merged_spans`.  Thread-backed shards share this process's
+        global tracer, so pulling them would duplicate every span — skip
+        the call there.
+        """
+        pending = [
+            client.submit(bytes([OBS_PULL_TAG])) for client in self.clients
+        ]
+        dumps = []
+        for future in pending:
+            reply = future.result(self.timeout)
+            if reply[:1] != bytes([OBS_DUMP_TAG]):
+                raise ProtocolError("shard answered obs pull with a non-dump frame")
+            dumps.append(json.loads(reply[1:].decode("utf-8")))
+        return dumps
+
+    def merged_spans(self, remote_dumps: list[dict] | None = None) -> list[dict]:
+        """One span list: this process's spans plus the shards' dumps.
+
+        Remote span ids are rewritten into the local id space and the
+        propagated parent links preserved
+        (:func:`repro.obs.propagate.merge_span_dumps`), so every
+        server-side span ends up a descendant of the client access span
+        that caused it.
+        """
+        remote = [dump.get("spans", []) for dump in (remote_dumps or [])]
+        return merge_span_dumps(TRACER.export(), remote)
+
     def __enter__(self) -> "ShardedLblDeployment":
         return self
 
@@ -192,18 +227,49 @@ class ShardedLblDeployment(OrtoaProtocol):
             response=Response(request.key, value),
         )
 
+    def _prepare_timed(self, request: Request):
+        """``proxy.prepare`` with the build time recorded when obs is on."""
+        if not _obs.enabled:
+            return self.proxy.prepare(request)
+        start = time.perf_counter()
+        built = self.proxy.prepare(request)
+        REGISTRY.log_histogram("lbl.proxy.prepare.seconds").observe(
+            time.perf_counter() - start
+        )
+        return built
+
     def access(self, request: Request) -> AccessTranscript:
-        """One oblivious access routed to its shard (lockstep)."""
-        span = TRACER.start_span("sharded.access") if _obs.enabled else None
-        shard = self.shard_of(request.key)
-        lbl_request, proxy_ops = self.proxy.prepare(request)
-        payload = lbl_request.to_bytes()
-        reply = self.clients[shard].submit(payload).result(self.timeout)
-        response = LblAccessResponse.from_bytes(reply)
-        value, finalize_ops = self.proxy.finalize(request.key, response)
-        if span is not None:
+        """One oblivious access routed to its shard (lockstep).
+
+        With observability enabled the whole access runs under a
+        ``sharded.access`` span whose context travels to the shard inside
+        the mux frame (the pipelined client propagates the current span
+        automatically), so the server-side spans parent under it; the
+        client-observed round trip lands in the
+        ``sharded.access.roundtrip.seconds`` log histogram.
+        """
+        if not _obs.enabled:
+            shard = self.shard_of(request.key)
+            lbl_request, proxy_ops = self.proxy.prepare(request)
+            payload = lbl_request.to_bytes()
+            reply = self.clients[shard].submit(payload).result(self.timeout)
+            response = LblAccessResponse.from_bytes(reply)
+            value, finalize_ops = self.proxy.finalize(request.key, response)
+            return self._transcript(
+                request, proxy_ops, finalize_ops, len(payload), len(reply), value
+            )
+        with TRACER.span("sharded.access") as span:
+            shard = self.shard_of(request.key)
+            lbl_request, proxy_ops = self._prepare_timed(request)
+            payload = lbl_request.to_bytes()
+            submitted_at = time.perf_counter()
+            reply = self.clients[shard].submit(payload).result(self.timeout)
+            REGISTRY.log_histogram("sharded.access.roundtrip.seconds").observe(
+                time.perf_counter() - submitted_at
+            )
+            response = LblAccessResponse.from_bytes(reply)
+            value, finalize_ops = self.proxy.finalize(request.key, response)
             span.set_attributes(shard=shard, request_bytes=len(payload))
-            TRACER.end(span)
             REGISTRY.counter(f"sharded.shard{shard}.requests").inc()
         return self._transcript(
             request, proxy_ops, finalize_ops, len(payload), len(reply), value
@@ -223,7 +289,22 @@ class ShardedLblDeployment(OrtoaProtocol):
         """
         if not requests:
             raise ProtocolError("batch must contain at least one request")
+        if not _obs.enabled:
+            return self._access_batch_inner(requests, None)
+        with TRACER.span("sharded.batch", size=len(requests)) as batch_span:
+            return self._access_batch_inner(
+                requests, TraceContext.from_span(batch_span).encode()
+            )
+
+    def _access_batch_inner(
+        self, requests: list[Request], batch_context: bytes | None
+    ) -> list[AccessTranscript]:
+        prepare_start = time.perf_counter()
         built = self.prepare_engine.prepare_batch(requests)
+        if _obs.enabled:
+            REGISTRY.log_histogram("lbl.proxy.prepare.seconds").observe(
+                time.perf_counter() - prepare_start
+            )
         prepared = []
         by_shard: dict[int, list[int]] = {}
         for index, (request, (lbl_request, proxy_ops, epoch)) in enumerate(
@@ -240,7 +321,9 @@ class ShardedLblDeployment(OrtoaProtocol):
             sub = LblBatchRequest(tuple(prepared[i][1] for i in indices))
             wire = sub.to_bytes()
             shard_wire_bytes[shard] = len(wire)
-            shard_futures[shard] = self.clients[shard].submit(wire)
+            shard_futures[shard] = self.clients[shard].submit(
+                wire, trace_context=batch_context
+            )
             if _obs.enabled:
                 REGISTRY.counter(f"sharded.shard{shard}.requests").inc(len(indices))
                 REGISTRY.gauge("sharded.batch.shards_in_flight").set(
@@ -293,11 +376,24 @@ class ShardedLblDeployment(OrtoaProtocol):
         transcripts: list[AccessTranscript] = []
 
         def drain_one() -> None:
-            request, epoch, proxy_ops, future, request_bytes = window.popleft()
+            (
+                request,
+                epoch,
+                proxy_ops,
+                future,
+                request_bytes,
+                span,
+                submitted_at,
+            ) = window.popleft()
             reply = future.result(self.timeout)
             keys_in_flight.discard(request.key)
             if _obs.enabled:
                 REGISTRY.gauge("sharded.pipeline.in_flight").set(len(window))
+            if span is not None:
+                REGISTRY.log_histogram("sharded.access.roundtrip.seconds").observe(
+                    time.perf_counter() - submitted_at
+                )
+                TRACER.end(span)
             response = LblAccessResponse.from_bytes(reply)
             value, finalize_ops = self.proxy.finalize(
                 request.key, response, counter=epoch
@@ -314,10 +410,29 @@ class ShardedLblDeployment(OrtoaProtocol):
                 drain_one()
             shard = self.shard_of(request.key)
             epoch = self.proxy.counter(request.key) + 1
-            lbl_request, proxy_ops = self.proxy.prepare(request)
+            lbl_request, proxy_ops = self._prepare_timed(request)
             payload = lbl_request.to_bytes()
-            future = self.clients[shard].submit(payload)
-            window.append((request, epoch, proxy_ops, future, len(payload)))
+            # The span is manual (start/end) because up to ``depth`` access
+            # lifetimes interleave on this one thread; its context rides the
+            # mux frame so the shard's spans parent under it.
+            span = context = None
+            if _obs.enabled:
+                span = TRACER.start_span(
+                    "sharded.access", shard=shard, request_bytes=len(payload)
+                )
+                context = TraceContext.from_span(span).encode()
+            future = self.clients[shard].submit(payload, trace_context=context)
+            window.append(
+                (
+                    request,
+                    epoch,
+                    proxy_ops,
+                    future,
+                    len(payload),
+                    span,
+                    time.perf_counter() if _obs.enabled else 0.0,
+                )
+            )
             keys_in_flight.add(request.key)
             if _obs.enabled:
                 REGISTRY.counter(f"sharded.shard{shard}.requests").inc()

@@ -10,6 +10,13 @@ the corresponding quantities first-class observables:
   snapshot/reset semantics and JSON export;
 * :mod:`repro.obs.logging` — the ``repro.*`` logger hierarchy behind the
   CLI's ``--log-level`` flag;
+* :mod:`repro.obs.propagate` — the 16-byte trace-context wire extension
+  and the cross-process span-dump merge used by the sharded deployment;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable)
+  and Prometheus text exposition, plus the ``--metrics-port`` scrape
+  endpoint;
+* :mod:`repro.obs.top` — the ``repro top`` live terminal view built on
+  scraping those endpoints;
 * :mod:`repro.obs.audit` — replays the *server-side* span stream of a run
   and checks the server-visible trace is identical for reads and writes
   (the paper's §5 security argument as a runnable check).  Imported lazily
@@ -44,13 +51,21 @@ from repro.obs.clock import (
     use_clock,
 )
 from repro.obs.logging import get_logger, setup as setup_logging
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    start_metrics_server,
+    write_chrome_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogHistogram,
     MetricsRegistry,
     REGISTRY,
 )
+from repro.obs.propagate import TraceContext, merge_span_dumps
 from repro.obs.trace import NOOP_SPAN, Span, Tracer, TRACER
 
 
@@ -125,8 +140,15 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "REGISTRY",
+    "TraceContext",
+    "merge_span_dumps",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "start_metrics_server",
     "get_logger",
     "setup_logging",
 ]

@@ -1,10 +1,23 @@
-"""A small metrics registry: counters, gauges, fixed-bucket histograms.
+"""A small metrics registry: counters, gauges, fixed- and log-bucket histograms.
 
 Instruments are created lazily by name (``REGISTRY.counter("aead.encrypt")``)
 and accumulate until :meth:`MetricsRegistry.reset`.  A snapshot is a plain
 nested dict of primitives, so it JSON-serializes directly and — because no
 wall-clock timestamps are baked in — is deterministic whenever the
 instrumented workload is.
+
+Two histogram shapes coexist because they answer different questions:
+
+* :class:`Histogram` — a handful of fixed ``le`` buckets, right for sizes
+  and counts (frame bytes, table entries) where the scale is known upfront;
+* :class:`LogHistogram` — HDR-style geometric buckets spanning nine decades
+  with bounded relative error, right for latencies, where p99/p999 matter
+  and the interesting mass may sit anywhere between microseconds and
+  seconds.  Latency sites must use it: the fixed
+  :data:`DEFAULT_BUCKETS` start at 1.0, so every sub-second observation
+  would land in the first bucket and the histogram would say nothing.
+  :meth:`MetricsRegistry.histogram` rejects a ``*.seconds`` name with
+  default buckets for exactly that reason.
 
 Thread safety: every mutation takes the registry's lock.  The LBL TCP server
 handles connections on threads, so counters would otherwise lose increments;
@@ -16,6 +29,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import math
 import threading
 from typing import Any, Mapping, Sequence
 
@@ -152,12 +166,131 @@ class Histogram:
             self.max = None
 
 
+#: Geometry of :class:`LogHistogram` buckets.  ``GROWTH = 2**(1/8)`` bounds
+#: the relative quantile error at ~9%; spanning 100 ns … ~1000 s costs 267
+#: buckets of one int each — small enough to keep per instrument.
+LOG_BUCKET_MIN = 1e-7
+LOG_BUCKET_GROWTH = 2 ** 0.125
+LOG_BUCKET_COUNT = 267
+
+_LOG_GROWTH_LN = math.log(LOG_BUCKET_GROWTH)
+_LOG_MIN_LN = math.log(LOG_BUCKET_MIN)
+
+
+class LogHistogram:
+    """Log-bucketed (HDR-style) histogram with quantile queries.
+
+    Bucket ``i`` covers ``(MIN * GROWTH**(i-1), MIN * GROWTH**i]``; bucket 0
+    holds everything at or below :data:`LOG_BUCKET_MIN` (including zero and
+    negative durations from clock skew), the last bucket everything past the
+    top bound.  A quantile answer is the upper edge of the bucket the target
+    rank falls in, so it overestimates by at most one growth factor — the
+    usual HDR trade of bounded relative error for O(1) recording.
+    """
+
+    kind = "log_histogram"
+    __slots__ = ("name", "bucket_counts", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.bucket_counts = [0] * (LOG_BUCKET_COUNT + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = lock
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        """Bucket holding ``value`` (0 for values <= the smallest bound)."""
+        if value <= LOG_BUCKET_MIN:
+            return 0
+        index = int(math.ceil((math.log(value) - _LOG_MIN_LN) / _LOG_GROWTH_LN))
+        return min(index, LOG_BUCKET_COUNT)
+
+    @staticmethod
+    def bucket_bound(index: int) -> float:
+        """Upper edge of bucket ``index`` (+inf for the overflow bucket)."""
+        if index >= LOG_BUCKET_COUNT:
+            return math.inf
+        return LOG_BUCKET_MIN * LOG_BUCKET_GROWTH ** index
+
+    def observe(self, value: float) -> None:
+        """Record one sample (typically a duration in seconds)."""
+        value = float(value)
+        index = self.bucket_index(value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1] (0.0 when empty).
+
+        Returns the upper bucket edge, clamped to the observed max so p100
+        of a single sample is that sample, not its bucket's edge.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile {q} outside [0, 1]")
+        counts = list(self.bucket_counts)
+        count = sum(counts)
+        if count == 0:
+            return 0.0
+        rank = q * count
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                bound = self.bucket_bound(index)
+                observed_max = self.max if self.max is not None else bound
+                return min(bound, observed_max)
+        return self.max or 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Count/sum/mean/min/max, p50/p90/p99/p999, and non-empty buckets."""
+        buckets = {
+            f"le_{self.bucket_bound(index):.3g}": count
+            for index, count in enumerate(self.bucket_counts)
+            if count
+        }
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
+            "buckets": buckets,
+        }
+
+    def reset(self) -> None:
+        """Drop all observations (the handle stays valid)."""
+        with self._lock:
+            self.bucket_counts = [0] * (LOG_BUCKET_COUNT + 1)
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+
+
 class MetricsRegistry:
     """Name-addressed home of all instruments of one observability session."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._instruments: dict[str, Counter | Gauge | Histogram | LogHistogram] = {}
 
     def _get_or_create(self, name: str, kind: str, factory):
         with self._lock:
@@ -182,13 +315,32 @@ class MetricsRegistry:
     def histogram(
         self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
     ) -> Histogram:
-        """Get or create the histogram called ``name``.
+        """Get or create the fixed-bucket histogram called ``name``.
 
         ``bounds`` only applies on first creation; later callers receive the
         existing instrument unchanged.
+
+        Raises:
+            ConfigurationError: ``name`` declares a latency unit
+                (``*.seconds``) but keeps the byte-scale
+                :data:`DEFAULT_BUCKETS` — those start at 1.0, so every
+                sub-second latency would collapse into the first bucket.
+                Use :meth:`log_histogram` for latencies.
         """
+        if name.endswith(".seconds") and tuple(float(b) for b in bounds) == DEFAULT_BUCKETS:
+            raise ConfigurationError(
+                f"histogram {name!r} records seconds but uses the byte-scale "
+                "default buckets (1.0 ... 1e6); use log_histogram() for "
+                "latencies, or pass explicit sub-second bounds"
+            )
         return self._get_or_create(
             name, "histogram", lambda: Histogram(name, self._lock, bounds)
+        )
+
+    def log_histogram(self, name: str) -> LogHistogram:
+        """Get or create the log-bucketed latency histogram called ``name``."""
+        return self._get_or_create(
+            name, "log_histogram", lambda: LogHistogram(name, self._lock)
         )
 
     def names(self) -> list[str]:
@@ -197,7 +349,12 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, Any]:
         """All instruments grouped by kind — plain primitives, JSON-ready."""
-        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        out: dict[str, Any] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "log_histograms": {},
+        }
         for name in self.names():
             instrument = self._instruments[name]
             out[instrument.kind + "s"][name] = instrument.snapshot()
@@ -226,7 +383,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_BUCKETS",
+    "LOG_BUCKET_MIN",
+    "LOG_BUCKET_GROWTH",
+    "LOG_BUCKET_COUNT",
 ]

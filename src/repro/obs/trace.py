@@ -164,8 +164,19 @@ class Tracer:
         return span
 
     @contextmanager
-    def span(self, name: str, **attributes: Any) -> Iterator[Span | _NoopSpan]:
+    def span(
+        self, name: str, parent: Span | None = None, **attributes: Any
+    ) -> Iterator[Span | _NoopSpan]:
         """Context-managed span, nested under the context's current span.
+
+        ``parent`` overrides the context's current span — used by servers
+        parenting under a propagated remote context
+        (:mod:`repro.obs.propagate`).
+
+        An exception escaping the block closes the span with
+        ``error=True`` / ``error_type`` attributes and bumps the
+        ``trace.span_errors`` counter, then propagates — failed operations
+        must not vanish from the trace as if they had succeeded.
 
         No-op (yields the shared :data:`NOOP_SPAN`) while observability is
         disabled.
@@ -173,10 +184,16 @@ class Tracer:
         if not _state.enabled:
             yield NOOP_SPAN
             return
-        span = self.start_span(name, **attributes)
+        span = self.start_span(name, parent=parent, **attributes)
         token = self._current.set(span)
         try:
             yield span
+        except BaseException as exc:
+            span.set_attributes(error=True, error_type=type(exc).__name__)
+            from repro.obs.metrics import REGISTRY
+
+            REGISTRY.counter("trace.span_errors").inc()
+            raise
         finally:
             self._current.reset(token)
             self.end(span)

@@ -41,16 +41,23 @@ if TYPE_CHECKING:  # imported lazily at runtime: core.sharded imports this packa
 
 
 def _serve_shard(conn, point_and_permute: bool, response_delay_s: float,
-                 max_workers: int) -> None:  # pragma: no cover - child process
-    """Child-process entry point: bind, report the address, serve forever."""
+                 max_workers: int, metrics: bool,
+                 enable_obs: bool) -> None:  # pragma: no cover - child process
+    """Child-process entry point: bind, report the addresses, serve forever."""
+    from repro import obs
     from repro.transport.server import LblTcpServer
 
+    if enable_obs:
+        # The child records into its own tracer/registry; the trusted side
+        # pulls the dump over an OBS_PULL control frame and merges it.
+        obs.enable()
     server = LblTcpServer(
         point_and_permute=point_and_permute,
         response_delay_s=response_delay_s,
         max_workers=max_workers,
+        metrics_port=0 if metrics else None,
     )
-    conn.send(server.address)
+    conn.send({"address": server.address, "metrics": server.metrics_address})
     conn.close()
     server.serve_forever()
 
@@ -64,6 +71,14 @@ class ShardCluster:
         in_process: Daemon threads (True) or spawned processes (False).
         response_delay_s: Artificial per-reply delay (WAN emulation).
         max_workers: Mux worker threads per shard.
+        metrics: Give every shard a Prometheus scrape endpoint on an
+            ephemeral port (read ``metrics_addresses``; ``repro top``
+            polls them).
+        enable_obs: Enable span/metric capture inside *process-backed*
+            shards, so their telemetry can be pulled back over the obs
+            control frame at shutdown.  Ignored for in-process shards,
+            which share this process's global tracer — the caller already
+            controls that with :func:`repro.obs.enable`.
     """
 
     def __init__(
@@ -73,6 +88,8 @@ class ShardCluster:
         in_process: bool = True,
         response_delay_s: float = 0.0,
         max_workers: int = 8,
+        metrics: bool = False,
+        enable_obs: bool = False,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError("num_shards must be >= 1")
@@ -81,7 +98,10 @@ class ShardCluster:
         self.in_process = in_process
         self.response_delay_s = response_delay_s
         self.max_workers = max_workers
+        self.metrics = metrics
+        self.enable_obs = enable_obs
         self.addresses: list[tuple[str, int]] = []
+        self.metrics_addresses: list[tuple[str, int] | None] = []
         self.servers: list = []  # LblTcpServer when in_process
         self._processes: list[multiprocessing.Process] = []
 
@@ -97,10 +117,12 @@ class ShardCluster:
                     point_and_permute=self.point_and_permute,
                     response_delay_s=self.response_delay_s,
                     max_workers=self.max_workers,
+                    metrics_port=0 if self.metrics else None,
                 )
                 server.serve_in_background()
                 self.servers.append(server)
                 self.addresses.append(server.address)
+                self.metrics_addresses.append(server.metrics_address)
         else:
             ctx = multiprocessing.get_context("spawn")
             for _ in range(self.num_shards):
@@ -112,6 +134,8 @@ class ShardCluster:
                         self.point_and_permute,
                         self.response_delay_s,
                         self.max_workers,
+                        self.metrics,
+                        self.enable_obs,
                     ),
                     daemon=True,
                 )
@@ -121,14 +145,15 @@ class ShardCluster:
                     self.stop()
                     raise ProtocolError("shard process failed to report its address")
                 try:
-                    address = parent_conn.recv()
+                    endpoints = parent_conn.recv()
                 except EOFError:
                     self.stop()
                     raise ProtocolError(
                         "shard process died before binding (spawn re-imports "
                         "__main__, which must be importable)"
                     ) from None
-                self.addresses.append(address)
+                self.addresses.append(endpoints["address"])
+                self.metrics_addresses.append(endpoints["metrics"])
                 parent_conn.close()
                 self._processes.append(process)
         return self.addresses
@@ -145,6 +170,7 @@ class ShardCluster:
             process.join(timeout=5.0)
         self._processes = []
         self.addresses = []
+        self.metrics_addresses = []
 
     def __enter__(self) -> "ShardCluster":
         self.start()

@@ -72,31 +72,78 @@ def recv_frame(sock: socket.socket) -> bytes:
 
 #: Tag byte marking a multiplexed frame payload.
 MUX_TAG = 0x50
+#: Tag byte marking a multiplexed frame that also carries a trace context.
+MUX_TRACED_TAG = 0x51
 #: Width of the request id carried by every mux frame.
 REQUEST_ID_BYTES = 8
+#: Width of the optional trace-context extension (8-byte trace id + 8-byte
+#: span id, see :mod:`repro.obs.propagate`).  Fixed-size by design: the
+#: extension must not vary with anything about the request, or telemetry
+#: itself would become a side channel.
+TRACE_CONTEXT_BYTES = 16
 #: Request ids are unsigned and must fit :data:`REQUEST_ID_BYTES`.
 MAX_REQUEST_ID = 2 ** (8 * REQUEST_ID_BYTES) - 1
 _MUX_HEADER = 1 + REQUEST_ID_BYTES
+_TRACED_HEADER = _MUX_HEADER + TRACE_CONTEXT_BYTES
 
 
-def wrap_mux(request_id: int, payload: bytes) -> bytes:
-    """Prefix ``payload`` with the mux tag and ``request_id``."""
+def wrap_mux(request_id: int, payload: bytes, trace_context: bytes | None = None) -> bytes:
+    """Prefix ``payload`` with the mux tag, ``request_id``, and optionally
+    a :data:`TRACE_CONTEXT_BYTES`-byte trace context.
+
+    The framing layer treats the context as opaque bytes — producing and
+    consuming it is :mod:`repro.obs.propagate`'s job — but enforces the
+    fixed width so a traced GET and a traced PUT frame stay identically
+    shaped.
+    """
     if not 0 <= request_id <= MAX_REQUEST_ID:
         raise ProtocolError(f"request id {request_id} out of range")
-    return bytes([MUX_TAG]) + request_id.to_bytes(REQUEST_ID_BYTES, "big") + payload
+    encoded_id = request_id.to_bytes(REQUEST_ID_BYTES, "big")
+    if trace_context is None:
+        return bytes([MUX_TAG]) + encoded_id + payload
+    if len(trace_context) != TRACE_CONTEXT_BYTES:
+        raise ProtocolError(
+            f"trace context must be {TRACE_CONTEXT_BYTES} bytes, "
+            f"got {len(trace_context)}"
+        )
+    return bytes([MUX_TRACED_TAG]) + encoded_id + trace_context + payload
+
+
+def unwrap_mux_traced(payload: bytes) -> tuple[int, bytes, bytes | None]:
+    """Split a mux frame into (request id, inner payload, trace context).
+
+    The context is ``None`` for plain :data:`MUX_TAG` frames, so servers
+    handle traced and untraced peers through one code path.
+    """
+    if len(payload) < _MUX_HEADER:
+        raise ProtocolError("malformed multiplexed frame")
+    request_id = int.from_bytes(payload[1:_MUX_HEADER], "big")
+    if payload[0] == MUX_TAG:
+        return request_id, payload[_MUX_HEADER:], None
+    if payload[0] == MUX_TRACED_TAG:
+        if len(payload) < _TRACED_HEADER:
+            raise ProtocolError("truncated trace context on multiplexed frame")
+        return (
+            request_id,
+            payload[_TRACED_HEADER:],
+            payload[_MUX_HEADER:_TRACED_HEADER],
+        )
+    raise ProtocolError("malformed multiplexed frame")
 
 
 def unwrap_mux(payload: bytes) -> tuple[int, bytes]:
-    """Split a mux frame payload into (request id, inner payload)."""
-    if len(payload) < _MUX_HEADER or payload[0] != MUX_TAG:
-        raise ProtocolError("malformed multiplexed frame")
-    request_id = int.from_bytes(payload[1:_MUX_HEADER], "big")
-    return request_id, payload[_MUX_HEADER:]
+    """Split a mux frame payload into (request id, inner payload).
+
+    Accepts both plain and traced frames, discarding the trace context —
+    reply paths that never look at telemetry keep their old signature.
+    """
+    request_id, inner, _context = unwrap_mux_traced(payload)
+    return request_id, inner
 
 
 def is_mux(payload: bytes) -> bool:
-    """Whether a frame payload carries the mux tag."""
-    return bool(payload) and payload[0] == MUX_TAG
+    """Whether a frame payload carries a mux tag (traced or not)."""
+    return bool(payload) and payload[0] in (MUX_TAG, MUX_TRACED_TAG)
 
 
 __all__ = [
@@ -105,9 +152,12 @@ __all__ = [
     "recv_exact",
     "MAX_FRAME_BYTES",
     "MUX_TAG",
+    "MUX_TRACED_TAG",
     "REQUEST_ID_BYTES",
+    "TRACE_CONTEXT_BYTES",
     "MAX_REQUEST_ID",
     "wrap_mux",
     "unwrap_mux",
+    "unwrap_mux_traced",
     "is_mux",
 ]

@@ -24,11 +24,14 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+import time
 from concurrent.futures import Future
 
 from repro.errors import ProtocolError
 from repro.obs import _state as _obs
 from repro.obs.metrics import REGISTRY
+from repro.obs.propagate import TraceContext
+from repro.obs.trace import TRACER
 from repro.transport import framing
 from repro.transport.server import ERROR_TAG
 
@@ -140,8 +143,16 @@ class PipelinedLblClient:
                 return conn
         raise ProtocolError(f"all connections to {self.address} are closed")
 
-    def submit(self, payload: bytes) -> Future:
+    def submit(self, payload: bytes, trace_context: bytes | None = None) -> Future:
         """Send one payload; the future completes with the reply bytes.
+
+        ``trace_context`` is the optional 16-byte extension produced by
+        :meth:`~repro.obs.propagate.TraceContext.encode`; when omitted and
+        observability is enabled, the calling context's current span (if
+        any) is propagated automatically, so server-side spans parent
+        under the client span that caused them.  The client-observed round
+        trip (submit to reply) lands in the
+        ``transport.pipeline.roundtrip.seconds`` log histogram.
 
         The future fails with :class:`~repro.errors.ProtocolError` if the
         server answered with an error frame or the connection died with the
@@ -149,14 +160,33 @@ class PipelinedLblClient:
         """
         if self._closed:
             raise ProtocolError("client is closed")
+        if _obs.enabled and trace_context is None:
+            span = TRACER.current_span()
+            if span is not None:
+                trace_context = TraceContext.from_span(span).encode()
         conn = self._pick()
         request_id = next(self._ids)
         future: Future = Future()
         with conn.pending_lock:
             conn.pending[request_id] = future
+        if _obs.enabled:
+            # Timestamp (and register the done callback) BEFORE the send:
+            # the reader thread may complete the future the instant the
+            # frame hits the wire, and a timestamp taken after sendall()
+            # would then record a near-zero "round trip".
+            submitted_at = time.perf_counter()
+            roundtrip = REGISTRY.log_histogram("transport.pipeline.roundtrip.seconds")
+
+            def _observe(f: Future) -> None:
+                if not f.cancelled() and f.exception() is None:
+                    roundtrip.observe(time.perf_counter() - submitted_at)
+
+            future.add_done_callback(_observe)
         try:
             with conn.send_lock:
-                framing.send_frame(conn.sock, framing.wrap_mux(request_id, payload))
+                framing.send_frame(
+                    conn.sock, framing.wrap_mux(request_id, payload, trace_context)
+                )
         except OSError as exc:
             with conn.pending_lock:
                 conn.pending.pop(request_id, None)

@@ -21,9 +21,24 @@ Wire protocol (within the framing of :mod:`repro.transport.framing`):
   dispatch on a worker pool, so distinct keys process in parallel and
   replies may return out of order — that is the point: pipelined clients
   match replies by id;
+* a traced multiplexed frame (tag 0x51: request id + 16-byte trace
+  context + inner payload) → handled exactly like 0x50, but the server's
+  request span parents under the propagated client span
+  (:mod:`repro.obs.propagate`), so a merged trace shows the whole round
+  trip.  The extension is fixed-size and content-independent — GET and PUT
+  frames stay identically shaped;
+* an obs-pull control frame (tag 0x60) → a dump frame (tag 0x61 + JSON of
+  this process's finished spans and metrics snapshot).  Process-backed
+  shards answer it at shutdown so the client can merge every process's
+  telemetry into one trace;
 * on any handling error → an error frame (tag 0x7F + UTF-8 message, mux
   wrapped iff the request was), so clients fail with a described exception
   instead of a dead socket.
+
+With ``metrics_port=`` the server additionally exposes its metrics
+registry as Prometheus text on an HTTP scrape endpoint
+(:func:`repro.obs.export.start_metrics_server`) — ``repro top`` and any
+Prometheus scraper read it live.
 
 Concurrency: requests touching the *same* encoded key are serialized by a
 striped lock (mirroring :class:`~repro.core.lbl.concurrent.ConcurrentLblProxy`
@@ -33,6 +48,7 @@ worker pool instead of queueing behind one global lock.
 
 from __future__ import annotations
 
+import json
 import socket
 import socketserver
 import threading
@@ -51,11 +67,17 @@ from repro.errors import ConfigurationError, OrtoaError, ProtocolError
 from repro.obs import _state as _obs
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.propagate import REMOTE_PARENT_ATTR, TraceContext, remote_parent
+from repro.obs.trace import TRACER
 from repro.storage.persistence import LabelListCodec
 from repro.transport import framing
 
 LOAD_TAG = 0x40
 LOAD_ACK = bytes([0x41])
+#: Control frame asking this process for its telemetry (spans + metrics).
+OBS_PULL_TAG = 0x60
+#: Reply to :data:`OBS_PULL_TAG`: the tag followed by a UTF-8 JSON dump.
+OBS_DUMP_TAG = 0x61
 ERROR_TAG = 0x7F
 
 _log = get_logger("transport.server")
@@ -131,6 +153,9 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         response_delay_s: Artificial delay before every reply, emulating a
             WAN round trip on loopback (benchmarks only; keep 0.0 in
             production use).
+        metrics_port: When not ``None``, serve this process's metrics
+            registry as Prometheus text on ``http://host:metrics_port``
+            (0 picks an ephemeral port; read ``metrics_address``).
     """
 
     allow_reuse_address = True
@@ -144,6 +169,7 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         num_stripes: int = 64,
         max_workers: int = 8,
         response_delay_s: float = 0.0,
+        metrics_port: int | None = None,
     ) -> None:
         if num_stripes < 1:
             raise ConfigurationError("num_stripes must be >= 1")
@@ -154,6 +180,11 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         super().__init__((host, port), _Handler)
         self.lbl = LblServer(point_and_permute=point_and_permute)
         self.response_delay_s = response_delay_s
+        self.metrics_server = None
+        if metrics_port is not None:
+            from repro.obs.export import start_metrics_server
+
+            self.metrics_server = start_metrics_server(host, metrics_port)
         # process() mutates per-key state, so accesses to the same key must
         # serialize — but only to the same key.  Striped locks (mirroring
         # ConcurrentLblProxy) let distinct keys dispatch in parallel.
@@ -168,6 +199,13 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
     def address(self) -> tuple[str, int]:
         """The (host, port) the server is bound to."""
         return self.socket.getsockname()
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """The (host, port) of the Prometheus scrape endpoint, if enabled."""
+        if self.metrics_server is None:
+            return None
+        return self.metrics_server.server_address
 
     @property
     def in_flight(self) -> int:
@@ -197,6 +235,8 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
             REGISTRY.counter("transport.requests_dispatched").inc()
         if not payload:
             raise ProtocolError("empty frame")
+        if payload[0] == OBS_PULL_TAG:
+            return self.obs_dump()
         if payload[0] == LOAD_TAG:
             encoded_key, labels = unpack_load(payload)
             with self._stripe_for(encoded_key):
@@ -226,6 +266,19 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
             return LblBatchResponse(tuple(entries)).to_bytes()
         raise ProtocolError(f"unknown frame tag {payload[0]:#x}")
 
+    def obs_dump(self) -> bytes:
+        """This process's telemetry as an obs-dump frame.
+
+        Ships finished spans and the metrics snapshot back to the trusted
+        side, which merges them via
+        :func:`repro.obs.propagate.merge_span_dumps`.  Meaningful for
+        process-backed shards (a thread-backed shard already shares the
+        client's tracer); returns whatever this process recorded — an
+        empty dump when observability was never enabled here.
+        """
+        bundle = {"spans": TRACER.export(), "metrics": REGISTRY.snapshot()}
+        return bytes([OBS_DUMP_TAG]) + json.dumps(bundle, default=str).encode("utf-8")
+
     # ------------------------------------------------------------------ #
     # Multiplexed (pipelined) frames
     # ------------------------------------------------------------------ #
@@ -233,7 +286,7 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
     def submit_mux(self, sock, send_lock: threading.Lock, payload: bytes) -> None:
         """Queue one mux frame for pool dispatch; replies carry its id."""
         try:
-            request_id, inner = framing.unwrap_mux(payload)
+            request_id, inner, trace_context = framing.unwrap_mux_traced(payload)
         except ProtocolError as exc:
             # No id to mirror: reply with a plain error frame so the client
             # at least sees a described failure.
@@ -251,15 +304,53 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         if _obs.enabled:
             REGISTRY.counter("transport.mux_frames_received").inc()
             REGISTRY.gauge("transport.server.in_flight").set(depth)
-        self._pool.submit(self._handle_mux, sock, send_lock, request_id, inner)
+        self._pool.submit(
+            self._handle_mux, sock, send_lock, request_id, inner, trace_context
+        )
+
+    def _traced_dispatch(self, inner: bytes, trace_context: bytes | None) -> bytes:
+        """Dispatch under a request span parented by the propagated context.
+
+        The span marks itself :data:`~repro.obs.propagate.REMOTE_PARENT_ATTR`
+        so a cross-process merge keeps its parent link pointing at the
+        client span; making it the context's current span lets the nested
+        ``lbl.server.process`` span (emitted by the protocol layer on this
+        worker thread) parent locally under it.  Service time — queueing
+        excluded, dispatch only — lands in the
+        ``transport.server.service.seconds`` log histogram.
+        """
+        start = time.perf_counter()
+        parent = None
+        attributes = {}
+        if trace_context is not None:
+            try:
+                parent = remote_parent(TraceContext.decode(trace_context))
+                attributes[REMOTE_PARENT_ATTR] = True
+            except ProtocolError:
+                parent = None  # unparseable context: serve the request anyway
+        try:
+            with TRACER.span("transport.server.request", parent=parent, **attributes):
+                return self.safe_dispatch(inner)
+        finally:
+            REGISTRY.log_histogram("transport.server.service.seconds").observe(
+                time.perf_counter() - start
+            )
 
     def _handle_mux(
-        self, sock, send_lock: threading.Lock, request_id: int, inner: bytes
+        self,
+        sock,
+        send_lock: threading.Lock,
+        request_id: int,
+        inner: bytes,
+        trace_context: bytes | None = None,
     ) -> None:
         try:
             if self.response_delay_s:
                 time.sleep(self.response_delay_s)
-            reply = self.safe_dispatch(inner)
+            if _obs.enabled:
+                reply = self._traced_dispatch(inner, trace_context)
+            else:
+                reply = self.safe_dispatch(inner)
             try:
                 with send_lock:
                     framing.send_frame(sock, framing.wrap_mux(request_id, reply))
@@ -283,9 +374,21 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         return thread
 
     def server_close(self) -> None:
-        """Close the listener and stop the mux worker pool."""
+        """Close the listener, the mux worker pool, and the scrape endpoint."""
         super().server_close()
         self._pool.shutdown(wait=False)
+        if self.metrics_server is not None:
+            self.metrics_server.shutdown()
+            self.metrics_server.server_close()
 
 
-__all__ = ["LblTcpServer", "pack_load", "unpack_load", "LOAD_TAG", "LOAD_ACK", "ERROR_TAG"]
+__all__ = [
+    "LblTcpServer",
+    "pack_load",
+    "unpack_load",
+    "LOAD_TAG",
+    "LOAD_ACK",
+    "OBS_PULL_TAG",
+    "OBS_DUMP_TAG",
+    "ERROR_TAG",
+]

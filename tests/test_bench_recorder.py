@@ -1,0 +1,133 @@
+"""BENCH_history.json trajectory: recording, best-of queries, the gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.harness.bench import (
+    BenchRecorder,
+    best_value,
+    check_history,
+    load_history,
+)
+
+
+def test_record_appends_entries_sharing_one_run_id(tmp_path):
+    path = tmp_path / "hist.json"
+    recorder = BenchRecorder(path, run_id="run-1")
+    recorder.record("kernels.speedup", 3.5, unit="x")
+    recorder.record("kernels.ops", 120.0, unit="ops/s", gate=False)
+    entries = load_history(path)["entries"]
+    assert [e["run_id"] for e in entries] == ["run-1", "run-1"]
+    assert entries[0] == {
+        "run_id": "run-1",
+        "metric": "kernels.speedup",
+        "value": 3.5,
+        "unit": "x",
+        "higher_is_better": True,
+        "gate": True,
+    }
+    # Appending from a second recorder keeps the first run's rows.
+    BenchRecorder(path, run_id="run-2").record("kernels.speedup", 3.6)
+    assert len(load_history(path)["entries"]) == 3
+
+
+def test_load_history_missing_file_and_corruption(tmp_path):
+    assert load_history(tmp_path / "absent.json") == {"entries": []}
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"rows": []}), encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        load_history(bad)
+
+
+def test_best_value_respects_direction_and_exclusion():
+    entries = [
+        {"run_id": "a", "metric": "m", "value": 2.0, "higher_is_better": True},
+        {"run_id": "b", "metric": "m", "value": 5.0, "higher_is_better": True},
+        {"run_id": "c", "metric": "m", "value": 3.0, "higher_is_better": True},
+    ]
+    assert best_value(entries, "m") == 5.0
+    assert best_value(entries, "m", exclude_run="b") == 3.0
+    assert best_value(entries, "missing") is None
+    lower = [dict(e, higher_is_better=False) for e in entries]
+    assert best_value(lower, "m") == 2.0
+
+
+def _history(tmp_path, runs):
+    path = tmp_path / "hist.json"
+    for run_id, rows in runs:
+        recorder = BenchRecorder(path, run_id=run_id)
+        for metric, value, kwargs in rows:
+            recorder.record(metric, value, **kwargs)
+    return path
+
+
+def test_check_history_first_run_is_warn_only(tmp_path):
+    path = _history(tmp_path, [("r1", [("speedup", 3.0, {})])])
+    (result,) = check_history(path)
+    assert result.regressed is False
+    assert result.best is None
+    assert "first recording" in result.message
+
+
+def test_check_history_flags_regressions_both_directions(tmp_path):
+    path = _history(
+        tmp_path,
+        [
+            ("r1", [("speedup", 5.0, {}), ("overhead", 0.01, {"higher_is_better": False})]),
+            ("r2", [("speedup", 3.0, {}), ("overhead", 0.014, {"higher_is_better": False})]),
+        ],
+    )
+    by_metric = {r.metric: r for r in check_history(path, threshold=0.2)}
+    assert by_metric["speedup"].regressed  # 3.0 < 5.0 * 0.8
+    assert by_metric["overhead"].regressed  # 0.014 > 0.01 * 1.2
+    # A looser threshold lets the same drop through.
+    by_metric = {r.metric: r for r in check_history(path, threshold=0.5)}
+    assert not by_metric["speedup"].regressed
+    assert not by_metric["overhead"].regressed
+
+
+def test_check_history_ignores_ungated_metrics(tmp_path):
+    path = _history(
+        tmp_path,
+        [
+            ("r1", [("ops", 1000.0, {"gate": False})]),
+            ("r2", [("ops", 1.0, {"gate": False})]),  # huge drop, but ungated
+        ],
+    )
+    assert check_history(path) == []
+
+
+def test_check_history_only_gates_the_latest_run(tmp_path):
+    path = _history(
+        tmp_path,
+        [
+            ("r1", [("speedup", 5.0, {})]),
+            ("r2", [("speedup", 1.0, {})]),  # an old regression...
+            ("r3", [("speedup", 4.9, {})]),  # ...recovered in the latest run
+        ],
+    )
+    (result,) = check_history(path)
+    assert result.regressed is False
+    assert result.best == 5.0
+
+
+def test_cli_bench_check_exit_codes(tmp_path, capsys):
+    path = _history(
+        tmp_path,
+        [("r1", [("speedup", 5.0, {})]), ("r2", [("speedup", 1.0, {})])],
+    )
+    assert cli_main(["bench", "check", "--history", str(path)]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+    assert (
+        cli_main(["bench", "check", "--history", str(path), "--warn-only"]) == 0
+    )
+    ok_dir = tmp_path / "ok"
+    ok_dir.mkdir()
+    ok = _history(ok_dir, [("r1", [("speedup", 5.0, {})])])
+    assert cli_main(["bench", "check", "--history", str(ok)]) == 0
+    absent = tmp_path / "none.json"
+    assert cli_main(["bench", "check", "--history", str(absent)]) == 0
+    assert "no benchmark history" in capsys.readouterr().out

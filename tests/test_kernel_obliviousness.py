@@ -115,6 +115,38 @@ def test_scalar_and_batched_requests_have_identical_shape():
     assert shapes[0] == shapes[1]
 
 
+def test_traced_frames_identical_shape_for_get_and_put():
+    """The trace-context wire extension must not become a side channel.
+
+    A traced GET and a traced PUT frame must have identical total size, the
+    same tag byte, and a fixed-width context extension — otherwise enabling
+    telemetry would leak exactly the bit the protocol exists to hide.
+    """
+    from repro.obs.propagate import TraceContext
+    from repro.transport import framing
+
+    keychain = KeyChain(label_bits=128)
+    config = _config(label_cache_entries=-1)
+    store = LblOrtoa(config, keychain=keychain, rng=random.Random(5), batched=True)
+    store.initialize({"k": bytes(16)})
+    store.access(Request.read("k"))
+    context = TraceContext(trace_id=7, span_id=9).encode()
+    frames = []
+    for request in (Request.read("k"), Request.write("k", bytes(16))):
+        lbl_request, _ = store.proxy.prepare(request)
+        frames.append(framing.wrap_mux(1, lbl_request.to_bytes(), context))
+    get_frame, put_frame = frames
+    assert len(get_frame) == len(put_frame)
+    assert get_frame[0] == put_frame[0] == framing.MUX_TRACED_TAG
+    for frame in frames:
+        request_id, inner, decoded = framing.unwrap_mux_traced(frame)
+        assert request_id == 1
+        assert decoded == context
+        assert len(frame) - len(inner) == 1 + framing.REQUEST_ID_BYTES + (
+            framing.TRACE_CONTEXT_BYTES
+        )
+
+
 def test_parallel_prepare_observations_match_serial():
     """Server-visible features are identical whether prepare ran in a pool."""
     features = []

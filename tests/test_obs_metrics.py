@@ -99,7 +99,12 @@ def test_reset_zeroes_but_keeps_held_handles(registry):
 def test_clear_drops_instruments(registry):
     registry.counter("gone").inc()
     registry.clear()
-    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert registry.snapshot() == {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "log_histograms": {},
+    }
 
 
 def test_snapshot_is_deterministic_for_a_deterministic_workload(registry):

@@ -200,3 +200,32 @@ def test_capture_context_manager_restores_state_and_resets():
     # A fresh capture starts clean.
     with obs.capture():
         assert obs.TRACER.finished == []
+
+
+def test_escaping_exception_closes_span_with_error_attrs():
+    """A failed operation must stay in the trace, marked as failed."""
+    obs.enable()
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("outer"):
+            with tracer.span("boom"):
+                raise ValueError("kaput")
+    by_name = {s.name: s for s in tracer.finished}
+    boom = by_name["boom"]
+    assert boom.end is not None  # closed despite the exception
+    assert boom.attributes["error"] is True
+    assert boom.attributes["error_type"] == "ValueError"
+    # The exception propagated through the parent, so it is marked too.
+    outer = by_name["outer"]
+    assert outer.attributes["error"] is True
+    assert obs.REGISTRY.counter("trace.span_errors").value == 2
+
+
+def test_successful_span_has_no_error_attrs():
+    obs.enable()
+    tracer = Tracer()
+    with tracer.span("fine"):
+        pass
+    (span,) = tracer.finished
+    assert "error" not in span.attributes
+    assert obs.REGISTRY.snapshot()["counters"].get("trace.span_errors", 0) == 0
