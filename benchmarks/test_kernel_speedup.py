@@ -1,29 +1,52 @@
 """Kernel speedup gates: the batched crypto stack must beat the scalar path.
 
 Times the three LBL proxy phases (``prepare`` / ``process`` / ``finalize``)
-under three kernel configurations at the paper's default operating point
+under four kernel configurations at the paper's default operating point
 (160 B values, y=2 grouping, point-and-permute — §6 workload with both §10
 optimizations):
 
 * **scalar** — the per-label reference path (``batched=False``, no cache);
 * **batched** — fused ``PrfContext`` label derivation + ``encrypt_many``
   table encryption, cache disabled (every access is a cold build);
-* **batched+cache** — the full kernel stack in steady state: a warm
+* **batched+cache** — the stdlib kernel stack in steady state: a warm
   :class:`~repro.core.lbl.cache.LabelCache` whose entries carry prefetched
-  next-epoch labels and AEAD key schedules, so ``prepare`` derives nothing.
+  next-epoch labels and AEAD key schedules, so ``prepare`` derives nothing;
+* **vector** — ``crypto_backend="vector"``: the warm cache additionally
+  carries keyed AEAD states, prefetched nonce/keystream blocks, and the
+  next-epoch label blob, so a warm ``prepare`` is a numpy matrix build
+  plus one tag MAC per table entry.
+
+The three stdlib configurations are measured under
+:func:`~repro.crypto.sha256_lanes.lanes_disabled` so they stay honest
+baselines on hosts where the vector pipeline would otherwise engage.
+
+Timing is **best-of-N**: each phase's score is its *minimum* over
+``ROUNDS`` accesses.  Phase times here are single-digit milliseconds, where
+mean-based scores swing 40%+ with background machine load; the minimum is
+the repeatable hardware-limited time and is what the gates compare.
 
 All gates are self-relative (same interpreter, same machine, same run), so
 they hold on slow CI runners:
 
-1. ``batched+cache`` prepare >= 3x ``scalar`` prepare — the tentpole gate;
+1. ``batched+cache`` prepare >= 3x ``scalar`` prepare — the original gate;
 2. warm prepare >= 1.5x cold prepare — the cache must pay for itself;
 3. cold batched prepare >= scalar prepare — batching alone must never lose
-   (the CI smoke condition: fail if batched < scalar).
+   (the CI smoke condition: fail if batched < scalar);
+4. ``vector`` prepare >= 2x ``batched+cache`` prepare — the lane-pipeline
+   tentpole gate;
+5. ``vector`` whole-access >= 2x ``scalar`` whole-access, and >= 0.9x the
+   stdlib warm stack — the prepare win must not be bought with a larger
+   whole-access regression.
 
 Warm ``finalize`` is expected to be *slower* than scalar finalize — it
 absorbs the next epoch's label prefetch and key-schedule derivation, work
-moved off the request-build critical path (see docs/performance.md).  It is
-reported, not gated.
+deliberately moved off the request-build critical path (the request is
+already on the wire when finalize runs; see docs/performance.md).  The
+vector finalize absorbs even more (keystream prefetch, label-blob join).
+That work shift is therefore *gated as a floor, not fixed*: the warm
+stack's ``finalize_ops_per_sec`` is recorded as a gated trajectory metric
+in ``BENCH_history.json``, so the regression is bounded — it cannot
+silently deepen past the 20% drift gate.
 
 The measured ops/sec land in ``BENCH_kernels.json`` at the repo root.
 """
@@ -40,6 +63,7 @@ import pytest
 from conftest import record_bench
 
 from repro.core.lbl import LblOrtoa
+from repro.crypto import sha256_lanes as _lanes
 from repro.types import Request, StoreConfig
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -48,23 +72,30 @@ BENCH_JSON = REPO_ROOT / "BENCH_kernels.json"
 #: The gate operating point (paper §6 defaults, both §10 optimizations on).
 GATE_POINT = {"value_len": 160, "group_bits": 2, "point_and_permute": True}
 
-#: Timed accesses per configuration.  Scalar prepare is ~40 ms here, so this
-#: keeps the whole module under ~10 s while averaging out scheduler noise.
+#: Timed accesses per configuration; each phase scores its best (minimum)
+#: round.  Scalar prepare is ~40 ms here, so this keeps the whole module
+#: around ~10 s while giving the minimum enough draws to converge.
 ROUNDS = 15
 
 #: Gate thresholds (self-relative speedups).
 GATE_BATCHED_CACHE_VS_SCALAR = 3.0
 GATE_WARM_VS_COLD = 1.5
+GATE_VECTOR_PREPARE_VS_WARM = 2.0
+GATE_VECTOR_ACCESS_VS_SCALAR = 2.0
+GATE_VECTOR_ACCESS_VS_WARM = 0.9
 
 
-def _build(*, batched: bool, cache: bool) -> LblOrtoa:
+def _build(*, batched: bool, cache: bool, backend: str = "stdlib") -> LblOrtoa:
     config = StoreConfig(**GATE_POINT, label_cache_entries=-1 if cache else None)
-    store = LblOrtoa(config, rng=random.Random(3), batched=batched)
+    store = LblOrtoa(
+        config, rng=random.Random(3), batched=batched, crypto_backend=backend
+    )
     store.initialize({"k": bytes(config.value_len)})
     return store
 
+
 def _time_phases(store: LblOrtoa, *, warm: bool) -> dict[str, float]:
-    """Ops/sec per phase over ``ROUNDS`` read accesses to one key.
+    """Best-of-``ROUNDS`` ops/sec per phase for read accesses to one key.
 
     With ``warm`` the cache is primed first; each subsequent finalize
     prefetches the next epoch, so every timed prepare stays warm —
@@ -76,7 +107,7 @@ def _time_phases(store: LblOrtoa, *, warm: bool) -> dict[str, float]:
     for _ in range(warmup):
         store.access(request)
 
-    prepare_s = process_s = finalize_s = 0.0
+    prepare_s = process_s = finalize_s = float("inf")
     gc.collect()
     gc.disable()
     try:
@@ -88,28 +119,36 @@ def _time_phases(store: LblOrtoa, *, warm: bool) -> dict[str, float]:
             t2 = time.perf_counter()
             proxy.finalize("k", response)
             t3 = time.perf_counter()
-            prepare_s += t1 - t0
-            process_s += t2 - t1
-            finalize_s += t3 - t2
+            prepare_s = min(prepare_s, t1 - t0)
+            process_s = min(process_s, t2 - t1)
+            finalize_s = min(finalize_s, t3 - t2)
     finally:
         gc.enable()
     return {
-        "prepare_ops_per_sec": round(ROUNDS / prepare_s, 2),
-        "process_ops_per_sec": round(ROUNDS / process_s, 2),
-        "finalize_ops_per_sec": round(ROUNDS / finalize_s, 2),
+        "prepare_ops_per_sec": round(1.0 / prepare_s, 2),
+        "process_ops_per_sec": round(1.0 / process_s, 2),
+        "finalize_ops_per_sec": round(1.0 / finalize_s, 2),
+        "access_ops_per_sec": round(1.0 / (prepare_s + process_s + finalize_s), 2),
     }
 
 
 @pytest.fixture(scope="module")
 def measured() -> dict[str, dict[str, float]]:
-    results = {
-        "scalar": _time_phases(_build(batched=False, cache=False), warm=False),
-        "batched": _time_phases(_build(batched=True, cache=False), warm=False),
-        "batched+cache": _time_phases(_build(batched=True, cache=True), warm=True),
-    }
+    with _lanes.lanes_disabled():
+        results = {
+            "scalar": _time_phases(_build(batched=False, cache=False), warm=False),
+            "batched": _time_phases(_build(batched=True, cache=False), warm=False),
+            "batched+cache": _time_phases(
+                _build(batched=True, cache=True), warm=True
+            ),
+        }
+    results["vector"] = _time_phases(
+        _build(batched=True, cache=True, backend="vector"), warm=True
+    )
     prepare = {name: phases["prepare_ops_per_sec"] for name, phases in results.items()}
+    access = {name: phases["access_ops_per_sec"] for name, phases in results.items()}
     payload = {
-        "config": dict(GATE_POINT, rounds=ROUNDS),
+        "config": dict(GATE_POINT, rounds=ROUNDS, timing="best-of-rounds"),
         "kernels": results,
         "speedups": {
             "batched_cache_vs_scalar_prepare": round(
@@ -121,15 +160,31 @@ def measured() -> dict[str, dict[str, float]]:
             "batched_cold_vs_scalar_prepare": round(
                 prepare["batched"] / prepare["scalar"], 2
             ),
+            "vector_prepare_vs_warm": round(
+                prepare["vector"] / prepare["batched+cache"], 2
+            ),
+            "vector_access_vs_scalar": round(
+                access["vector"] / access["scalar"], 2
+            ),
+            "vector_access_vs_warm": round(
+                access["vector"] / access["batched+cache"], 2
+            ),
         },
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\n[kernel gates] {json.dumps(payload['speedups'])}")
     print(f"[saved to {BENCH_JSON}]")
     # Trajectory: speedup ratios are self-relative so they gate across
-    # machines; raw prepare ops/sec ride along ungated.
+    # machines; raw prepare ops/sec ride along ungated.  The warm stack's
+    # finalize throughput is gated to bound the deliberate work shift (see
+    # module docstring).
     for name, speedup in payload["speedups"].items():
         record_bench(f"kernels.{name}", speedup, unit="x")
+    record_bench(
+        "kernels.finalize_ops_per_sec",
+        results["batched+cache"]["finalize_ops_per_sec"],
+        unit="ops/s",
+    )
     for name, ops in prepare.items():
         record_bench(
             f"kernels.{name}.prepare_ops_per_sec", ops, unit="ops/s", gate=False
@@ -138,7 +193,7 @@ def measured() -> dict[str, dict[str, float]]:
 
 
 def test_batched_cache_beats_scalar_3x(measured):
-    """Tentpole gate: the full kernel stack >= 3x the scalar prepare path."""
+    """Stdlib-stack gate: warm kernel stack >= 3x the scalar prepare path."""
     warm = measured["batched+cache"]["prepare_ops_per_sec"]
     scalar = measured["scalar"]["prepare_ops_per_sec"]
     assert warm >= GATE_BATCHED_CACHE_VS_SCALAR * scalar, (
@@ -163,13 +218,39 @@ def test_batched_never_loses_to_scalar(measured):
     assert cold >= scalar, f"batched prepare {cold} ops/s < scalar {scalar} ops/s"
 
 
+def test_vector_prepare_beats_warm_2x(measured):
+    """Tentpole gate: vector warm prepare >= 2x the stdlib warm prepare."""
+    vector = measured["vector"]["prepare_ops_per_sec"]
+    warm = measured["batched+cache"]["prepare_ops_per_sec"]
+    assert vector >= GATE_VECTOR_PREPARE_VS_WARM * warm, (
+        f"vector prepare {vector} ops/s < "
+        f"{GATE_VECTOR_PREPARE_VS_WARM}x batched+cache ({warm} ops/s)"
+    )
+
+
+def test_vector_access_no_regression(measured):
+    """The prepare win must carry the whole access, not just one phase."""
+    vector = measured["vector"]["access_ops_per_sec"]
+    scalar = measured["scalar"]["access_ops_per_sec"]
+    warm = measured["batched+cache"]["access_ops_per_sec"]
+    assert vector >= GATE_VECTOR_ACCESS_VS_SCALAR * scalar, (
+        f"vector access {vector} ops/s < "
+        f"{GATE_VECTOR_ACCESS_VS_SCALAR}x scalar ({scalar} ops/s)"
+    )
+    assert vector >= GATE_VECTOR_ACCESS_VS_WARM * warm, (
+        f"vector access {vector} ops/s < "
+        f"{GATE_VECTOR_ACCESS_VS_WARM}x batched+cache ({warm} ops/s)"
+    )
+
+
 def test_bench_json_written(measured):
     """The artifact exists, parses, and carries every kernel row."""
     payload = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-    assert set(payload["kernels"]) == {"scalar", "batched", "batched+cache"}
+    assert set(payload["kernels"]) == {"scalar", "batched", "batched+cache", "vector"}
     for phases in payload["kernels"].values():
         assert set(phases) == {
             "prepare_ops_per_sec",
             "process_ops_per_sec",
             "finalize_ops_per_sec",
+            "access_ops_per_sec",
         }

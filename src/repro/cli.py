@@ -63,6 +63,7 @@ _RUN_OVERRIDES = {
     "pipeline_depth": "pipeline_depth",
     "workers": "workers",
     "label_cache": "label_cache",
+    "crypto_backend": "crypto_backend",
 }
 
 
@@ -473,6 +474,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="M",
         help="label-cache entries for experiments that take one "
         "(-1 auto-sizes; e.g. `lbl`)",
+    )
+    run.add_argument(
+        "--crypto-backend",
+        choices=("scalar", "stdlib", "auto", "vector", "procpool"),
+        help="proxy crypto backend for experiments that take one "
+        "(e.g. `lbl`): scalar reference path, stdlib batched kernels, "
+        "numpy lane engine, or a label-derivation process pool",
     )
     run.set_defaults(func=_cmd_run)
 

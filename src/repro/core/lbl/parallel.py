@@ -22,6 +22,14 @@ the sensible default — which is why the benchmark gates measure the batched
 kernels, not the pool.  The engine's contract is identical either way:
 outputs match a sequential ``prepare`` loop exactly (modulo shuffle order
 consumed from the shared RNG).
+
+``backend="procpool"`` sidesteps the GIL entirely: label derivation — the
+dominant cold-prepare cost — runs in a shared
+:class:`~repro.core.lbl.procpool.ProcessCryptoPool` of worker *processes*,
+and the engine's threads only wait on results and run the (cheap, cached,
+or AEAD-bound) remainder of ``prepare``.  Outputs are byte-identical to the
+thread backend: workers rebuild the same PRFs from the same keys, and a
+proxy label-cache hit still wins over a shipped-in derivation.
 """
 
 from __future__ import annotations
@@ -30,12 +38,17 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.base import OpCounts
+from repro.core.lbl.procpool import ProcessCryptoPool
 from repro.core.lbl.proxy import LblProxy
 from repro.core.messages import LblAccessRequest
 from repro.errors import ConfigurationError
 from repro.obs import _state as _obs
 from repro.obs.metrics import REGISTRY
 from repro.types import Request
+
+#: Engine backends: ``"thread"`` runs ``prepare`` fully in-process;
+#: ``"procpool"`` offloads label derivation to worker processes.
+PREPARE_BACKENDS = ("thread", "procpool")
 
 
 class ParallelPrepareEngine:
@@ -46,27 +59,54 @@ class ParallelPrepareEngine:
         workers: Pool size.  ``0`` (default) prepares serially on the
             calling thread — correct everywhere, fastest under a GIL.
         num_stripes: Per-key lock stripes (bounded lock table).
+        backend: ``"thread"`` (default) or ``"procpool"`` — the latter
+            derives labels in a :class:`ProcessCryptoPool` of
+            ``max(1, workers)`` worker processes, overlapping the PRF
+            kernels of independent keys even under a GIL.
     """
 
     def __init__(
-        self, proxy: LblProxy, workers: int = 0, num_stripes: int = 64
+        self,
+        proxy: LblProxy,
+        workers: int = 0,
+        num_stripes: int = 64,
+        backend: str = "thread",
     ) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0")
         if num_stripes < 1:
             raise ConfigurationError("num_stripes must be >= 1")
+        if backend not in PREPARE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown prepare backend {backend!r}; expected one of "
+                f"{PREPARE_BACKENDS}"
+            )
         self.proxy = proxy
         self.workers = workers
+        self.backend = backend
         self._stripes = [threading.Lock() for _ in range(num_stripes)]
         self._shuffle_lock = threading.Lock()
         self._needs_shuffle_lock = not proxy.config.point_and_permute
         self._pool = ThreadPoolExecutor(max_workers=workers) if workers else None
+        self._procpool: ProcessCryptoPool | None = None
+        if backend == "procpool":
+            config = proxy.config
+            self._procpool = ProcessCryptoPool(
+                proxy.keychain,
+                value_len=config.value_len,
+                group_bits=config.group_bits,
+                point_and_permute=config.point_and_permute,
+                workers=max(1, workers),
+            )
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool(s) down (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
 
     def __enter__(self) -> "ParallelPrepareEngine":
         return self
@@ -78,13 +118,25 @@ class ParallelPrepareEngine:
         self, request: Request
     ) -> tuple[LblAccessRequest, OpCounts, int]:
         proxy = self.proxy
-        epoch = proxy.counter(request.key) + 1
+        ct = proxy.counter(request.key)
+        label_sets = None
+        if self._procpool is not None:
+            # Skip the round trip to the worker when the proxy label cache
+            # already holds this epoch — prepare would discard the shipped
+            # derivation anyway (a cached epoch always wins).
+            cached = (
+                proxy.label_cache.peek(request.key, ct)
+                if proxy.label_cache is not None
+                else None
+            )
+            if cached is None:
+                label_sets = self._procpool.derive(request.key, ct)
         if self._needs_shuffle_lock:
             with self._shuffle_lock:
-                lbl_request, ops = proxy.prepare(request)
+                lbl_request, ops = proxy.prepare(request, label_sets)
         else:
-            lbl_request, ops = proxy.prepare(request)
-        return lbl_request, ops, epoch
+            lbl_request, ops = proxy.prepare(request, label_sets)
+        return lbl_request, ops, ct + 1
 
     def _prepare_key_group(
         self, indexed: "list[tuple[int, Request]]"

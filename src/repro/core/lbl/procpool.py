@@ -1,0 +1,219 @@
+"""Process-pool label derivation for LBL-ORTOA.
+
+Under a GIL the :class:`~repro.core.lbl.parallel.ParallelPrepareEngine`
+thread pool cannot overlap the PRF kernels of independent accesses — the
+``hashlib`` calls are too small to release the GIL for.  This module moves
+the label derivation itself into **worker processes**: each worker is handed
+the raw label/permute PRF keys once (at pool start, via the initializer) and
+rebuilds an identical :class:`~repro.crypto.labels.LabelCodec`; per task it
+derives both epochs' label sets for one access and ships them back as flat
+byte blobs.
+
+The blob wire format keeps serialization off the critical path.  A
+``num_groups × 2^y`` label set pickles as thousands of small ``bytes``
+objects; joined group-major into a single blob it is one allocation each
+way, and the parent re-slices it with two ``zip`` tricks.  Offsets travel as
+one ``bytes`` (each offset fits a byte for every supported ``y ≤ 8``).
+
+Security note: worker processes hold the label and permute PRF keys — the
+pool extends the proxy's trust boundary to its own child processes, nothing
+further.  Payload values, AEAD work, and access counters never leave the
+parent; workers see only ``(key, counter)`` pairs, which the untrusted
+server sees anyway (the key in PRF-encoded form).
+
+``fork`` is preferred where available (no re-import cost per worker);
+``spawn`` is the fallback and works identically because all worker state is
+rebuilt from the initializer arguments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+from repro.crypto.labels import LabelCodec
+from repro.crypto.prf import Prf
+from repro.errors import ConfigurationError
+
+#: ``(old_labels, old_offsets, new_labels, new_offsets)`` in the nested-list
+#: shape :meth:`~repro.core.lbl.proxy.LblProxy.prepare` accepts as
+#: ``label_sets``.
+LabelSets = "tuple[list[list[bytes]], list[int] | None, list[list[bytes]], list[int] | None]"
+
+# Per-worker-process codec, built once by _init_worker.
+_WORKER_CODEC: LabelCodec | None = None
+
+
+def _init_worker(
+    label_key: bytes,
+    label_out: int,
+    permute_key: bytes,
+    permute_out: int,
+    value_len: int,
+    group_bits: int,
+) -> None:
+    """Rebuild the label codec inside a worker process.
+
+    ``Prf`` objects carry live ``hashlib`` states and cannot be pickled, so
+    the pool ships the raw key material instead and reconstructs equivalent
+    PRFs here.  Runs once per worker, at pool start.
+    """
+    global _WORKER_CODEC
+    _WORKER_CODEC = LabelCodec(
+        Prf(label_key, out_bytes=label_out),
+        Prf(permute_key, out_bytes=permute_out),
+        value_len=value_len,
+        group_bits=group_bits,
+    )
+
+
+def _derive_flat(
+    task: "tuple[str, int, bool]",
+) -> "tuple[bytes, bytes | None, bytes, bytes | None]":
+    """Worker body: derive both epochs of one access as flat blobs."""
+    key, counter, point_and_permute = task
+    codec = _WORKER_CODEC
+    if codec is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker pool used before initialization")
+    old_blob = b"".join(
+        [label for row in codec.labels_for_groups(key, counter) for label in row]
+    )
+    new_blob = b"".join(
+        [label for row in codec.labels_for_groups(key, counter + 1) for label in row]
+    )
+    if point_and_permute:
+        old_offsets = bytes(codec.permute_offsets(key, counter))
+        new_offsets = bytes(codec.permute_offsets(key, counter + 1))
+    else:
+        old_offsets = new_offsets = None
+    return old_blob, old_offsets, new_blob, new_offsets
+
+
+class ProcessCryptoPool:
+    """Shared pool of worker processes deriving LBL label sets.
+
+    Args:
+        keychain: Key material; the label and permute PRF keys are exported
+            to the workers (see the module security note).
+        value_len: Fixed plaintext length in bytes (``config.value_len``).
+        group_bits: ``y`` (``config.group_bits``).
+        point_and_permute: Whether tasks must also derive permute offsets.
+        workers: Worker process count (>= 1).
+        start_method: ``multiprocessing`` start method; default prefers
+            ``fork`` when the platform offers it, else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        keychain,
+        *,
+        value_len: int,
+        group_bits: int,
+        point_and_permute: bool,
+        workers: int = 2,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("procpool needs at least 1 worker")
+        if group_bits > 8:
+            raise ConfigurationError(
+                "procpool offset encoding supports group_bits <= 8"
+            )
+        label_prf = keychain.label_prf
+        permute_prf = keychain.permute_prf
+        self.workers = workers
+        self.point_and_permute = point_and_permute
+        self._label_len = label_prf.out_bytes
+        self._table_size = 1 << group_bits
+        self._num_groups = (value_len * 8 + group_bits - 1) // group_bits
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        ctx = mp.get_context(start_method)
+        self.start_method = start_method
+        self._pool = ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(
+                label_prf.export_key(),
+                label_prf.out_bytes,
+                permute_prf.export_key(),
+                permute_prf.out_bytes,
+                value_len,
+                group_bits,
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+
+    def _unflatten(
+        self, flat: "tuple[bytes, bytes | None, bytes, bytes | None]"
+    ) -> LabelSets:
+        """Blob wire format back to the nested shape ``prepare`` consumes."""
+        old_blob, old_offsets, new_blob, new_offsets = flat
+        label_len = self._label_len
+        table_size = self._table_size
+        expected = self._num_groups * table_size * label_len
+        if len(old_blob) != expected or len(new_blob) != expected:
+            raise ConfigurationError("procpool worker returned malformed label blob")
+
+        def rows(blob: bytes) -> "list[list[bytes]]":
+            labels = iter(
+                [blob[i : i + label_len] for i in range(0, len(blob), label_len)]
+            )
+            return [list(row) for row in zip(*([labels] * table_size))]
+
+        return (
+            rows(old_blob),
+            list(old_offsets) if old_offsets is not None else None,
+            rows(new_blob),
+            list(new_offsets) if new_offsets is not None else None,
+        )
+
+    def derive(self, key: str, counter: int) -> LabelSets:
+        """Both epochs' label sets for access ``(key, counter)``, blocking."""
+        return self.derive_async(key, counter).get()
+
+    def derive_async(self, key: str, counter: int) -> "_PendingLabels":
+        """Submit a derivation; the returned handle's ``get()`` blocks."""
+        if self._pool is None:
+            raise ConfigurationError("procpool is closed")
+        task = (key, counter, self.point_and_permute)
+        return _PendingLabels(
+            self._pool.apply_async(_derive_flat, (task,)), self._unflatten
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessCryptoPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _PendingLabels:
+    """Handle for an in-flight derivation; ``get()`` re-slices the blobs."""
+
+    __slots__ = ("_result", "_unflatten")
+
+    def __init__(self, result, unflatten) -> None:
+        self._result = result
+        self._unflatten = unflatten
+
+    def get(self, timeout: float | None = None) -> LabelSets:
+        return self._unflatten(self._result.get(timeout))
+
+
+__all__ = ["ProcessCryptoPool"]

@@ -28,6 +28,24 @@ Two implementations of step 1–4 coexist:
   exactly as the seed implementation did.  It is kept as the benchmark
   baseline and as an equivalence oracle — both paths produce tables that
   open to byte-identical labels.
+
+On top of the batched path, ``crypto_backend`` selects how the batch crypto
+itself runs:
+
+* ``"stdlib"`` — the batched kernels exactly as above (pad-block schedules,
+  per-entry ``hashlib`` one-shots);
+* ``"vector"`` — the vector pipeline: ``finalize`` attaches keyed-state
+  schedules *and* prefetched nonce/keystream blocks to the cache (both
+  payload-independent, hence operation-type-oblivious), so a warm
+  ``prepare`` pays only the tag MAC per table entry, with XOR and
+  ciphertext assembly running as whole-batch numpy array ops and the
+  sha256 lane engine engaging past its calibrated threshold;
+* ``"auto"`` (default) — ``"vector"`` when the lane-engine module is
+  enabled (numpy importable and ``REPRO_NO_VECTOR`` unset), else
+  ``"stdlib"``.
+
+All backends produce tables that open to byte-identical labels; the choice
+only moves where the HMAC work happens.
 """
 
 from __future__ import annotations
@@ -38,13 +56,19 @@ from repro.core.base import OpCounts
 from repro.core.lbl.cache import DEFAULT_LABEL_CACHE_BYTES, LabelCache, LabelCacheEntry
 from repro.core.messages import LblAccessRequest, LblAccessResponse
 from repro.crypto import aead
+from repro.crypto import sha256_lanes as _lanes
 from repro.crypto.keys import KeyChain
 from repro.crypto.labels import LabelCodec, StoredLabel, value_to_groups
-from repro.errors import KeyNotFoundError, ProtocolError
+from repro.errors import ConfigurationError, KeyNotFoundError, ProtocolError
 from repro.obs import _state as _obs
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
 from repro.types import Request, StoreConfig
+
+try:  # numpy backs the vector pipeline's table assembly; optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None  # type: ignore[assignment]
 
 #: Width of the serialized point-and-permute slot index appended to each
 #: encrypted payload.  The paper uses 2 bits; a whole byte keeps framing
@@ -66,6 +90,9 @@ class LblProxy:
         rng: Table-shuffle randomness (base protocol only).
         batched: Use the batched crypto kernels (default).  ``False``
             selects the scalar per-label reference path.
+        crypto_backend: ``"auto"`` (default), ``"stdlib"``, or ``"vector"``
+            — see the module docstring.  Only meaningful with
+            ``batched=True``.
     """
 
     def __init__(
@@ -75,7 +102,14 @@ class LblProxy:
         rng: random.Random | None = None,
         *,
         batched: bool = True,
+        crypto_backend: str = "auto",
     ) -> None:
+        if crypto_backend not in ("auto", "stdlib", "vector"):
+            raise ConfigurationError(
+                f"unknown crypto backend {crypto_backend!r}; "
+                "expected 'auto', 'stdlib', or 'vector'"
+            )
+        self.crypto_backend = crypto_backend
         self.config = config
         self.keychain = keychain
         self.codec = LabelCodec(
@@ -184,10 +218,37 @@ class LblProxy:
     # Request preparation (Pcr, Figure 1 / §5.2 step 1)
     # ------------------------------------------------------------------ #
 
-    def prepare(self, request: Request) -> tuple[LblAccessRequest, OpCounts]:
-        """Build the one-round request and advance the access counter."""
+    def vector_active(self) -> bool:
+        """Whether this prepare/finalize cycle runs the vector pipeline.
+
+        Evaluated per call so ``REPRO_NO_VECTOR`` /
+        :func:`repro.crypto.sha256_lanes.lanes_disabled` take effect
+        dynamically under the ``"auto"`` backend.
+        """
+        backend = self.crypto_backend
+        if backend == "vector":
+            return True
+        return backend == "auto" and _lanes.enabled()
+
+    def prepare(
+        self,
+        request: Request,
+        label_sets: "tuple[list[list[bytes]], list[int] | None, list[list[bytes]], list[int] | None] | None" = None,
+    ) -> tuple[LblAccessRequest, OpCounts]:
+        """Build the one-round request and advance the access counter.
+
+        Args:
+            request: The plaintext access to serve.
+            label_sets: Optional pre-derived
+                ``(old_labels, old_offsets, new_labels, new_offsets)`` for
+                this key's current epoch pair — the
+                :class:`~repro.core.lbl.procpool.ProcessCryptoPool` hands
+                these in after deriving them in a worker process.  A cached
+                epoch still wins (the bytes are identical either way);
+                ignored by the scalar path.
+        """
         if self.batched:
-            return self._prepare_batched(request)
+            return self._prepare_batched(request, label_sets)
         return self._prepare_scalar(request)
 
     def _emit_prepare_span(
@@ -210,7 +271,11 @@ class LblProxy:
         REGISTRY.counter("lbl.proxy.labels_generated").inc(labels_generated)
         REGISTRY.counter("lbl.proxy.ciphertexts_built").inc(enc_count)
 
-    def _prepare_batched(self, request: Request) -> tuple[LblAccessRequest, OpCounts]:
+    def _prepare_batched(
+        self,
+        request: Request,
+        label_sets: "tuple[list[list[bytes]], list[int] | None, list[list[bytes]], list[int] | None] | None" = None,
+    ) -> tuple[LblAccessRequest, OpCounts]:
         """Kernel path: batch-derive labels, batch-encrypt the whole table."""
         span = TRACER.start_span("lbl.proxy.prepare") if _obs.enabled else None
         codec = self.codec
@@ -233,15 +298,29 @@ class LblProxy:
         prf_count = 0
         new_labels = None
         new_offsets = None
+        old_keyed = None
+        old_nonces = None
+        old_keystreams = None
         if cache_hit:
             old_labels = cached.labels
             old_offsets = cached.offsets
             old_schedules = cached.schedules
+            old_keyed = cached.keyed
+            old_nonces = cached.nonces
+            old_keystreams = cached.keystreams
             # ``finalize`` may have prefetched the new epoch too, in which
             # case prepare performs no label derivation at all.
             if cached.next_labels is not None:
                 new_labels = cached.next_labels
                 new_offsets = cached.next_offsets
+        elif label_sets is not None:
+            # Derived off-proxy by a ProcessCryptoPool worker; the bytes are
+            # identical to deriving here, so the PRF accounting is too.
+            old_labels, old_offsets, new_labels, new_offsets = label_sets
+            old_schedules = None
+            prf_count += 2 * num_groups * table_size + (
+                2 * num_groups if point_and_permute else 0
+            )
         else:
             old_labels = codec.labels_for_groups(key, ct)
             old_offsets = (
@@ -259,56 +338,101 @@ class LblProxy:
                 new_offsets = codec.permute_offsets(key, new_ct)
                 prf_count += num_groups
 
-        # Flatten the whole table build into one encrypt_many call: entry
-        # (index, value) encrypts payload(value) under old_labels[index][value].
-        flat_keys: list[bytes] = []
-        flat_payloads: list[bytes] = []
         is_read = request.op.is_read
-        for index in range(num_groups):
-            old_row = old_labels[index]
-            new_row = new_labels[index]
-            flat_keys += old_row
-            if point_and_permute:
-                next_offset = new_offsets[index]  # type: ignore[index]
-                if is_read:
-                    flat_payloads += [
-                        new_row[value] + _BYTE[value ^ next_offset]
-                        for value in range(table_size)
-                    ]
+        vector = old_keyed is not None and self.vector_active()
+        if (
+            vector
+            and _np is not None
+            and point_and_permute
+            and old_keystreams is not None
+            and cached is not None
+            and cached.next_labels_blob is not None
+            and new_labels is cached.next_labels
+        ):
+            # Fully warm vector prepare: payloads assemble as one numpy
+            # matrix viewed over the prefetched label blob (no per-entry
+            # bytes objects), encryption returns the ciphertext matrix, and
+            # the point-and-permute placement is a single gather.  Only the
+            # per-entry tag MAC inside encrypt_many remains serial.
+            tables, enc_count = self._build_tables_matrix(
+                new_labels_blob=cached.next_labels_blob,
+                new_offsets=new_offsets,  # type: ignore[arg-type]
+                old_offsets=old_offsets,  # type: ignore[arg-type]
+                old_keyed=old_keyed,
+                old_nonces=old_nonces,  # type: ignore[arg-type]
+                old_keystreams=old_keystreams,
+                is_read=is_read,
+                new_value=new_value,
+            )
+        else:
+            # Flatten the whole table build into one encrypt_many call: entry
+            # (index, value) encrypts payload(value) under
+            # old_labels[index][value].
+            flat_keys: list[bytes] = []
+            flat_payloads: list[bytes] = []
+            for index in range(num_groups):
+                old_row = old_labels[index]
+                new_row = new_labels[index]
+                flat_keys += old_row
+                if point_and_permute:
+                    next_offset = new_offsets[index]  # type: ignore[index]
+                    if is_read:
+                        flat_payloads += [
+                            new_row[value] + _BYTE[value ^ next_offset]
+                            for value in range(table_size)
+                        ]
+                    else:
+                        target = new_value[index]  # type: ignore[index]
+                        payload = new_row[target] + _BYTE[target ^ next_offset]
+                        flat_payloads += [payload] * table_size
                 else:
-                    target = new_value[index]  # type: ignore[index]
-                    payload = new_row[target] + _BYTE[target ^ next_offset]
-                    flat_payloads += [payload] * table_size
+                    if is_read:
+                        flat_payloads += new_row
+                    else:
+                        flat_payloads += [new_row[new_value[index]]] * table_size  # type: ignore[index]
+
+            if vector:
+                # Vector pipeline: keyed states (and, when finalize ran in
+                # time, prefetched keystreams) leave only the tag MAC per
+                # entry here.  The cache stores keyed states flat already.
+                ciphertexts = aead.encrypt_many(
+                    flat_keys,
+                    flat_payloads,
+                    nonces=old_nonces if old_keystreams is not None else None,
+                    keyed=old_keyed,
+                    keystreams=old_keystreams,
+                )
             else:
-                if is_read:
-                    flat_payloads += new_row
+                flat_schedules = None
+                if old_schedules is not None:
+                    flat_schedules = [pair for row in old_schedules for pair in row]
+                ciphertexts = aead.encrypt_many(
+                    flat_keys, flat_payloads, schedules=flat_schedules
+                )
+            enc_count = len(ciphertexts)
+
+            tables = []
+            for index in range(num_groups):
+                chunk = ciphertexts[index * table_size : (index + 1) * table_size]
+                if point_and_permute:
+                    offset = old_offsets[index]  # type: ignore[index]
+                    entries: list[bytes] = [b""] * table_size
+                    for value in range(table_size):
+                        entries[value ^ offset] = chunk[value]
                 else:
-                    flat_payloads += [new_row[new_value[index]]] * table_size  # type: ignore[index]
-
-        flat_schedules = None
-        if old_schedules is not None:
-            flat_schedules = [pair for row in old_schedules for pair in row]
-        ciphertexts = aead.encrypt_many(
-            flat_keys, flat_payloads, schedules=flat_schedules
-        )
-        enc_count = len(ciphertexts)
-
-        tables: list[tuple[bytes, ...]] = []
-        for index in range(num_groups):
-            chunk = ciphertexts[index * table_size : (index + 1) * table_size]
-            if point_and_permute:
-                offset = old_offsets[index]  # type: ignore[index]
-                entries: list[bytes] = [b""] * table_size
-                for value in range(table_size):
-                    entries[value ^ offset] = chunk[value]
-            else:
-                entries = chunk
-                self._rng.shuffle(entries)
-            tables.append(tuple(entries))
+                    entries = chunk
+                    self._rng.shuffle(entries)
+                tables.append(tuple(entries))
 
         if self.label_cache is not None:
             self.label_cache.put(
-                key, new_ct, LabelCacheEntry(labels=new_labels, offsets=new_offsets)
+                key,
+                new_ct,
+                LabelCacheEntry(
+                    labels=new_labels,
+                    offsets=new_offsets,
+                    labels_blob=cached.next_labels_blob if cache_hit else None,
+                ),
             )
         self._counters[key] = new_ct
         ops = OpCounts(prf=prf_count + 1, aead_enc=enc_count)  # +1: key encoding
@@ -317,6 +441,82 @@ class LblProxy:
             LblAccessRequest(self.keychain.encode_key(key), tuple(tables)),
             ops,
         )
+
+    def _build_tables_matrix(
+        self,
+        *,
+        new_labels_blob: bytes,
+        new_offsets: list[int],
+        old_offsets: list[int],
+        old_keyed: list,
+        old_nonces: list[bytes],
+        old_keystreams: list[bytes],
+        is_read: bool,
+        new_value: "tuple[int, ...] | None",
+    ) -> tuple[list[tuple[bytes, ...]], int]:
+        """Whole-table build as numpy array ops (warm vector prepare).
+
+        Byte-identical to the list path: the payload of entry ``(g, v)`` is
+        ``new_label[g][v or target] || (v_or_target ^ new_offset[g])``, the
+        ciphertext lands at slot ``v ^ old_offset[g]``.  The payload matrix
+        is viewed straight over the prefetched label blob, and the
+        point-and-permute placement is one gather over the ciphertext
+        matrix instead of a per-entry slot loop.
+        """
+        codec = self.codec
+        num_groups = codec.num_groups
+        table_size = codec.table_size
+        label_len = codec.label_len
+        n = num_groups * table_size
+        labels_mat = _np.frombuffer(new_labels_blob, dtype=_np.uint8).reshape(
+            n, label_len
+        )
+        offs = _np.asarray(new_offsets, dtype=_np.uint8)
+        payloads = _np.empty((n, label_len + DECRYPT_INDEX_BYTES), dtype=_np.uint8)
+        if is_read:
+            payloads[:, :label_len] = labels_mat
+            payloads[:, label_len] = _np.tile(
+                _np.arange(table_size, dtype=_np.uint8), num_groups
+            ) ^ _np.repeat(offs, table_size)
+        else:
+            targets = _np.asarray(new_value, dtype=_np.int64)
+            rows = labels_mat.reshape(num_groups, table_size, label_len)[
+                _np.arange(num_groups), targets
+            ]
+            payloads[:, :label_len] = _np.repeat(rows, table_size, axis=0)
+            payloads[:, label_len] = _np.repeat(
+                targets.astype(_np.uint8) ^ offs, table_size
+            )
+        cipher = aead.encrypt_many(
+            None,
+            payloads,
+            nonces=old_nonces,
+            keyed=old_keyed,
+            keystreams=old_keystreams,
+            as_matrix=True,
+        )
+        # Output slot s of group g holds the entry built for value s ^ off_g
+        # (== the entry at flat index g*T + (s ^ off_g)); one fancy-index
+        # gather applies every group's permutation at once.
+        slot_values = _np.tile(_np.arange(table_size, dtype=_np.int64), num_groups)
+        sources = (
+            _np.repeat(
+                _np.arange(num_groups, dtype=_np.int64) * table_size, table_size
+            )
+            + (slot_values ^ _np.repeat(_np.asarray(old_offsets), table_size))
+        )
+        flat = cipher[sources].tobytes()
+        entry_len = cipher.shape[1]
+        entries = [
+            flat[start : start + entry_len]
+            for start in range(0, n * entry_len, entry_len)
+        ]
+        # Group the flat entry list into per-group tuples at C speed: zip
+        # over table_size references to one iterator yields consecutive
+        # table_size-tuples.
+        it = iter(entries)
+        tables = list(zip(*([it] * table_size)))
+        return tables, n
 
     def _prepare_scalar(self, request: Request) -> tuple[LblAccessRequest, OpCounts]:
         """Seed reference path: one PRF/AEAD call per label and table entry.
@@ -421,8 +621,17 @@ class LblProxy:
         )
         if cached is not None:
             codec = self.codec
-            value = codec.decode_from_candidates(cached.labels, labels)
-            self.label_cache.attach_schedules(key, new_ct)
+            vector = self.vector_active()
+            value = codec.decode_from_candidates(
+                cached.labels, labels, blob=cached.labels_blob
+            )
+            if vector:
+                # Keyed states + payload-independent keystream blocks: both
+                # are functions of (label, nonce) only, so deriving them now
+                # reveals nothing about the next operation's type.
+                self.label_cache.attach_keystreams(key, new_ct)
+            else:
+                self.label_cache.attach_schedules(key, new_ct)
             prefetch_prf = 0
             if cached.next_labels is None:
                 # Label prefetch: epoch ``new_ct + 1`` is a deterministic
@@ -439,7 +648,22 @@ class LblProxy:
                 prefetch_prf = codec.num_groups * codec.table_size + (
                     codec.num_groups if point_and_permute else 0
                 )
-                self.label_cache.attach_prefetch(key, new_ct, next_labels, next_offsets)
+                self.label_cache.attach_prefetch(
+                    key,
+                    new_ct,
+                    next_labels,
+                    next_offsets,
+                    # Joined once here so the next warm prepare (and the
+                    # next finalize's decode) can view the labels as one
+                    # numpy matrix instead of 2^y * num_groups objects.
+                    next_labels_blob=(
+                        b"".join(
+                            [label for row in next_labels for label in row]
+                        )
+                        if vector
+                        else None
+                    ),
+                )
             ops = OpCounts(prf=prefetch_prf)
         else:
             value = self.codec.decode_labels(key, labels, new_ct)

@@ -78,6 +78,13 @@ class ShardedLblDeployment(OrtoaProtocol):
         prepare_workers: Size of the :meth:`access_batch` table-build pool
             (:class:`~repro.core.lbl.parallel.ParallelPrepareEngine`);
             ``0`` prepares serially on the calling thread.
+        prepare_backend: ``"thread"`` (default) or ``"procpool"`` — the
+            latter derives labels in a shared
+            :class:`~repro.core.lbl.procpool.ProcessCryptoPool` of worker
+            processes, overlapping PRF work even under a GIL.
+        crypto_backend: Proxy batch-crypto backend — ``"auto"`` (default),
+            ``"stdlib"``, or ``"vector"``
+            (see :class:`~repro.core.lbl.proxy.LblProxy`).
     """
 
     name = "lbl-ortoa-sharded"
@@ -93,6 +100,8 @@ class ShardedLblDeployment(OrtoaProtocol):
         pool_size: int = 1,
         timeout: float = 30.0,
         prepare_workers: int = 0,
+        prepare_backend: str = "thread",
+        crypto_backend: str = "auto",
     ) -> None:
         super().__init__(config)
         if not addresses:
@@ -100,9 +109,11 @@ class ShardedLblDeployment(OrtoaProtocol):
         if pipeline_depth < 1:
             raise ConfigurationError("pipeline_depth must be >= 1")
         self.keychain = keychain or KeyChain(label_bits=config.label_bits)
-        self.proxy = LblProxy(config, self.keychain, rng=rng)
+        self.proxy = LblProxy(
+            config, self.keychain, rng=rng, crypto_backend=crypto_backend
+        )
         self.prepare_engine = ParallelPrepareEngine(
-            self.proxy, workers=prepare_workers
+            self.proxy, workers=prepare_workers, backend=prepare_backend
         )
         self.router = ShardRouter(len(addresses))
         self.clients = [

@@ -18,6 +18,13 @@ all of them, pinned by golden-vector tests):
   evaluates a whole batch of suffix tuples in one pass.
 * :class:`PrfContext` — a pre-encoded prefix (e.g. ``("label", key, index)``)
   for repeated tail-only evaluations across calls.
+
+The two batch tiers additionally consult the numpy lane engine
+(:mod:`repro.crypto.sha256_lanes`): when a batch crosses the calibrated
+threshold (:func:`~repro.crypto.sha256_lanes.use_lanes`), the whole batch is
+hashed in parallel uint32 lanes instead of one ``hashlib`` call per message.
+Outputs stay byte-identical either way; ``REPRO_NO_VECTOR=1`` pins the
+stdlib path.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from __future__ import annotations
 import hashlib
 from typing import Iterable, Sequence
 
+from repro.crypto import sha256_lanes as _lanes
 from repro.errors import ConfigurationError
 
 _DIGEST_BYTES = hashlib.sha256().digest_size
@@ -116,7 +124,7 @@ class Prf:
         out_bytes: Default output length of :meth:`evaluate`.
     """
 
-    __slots__ = ("_key", "out_bytes", "_inner0", "_outer0")
+    __slots__ = ("_key", "out_bytes", "_inner0", "_outer0", "_lane_state")
 
     def __init__(self, key: bytes, out_bytes: int = 16) -> None:
         if len(key) < 16:
@@ -129,6 +137,15 @@ class Prf:
         # object setup) is identical for every evaluation; pay it once here
         # and ``.copy()`` the keyed states per call.
         self._inner0, self._outer0 = hmac_sha256_pair(key)
+        # Lane-engine twin of the keyed states, materialized on first use.
+        self._lane_state = None
+
+    def _lane_pair(self):
+        """``(inner_row, outer_row)`` uint32 key states for the lane engine."""
+        state = self._lane_state
+        if state is None:
+            state = self._lane_state = _lanes.key_state(self._key)
+        return state[0], state[1]
 
     def _raw(self, message: bytes, n: int) -> bytes:
         """``n`` output bytes for an already-encoded ``message``."""
@@ -193,13 +210,19 @@ class Prf:
         out: list[bytes] = []
         append = out.append
         if n <= digest_len:
-            # Single-block fast path: two state copies + updates per output.
             head = _ZERO_COUNTER + prefix
+            messages = [
+                head + b"".join([encode(c) for c in suffix]) for suffix in suffixes
+            ]
+            if _lanes.use_lanes(len(messages)):
+                inner_row, outer_row = self._lane_pair()
+                return _lanes.hmac_many_with_state(inner_row, outer_row, messages, n)
+            # Single-block fast path: two state copies + updates per output.
             inner0 = self._inner0
             outer0 = self._outer0
-            for suffix in suffixes:
+            for message in messages:
                 inner = inner0.copy()
-                inner.update(head + b"".join([encode(c) for c in suffix]))
+                inner.update(message)
                 outer = outer0.copy()
                 outer.update(inner.digest())
                 append(outer.digest()[:n])
@@ -221,6 +244,16 @@ class Prf:
     def derive_subkey(self, purpose: str) -> bytes:
         """Derive an independent 32-byte key for a named purpose."""
         return self.evaluate("subkey", purpose, out_bytes=32)
+
+    def export_key(self) -> bytes:
+        """The raw PRF key.
+
+        ``Prf`` objects hold live ``hashlib`` states and cannot be pickled;
+        worker processes (:class:`~repro.core.lbl.procpool.ProcessCryptoPool`)
+        reconstruct an identical PRF from these bytes instead.  Handle with
+        the same care as the keychain itself.
+        """
+        return self._key
 
 
 class PrfContext:
@@ -291,9 +324,16 @@ class PrfContext:
         append = out.append
         if n <= _DIGEST_BYTES:
             prf = self._prf
+            head = self._head
+            if not isinstance(tails, (list, tuple)):
+                tails = list(tails)
+            if _lanes.use_lanes(len(tails)):
+                inner_row, outer_row = prf._lane_pair()
+                return _lanes.hmac_many_with_state(
+                    inner_row, outer_row, [head + tail for tail in tails], n
+                )
             inner0 = prf._inner0
             outer0 = prf._outer0
-            head = self._head
             for tail in tails:
                 inner = inner0.copy()
                 inner.update(head + tail)

@@ -403,6 +403,7 @@ def lbl_kernels(
     num_keys: int = 8,
     num_requests: int = 48,
     value_len: int = 160,
+    crypto_backend: str = "auto",
 ) -> list[Row]:
     """Batched-kernel throughput: scalar vs batched vs batched+cache.
 
@@ -422,11 +423,17 @@ def lbl_kernels(
         num_keys: Distinct keys in the workload.
         num_requests: Accesses per measured configuration.
         value_len: Object size in bytes (paper default 160).
+        crypto_backend: ``"auto"`` (default), ``"stdlib"``, ``"vector"``,
+            ``"scalar"`` (forces the per-label reference path on the
+            in-process rows), or ``"procpool"`` (the sharded-batch row
+            derives labels in a process pool).  See
+            ``repro run lbl --crypto-backend``.
     """
     import random
     import time
 
     from repro.core.lbl import LblOrtoa
+    from repro.errors import ConfigurationError
     from repro.types import Request, StoreConfig
 
     def _measure(store, requests) -> float:
@@ -449,6 +456,20 @@ def lbl_kernels(
                 requests.append(Request.write(key, config.pad(b"updated")))
         return records, requests
 
+    known_backends = ("auto", "stdlib", "vector", "scalar", "procpool")
+    if crypto_backend not in known_backends:
+        raise ConfigurationError(
+            f"unknown crypto backend {crypto_backend!r}; expected one of "
+            f"{known_backends}"
+        )
+    # "scalar" forces the per-label reference path; "procpool" only changes
+    # the sharded-batch row (label derivation is a prepare-engine concern).
+    force_scalar = crypto_backend == "scalar"
+    proxy_backend = (
+        "auto" if crypto_backend in ("scalar", "procpool") else crypto_backend
+    )
+    prepare_backend = "procpool" if crypto_backend == "procpool" else "thread"
+
     base = StoreConfig(value_len=value_len, group_bits=2, point_and_permute=True)
     cached = replace(base, label_cache_entries=label_cache)
     rows: list[Row] = []
@@ -461,7 +482,12 @@ def lbl_kernels(
         if warm and label_cache is None:
             continue
         records, requests = _workload(config)
-        store = LblOrtoa(config, rng=random.Random(2), batched=batched)
+        store = LblOrtoa(
+            config,
+            rng=random.Random(2),
+            batched=batched and not force_scalar,
+            crypto_backend=proxy_backend,
+        )
         store.initialize(records)
         if warm:
             for request in requests:  # populate + prefetch every key's epoch
@@ -490,6 +516,8 @@ def lbl_kernels(
             cluster.addresses,
             rng=random.Random(2),
             prepare_workers=workers,
+            prepare_backend=prepare_backend,
+            crypto_backend=proxy_backend,
         )
         try:
             deployment.initialize(records)

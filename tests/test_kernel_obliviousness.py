@@ -176,3 +176,100 @@ def test_parallel_prepare_observations_match_serial():
             )
         )
     assert features[0] == features[1]
+
+
+def test_request_shape_identical_across_crypto_backends():
+    """GET and PUT frames are byte-identically shaped under every backend.
+
+    The crypto backend (scalar reference path, stdlib batched kernels, the
+    numpy lane pipeline) is a proxy-side implementation detail; if any
+    backend changed the wire request's size or table geometry — for either
+    op type — the deployment choice itself would become server-visible.
+    """
+    keychain = KeyChain(label_bits=128)
+    config = _config(label_cache_entries=-1)
+    shapes = []
+    for batched, backend in (
+        (False, "auto"),
+        (True, "stdlib"),
+        (True, "vector"),
+    ):
+        store = LblOrtoa(
+            config,
+            keychain=keychain,
+            rng=random.Random(3),
+            batched=batched,
+            crypto_backend=backend,
+        )
+        store.initialize({"k": bytes(16)})
+        store.access(Request.read("k"))  # warm the cache where it exists
+        for op_request in (Request.read("k"), Request.write("k", bytes(16))):
+            request, _ = store.proxy.prepare(op_request)
+            wire = request.to_bytes()
+            shapes.append(
+                (
+                    len(wire),
+                    len(request.tables),
+                    frozenset(len(table) for table in request.tables),
+                    frozenset(
+                        len(entry) for table in request.tables for entry in table
+                    ),
+                )
+            )
+    assert len(set(shapes)) == 1, shapes
+
+
+def test_audit_passes_with_vector_backend():
+    """The lane pipeline must leave server observations untouched."""
+    protocol = LblOrtoa(
+        _config(label_cache_entries=-1),
+        rng=random.Random(6),
+        batched=True,
+        crypto_backend="vector",
+    )
+    report = run_audit(protocol, num_keys=16, seed=6)
+    assert report.passed, report.summary()
+    assert report.failures == []
+
+
+def test_procpool_observations_match_thread_backend():
+    """Server-visible features are identical whichever pool derived labels.
+
+    Runs the same workload through the thread backend and the
+    process-pool backend (labels derived in worker processes) and audits
+    both; the observation feature sets must match exactly and both audits
+    must pass.
+    """
+    features = []
+    keychain = KeyChain(label_bits=128)
+    for backend in ("thread", "procpool"):
+        obs.reset()
+        config = _config(label_cache_entries=None)
+        store = LblOrtoa(
+            config, keychain=keychain, rng=random.Random(4), batched=True
+        )
+        store.initialize({f"k{i}": bytes(16) for i in range(4)})
+        requests = [
+            Request.read(f"k{i % 4}") if i % 2 else Request.write(
+                f"k{i % 4}", bytes(16)
+            )
+            for i in range(8)
+        ]
+        operations = [request.op for request in requests]
+        obs.enable()
+        TRACER.reset()
+        with ParallelPrepareEngine(
+            store.proxy, workers=2, backend=backend
+        ) as engine:
+            built = engine.prepare_batch(requests)
+        for request, (lbl_request, _, epoch) in zip(requests, built):
+            response, _ = store.server.process(lbl_request)
+            store.proxy.finalize(request.key, response, counter=epoch)
+        spans = TRACER.spans(SERVER_SPAN)
+        observed = observations_from_spans(spans, operations)
+        report = audit_observations(observed)
+        assert report.passed, report.summary()
+        features.append(
+            sorted(tuple(sorted(o.features.items())) for o in observed)
+        )
+    assert features[0] == features[1]

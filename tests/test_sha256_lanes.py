@@ -1,0 +1,228 @@
+"""The numpy lane engine must be byte-identical to ``hashlib``/``hmac``.
+
+Hypothesis drives arbitrary message lengths (empty, sub-block, exact-block,
+multi-block), batch sizes (0, 1, non-powers-of-two), and key lengths
+(including > one block, which HMAC pre-hashes); every digest is compared
+against the stdlib reference.  Routing (calibration threshold, the
+``REPRO_VECTOR_THRESHOLD`` override, ``lanes_disabled``) is covered
+separately, and the batch entry points built on the engine
+(``Prf.evaluate_many``, ``aead.encrypt_many``) are cross-checked with the
+lanes forced on vs pinned off.
+
+CI runs this module twice more: once under ``REPRO_NO_VECTOR=1`` (the
+stdlib-fallback leg — the engine math is still checked directly, but the
+routing tests assert it stays out of every batch entry point) and once
+under ``REPRO_VECTOR_THRESHOLD=1`` (lane paths forced on regardless of
+host calibration).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as hmac_mod
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import aead
+from repro.crypto import sha256_lanes as lanes
+from repro.crypto.prf import Prf
+
+pytestmark = pytest.mark.skipif(
+    not lanes.HAVE_NUMPY, reason="lane engine requires numpy"
+)
+
+# Message lengths crossing every padding regime: empty, short, one byte
+# under/at/over the 55-byte single-block padding limit, exact blocks, and
+# multi-block.
+_EDGE_LENGTHS = (0, 1, 54, 55, 56, 63, 64, 65, 119, 120, 128, 200)
+
+
+@pytest.fixture
+def forced_threshold(monkeypatch):
+    """Route every batch (>= 1 lane) through the engine, restoring after."""
+    monkeypatch.setattr(lanes, "_threshold", 1)
+    monkeypatch.setattr(lanes, "_disabled", False)
+
+
+# --------------------------------------------------------------------- #
+# Golden pins (FIPS 180-4 / RFC 4231 reference vectors)
+# --------------------------------------------------------------------- #
+
+
+def test_sha256_golden_vectors():
+    digests = lanes.sha256_many([b"abc", b"", b"a" * 1_000])
+    assert digests[0].hex() == (
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    )
+    assert digests[1].hex() == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+    assert digests[2] == hashlib.sha256(b"a" * 1_000).digest()
+
+
+def test_hmac_golden_vector_rfc4231_case1():
+    [digest] = lanes.hmac_many(b"\x0b" * 20, [b"Hi There"])
+    assert digest.hex() == (
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Equivalence with the stdlib, property-based
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.binary(min_size=0, max_size=300), min_size=0, max_size=17))
+def test_sha256_many_matches_hashlib(messages):
+    assert lanes.sha256_many(messages) == [
+        hashlib.sha256(m).digest() for m in messages
+    ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    key=st.binary(min_size=1, max_size=100),
+    messages=st.lists(st.binary(min_size=0, max_size=300), min_size=0, max_size=17),
+    out_bytes=st.integers(min_value=1, max_value=32),
+)
+def test_hmac_many_matches_stdlib(key, messages, out_bytes):
+    expected = [
+        hmac_mod.new(key, m, hashlib.sha256).digest()[:out_bytes] for m in messages
+    ]
+    assert lanes.hmac_many(key, messages, out_bytes) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=9),
+    length=st.integers(min_value=0, max_value=150),
+)
+def test_hmac_with_distinct_key_states_matches_stdlib(keys, length):
+    messages = [bytes([i % 256]) * length for i in range(len(keys))]
+    inner, outer = lanes.key_states_many(keys)
+    expected = [
+        hmac_mod.new(key, m, hashlib.sha256).digest()
+        for key, m in zip(keys, messages)
+    ]
+    assert lanes.hmac_many_with_states(inner, outer, messages) == expected
+
+
+def test_edge_lengths_single_and_batch():
+    messages = [b"\xa5" * length for length in _EDGE_LENGTHS]
+    assert lanes.sha256_many(messages) == [
+        hashlib.sha256(m).digest() for m in messages
+    ]
+    # One lane at a time hits the same padding code with N=1.
+    for message in messages:
+        [digest] = lanes.sha256_many([message])
+        assert digest == hashlib.sha256(message).digest()
+
+
+def test_non_power_of_two_batch():
+    messages = [i.to_bytes(2, "big") * 10 for i in range(999)]
+    assert lanes.sha256_many(messages) == [
+        hashlib.sha256(m).digest() for m in messages
+    ]
+
+
+def test_long_key_is_prehashed_like_hmac():
+    key = b"k" * 200  # > one block: HMAC substitutes sha256(key)
+    [digest] = lanes.hmac_many(key, [b"payload"])
+    assert digest == hmac_mod.new(key, b"payload", hashlib.sha256).digest()
+
+
+def test_with_state_matches_shared_key_form():
+    key, messages = b"shared", [b"m1", b"m2" * 40, b""]
+    states = lanes.key_state(key)
+    assert lanes.hmac_many_with_state(states[0], states[1], messages) == (
+        lanes.hmac_many(key, messages)
+    )
+
+
+def test_with_states_rejects_ragged_messages():
+    inner, outer = lanes.key_states_many([b"k1", b"k2"])
+    with pytest.raises(ValueError):
+        lanes.hmac_many_with_states(inner, outer, [b"ab", b"abc"])
+
+
+def test_out_bytes_bounds():
+    with pytest.raises(ValueError):
+        lanes.hmac_many(b"k", [b"m"], out_bytes=0)
+    with pytest.raises(ValueError):
+        lanes.hmac_many(b"k", [b"m"], out_bytes=33)
+
+
+def test_empty_batches():
+    assert lanes.sha256_many([]) == []
+    assert lanes.hmac_many(b"k", []) == []
+    inner, outer = lanes.key_states_many([b"k"])
+    assert lanes.hmac_many_with_states(inner, outer, []) == []
+
+
+# --------------------------------------------------------------------- #
+# Routing: calibration, env override, hard-disable
+# --------------------------------------------------------------------- #
+
+
+def test_use_lanes_respects_disable():
+    with lanes.lanes_disabled():
+        assert not lanes.enabled()
+        assert not lanes.use_lanes(1_000_000)
+
+
+def test_lanes_disabled_restores_previous_state():
+    before = lanes.enabled()
+    with lanes.lanes_disabled():
+        assert not lanes.enabled()
+    assert lanes.enabled() == before
+
+
+def test_env_threshold_overrides_calibration(monkeypatch):
+    monkeypatch.setattr(lanes, "_threshold", None)
+    monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "7")
+    assert lanes.calibrate(force=True) == 7
+    monkeypatch.setattr(lanes, "_disabled", False)
+    assert lanes.use_lanes(7)
+    assert not lanes.use_lanes(6)
+    # Restore the host's own verdict for later tests.
+    monkeypatch.delenv("REPRO_VECTOR_THRESHOLD")
+    monkeypatch.setattr(lanes, "_threshold", None)
+
+
+def test_zero_threshold_never_routes(monkeypatch):
+    monkeypatch.setattr(lanes, "_threshold", 0)
+    assert not lanes.use_lanes(1_000_000)
+
+
+def test_use_lanes_rejects_empty_batch(forced_threshold):
+    assert not lanes.use_lanes(0)
+    assert lanes.use_lanes(1)
+
+
+# --------------------------------------------------------------------- #
+# The batch entry points built on the engine
+# --------------------------------------------------------------------- #
+
+
+def test_prf_evaluate_many_identical_forced_vs_disabled(forced_threshold):
+    prf = Prf(b"\x11" * 32, out_bytes=16)
+    suffixes = [(i, 0, 7) for i in range(300)]
+    routed = prf.evaluate_many(("label",), suffixes)
+    with lanes.lanes_disabled():
+        assert prf.evaluate_many(("label",), suffixes) == routed
+    assert routed[5] == prf.evaluate("label", 5, 0, 7)
+
+
+def test_aead_encrypt_many_identical_forced_vs_disabled(forced_threshold):
+    keys = [bytes([i]) * 16 for i in range(1, 200)]
+    payloads = [bytes([i]) * 17 for i in range(1, 200)]
+    nonces = [bytes([i]) * 12 for i in range(1, 200)]
+    routed = aead.encrypt_many(keys, payloads, nonces=nonces)
+    with lanes.lanes_disabled():
+        assert aead.encrypt_many(keys, payloads, nonces=nonces) == routed
+    for key, nonce, payload, cipher in zip(keys, nonces, payloads, routed):
+        assert aead.decrypt(key, cipher) == payload
+        assert cipher == aead.encrypt(key, payload, nonce=nonce)
