@@ -1,7 +1,12 @@
 """§6.3.3: the dollar-cost estimate of operating LBL-ORTOA on Google Cloud.
 
 Paper headline: ~$0.000023 per request for 1M objects of 160 B with 128-bit
-labels — "a reasonable price" for halving round trips.
+labels — "a reasonable price" for halving round trips.  Our estimate now
+derives bytes from the ledger-validated cost model — 138,267 wire bytes per
+access (125,466 request + 12,801 response) at the paper's y=2 operating
+point — which prices out to ~$0.000017 per request: the same order of
+magnitude, slightly cheaper because the model counts real framing instead
+of the paper's rounded bit formulas.
 """
 
 from conftest import save_table
@@ -18,12 +23,15 @@ def test_dollar_cost(benchmark):
     )
     by = {r["item"]: r["value"] for r in rows}
 
-    # Same order of magnitude as the paper's $0.000023 per request.
+    # Same order of magnitude as the paper's $0.000023 per request; the
+    # model's exact framing gives ~$0.000017 (138,267 B/access x $0.12/GB
+    # network + invocations + CPU, over 1M accesses).
     assert 1e-6 < by["usd_per_request"] < 1e-4
 
-    # Storage for 1M optimized objects is single-digit GB...
+    # Storage for 1M optimized objects: 16 B encoded key + 640 x 17 B
+    # point-and-permute label groups = 10,896 B/object, about 10.9 GB...
     assert 5 < by["storage_gb"] < 15
-    # ...costing well under a dollar a month at $0.02/GB.
+    # ...costing ~$0.22/month at $0.02/GB-month, well under a dollar.
     assert by["storage_usd_per_month"] < 1.0
 
     # Bandwidth dominates compute, as in the paper's breakdown.

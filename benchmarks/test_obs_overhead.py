@@ -32,10 +32,12 @@ from repro.types import Request, StoreConfig
 POINT = {"value_len": 160, "group_bits": 2, "point_and_permute": True}
 
 #: Guards a single access can cross (client submit, server dispatch,
-#: sharded wrapper, counters, gauges, histograms).  A hand count of the
-#: hot path finds ~12; 32 leaves headroom for future sites so the gate
-#: fails on a genuinely expensive guard, not on adding one more.
-GUARDS_PER_ACCESS = 32
+#: sharded wrapper, counters, gauges, histograms, and the resource
+#: ledger's wire/op hooks in the PRF, AEAD, cache, and transport layers).
+#: A hand count of the hot path finds ~12 telemetry sites plus ~10 ledger
+#: sites; 48 leaves headroom for future sites so the gate fails on a
+#: genuinely expensive guard, not on adding one more.
+GUARDS_PER_ACCESS = 48
 
 #: Disabled instrumentation must cost less than this fraction of an access.
 MAX_DISABLED_OVERHEAD = 0.03

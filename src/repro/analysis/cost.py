@@ -5,12 +5,19 @@ GB-month, network egress per GB, function invocations per million, and CPU
 time.  This module recomputes the estimate from first principles so every
 assumption is explicit and sweepable (the paper's headline: ~$0.000023 per
 request for 1M objects of 160 B with 128-bit labels).
+
+Bytes per access and bytes per stored object are no longer hand-derived
+bit formulas: they come from :class:`repro.analysis.costmodel.LblCostModel`,
+whose closed forms are asserted equal to the wire ledger by tier-1 tests —
+so the dollar figure inherits byte-exactness from the implementation
+instead of drifting from it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.costmodel import LblCostModel
 from repro.errors import ConfigurationError
 
 
@@ -45,33 +52,39 @@ def estimate_lbl_cost(
     num_objects: int = 1_000_000,
     value_bits: int = 1280,
     label_bits: int = 128,
-    ciphertext_bits: int = 128,
     group_bits: int = 2,
+    point_and_permute: bool = True,
     compute_ms_per_access: float = 2.0,
     prices: CloudPrices | None = None,
 ) -> LblCostEstimate:
     """Estimate LBL-ORTOA's operating cost.
 
     Defaults are the paper's configuration: the §10-optimized protocol
-    (``y = 2``), 128-bit labels and ciphertexts, 160 B values, 1M objects,
-    and 2 ms of label encryption/decryption CPU per access.
+    (``y = 2`` with point-and-permute), 128-bit labels, 160 B values, 1M
+    objects, and 2 ms of label encryption/decryption CPU per access.
 
-    Storage (bits): ``r·N`` for encoded keys plus ``r·(t/y)·N`` for labels
-    (§5.3.1 adjusted by the §10.1 space optimization).
-    Communication (bits per access): ``2^y · E_len · (t/y)`` (§10.1).
+    Storage and communication come from the ledger-validated cost model:
+    per object the server holds the encoded key plus ``ceil(t/y)`` labels
+    (§5.3.1 with §10.1's grouping); per access the wire carries
+    ``2^y · ceil(t/y)`` AEAD ciphertexts out and one opened label per group
+    back — including real framing, nonces, and tags, exactly as measured.
     """
     if num_objects < 1 or value_bits < 1:
         raise ConfigurationError("num_objects and value_bits must be positive")
+    if value_bits % 8 != 0:
+        raise ConfigurationError("value_bits must be a multiple of 8")
     if group_bits < 1:
         raise ConfigurationError("group_bits must be >= 1")
     prices = prices or CloudPrices()
 
-    num_groups = (value_bits + group_bits - 1) // group_bits
-    bits_per_object = label_bits + label_bits * num_groups  # key + labels
-    storage_gb = bits_per_object * num_objects / 8 / 1e9
-
-    bits_per_access = (1 << group_bits) * ciphertext_bits * num_groups
-    network_gb = bits_per_access * 1_000_000 / 8 / 1e9
+    model = LblCostModel(
+        value_len=value_bits // 8,
+        group_bits=group_bits,
+        label_bits=label_bits,
+        point_and_permute=point_and_permute,
+    )
+    storage_gb = model.storage_bytes_per_object * num_objects / 1e9
+    network_gb = model.bytes_per_access * 1_000_000 / 1e9
 
     compute_cost = (
         1_000_000 / 1_000_000 * prices.invocations_per_million

@@ -1,0 +1,571 @@
+"""Closed-form resource model for LBL-ORTOA accesses (paper §6.3.3).
+
+The ledger (:mod:`repro.obs.ledger`) *measures* what an access costs — bytes
+on the wire, PRF calls, SHA-256 compressions, AEAD operations.  This module
+*predicts* the same quantities symbolically, as functions of the deployment
+parameters: value size, label width, the §10.1 grouping factor ``y``, the
+§10.2 point-and-permute flag, and the crypto backend.  The two views are
+kept in lockstep by tier-1 tests that assert ``model == ledger`` exactly —
+not approximately — for GET and PUT across every backend, which is what
+makes the capacity planner (:func:`plan_capacity`) and the dollar estimate
+(:func:`repro.analysis.cost.estimate_lbl_cost`) trustworthy: their inputs
+are wire-validated formulas, not hand-derived constants.
+
+Notation (matching the paper): ``G`` groups of ``y`` bits each
+(``G = ceil(8·value_len / y)``), tables of ``T = 2^y`` ciphertexts, labels
+of ``L = label_bits / 8`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.crypto.labels import LabelCodec
+from repro.crypto.prf import Prf, encode_components, hmac_compressions
+from repro.errors import ConfigurationError
+from repro.types import StoreConfig
+
+#: Crypto backends the model covers.  ``stdlib``/``vector``/``procpool``
+#: share formulas (they run the same batched kernels — the lane engine and
+#: the worker pool change *where* hashing happens, never how much);
+#: ``scalar`` is the per-label reference path with its redundant per-entry
+#: permute derivations.
+MODEL_BACKENDS = ("scalar", "stdlib", "vector", "procpool")
+
+#: Fixed wire widths, pinned against the implementation by
+#: ``tests/test_costmodel.py``.
+ENCODED_KEY_BYTES = 16  # KeyChain.key_encoding_prf.out_bytes
+AEAD_OVERHEAD_BYTES = 28  # 12-byte nonce + 16-byte tag (crypto.aead)
+DECRYPT_INDEX_BYTES = 1  # point-and-permute slot byte (core.lbl.proxy)
+FIELD_LEN_BYTES = 4  # length prefix per field (core.messages)
+TAG_BYTES = 1  # message tag (core.messages)
+TABLE_HEADER_BYTES = FIELD_LEN_BYTES + 1  # the 1-byte table-size field
+FRAME_LEN_BYTES = 4  # transport frame length prefix (transport.framing)
+MUX_HEADER_BYTES = 9  # plain mux: tag + 8-byte request id
+MUX_TRACED_HEADER_BYTES = 25  # mux + 16-byte trace context
+
+_DUMMY_KEY = b"\x00" * 16
+
+
+@dataclass(frozen=True)
+class LblCostModel:
+    """Symbolic per-access cost of one LBL-ORTOA deployment.
+
+    Args:
+        value_len: Fixed plaintext length in bytes.
+        group_bits: ``y`` — plaintext bits per label (§10.1).
+        label_bits: Label PRF width ``r`` in bits.
+        point_and_permute: §10.2 — the server opens exactly one entry per
+            group.
+        backend: One of :data:`MODEL_BACKENDS`.
+        key: The datastore key the access touches.  PRF messages embed the
+            key, so SHA-256 compression counts depend (mildly) on its
+            length; the default matches the validation tests.
+        counter: The access-counter epoch the access consumes.  Encoded
+            integers grow with magnitude, so compression counts depend on
+            the epoch too — byte-exactness demands it.
+    """
+
+    value_len: int
+    group_bits: int = 1
+    label_bits: int = 128
+    point_and_permute: bool = False
+    backend: str = "stdlib"
+    key: str = "k"
+    counter: int = 0
+    _codec: LabelCodec = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.backend not in MODEL_BACKENDS:
+            raise ConfigurationError(
+                f"unknown model backend {self.backend!r}; "
+                f"expected one of {MODEL_BACKENDS}"
+            )
+        # The codec is used purely for its message-length arithmetic
+        # (derivation_cost); the key material is irrelevant, only the
+        # output widths matter.
+        object.__setattr__(
+            self,
+            "_codec",
+            LabelCodec(
+                Prf(_DUMMY_KEY, out_bytes=self.label_bits // 8),
+                Prf(_DUMMY_KEY, out_bytes=4),
+                value_len=self.value_len,
+                group_bits=self.group_bits,
+            ),
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        config: StoreConfig,
+        *,
+        backend: str = "stdlib",
+        key: str = "k",
+        counter: int = 0,
+    ) -> "LblCostModel":
+        """Model the access an existing :class:`StoreConfig` would cost."""
+        return cls(
+            value_len=config.value_len,
+            group_bits=config.group_bits,
+            label_bits=config.label_bits,
+            point_and_permute=config.point_and_permute,
+            backend=backend,
+            key=key,
+            counter=counter,
+        )
+
+    def at(self, *, key: str | None = None, counter: int | None = None) -> "LblCostModel":
+        """The same deployment modeled at a different key/epoch."""
+        return replace(
+            self,
+            key=self.key if key is None else key,
+            counter=self.counter if counter is None else counter,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_groups(self) -> int:
+        """``G = ceil(8·value_len / y)``."""
+        return self._codec.num_groups
+
+    @property
+    def table_size(self) -> int:
+        """``T = 2^y`` ciphertexts per group table."""
+        return self._codec.table_size
+
+    @property
+    def label_len(self) -> int:
+        """``L`` — label width in bytes."""
+        return self.label_bits // 8
+
+    # ------------------------------------------------------------------ #
+    # Wire bytes
+    # ------------------------------------------------------------------ #
+
+    @property
+    def entry_len(self) -> int:
+        """One table ciphertext: AEAD(label ‖ slot byte if §10.2)."""
+        payload = self.label_len + (
+            DECRYPT_INDEX_BYTES if self.point_and_permute else 0
+        )
+        return AEAD_OVERHEAD_BYTES + payload
+
+    @property
+    def request_bytes(self) -> int:
+        """Serialized :class:`~repro.core.messages.LblAccessRequest`.
+
+        Tag + table-size field + encoded-key field + ``G·T`` ciphertext
+        fields — the paper's ``2^y · E_len · t/y`` bits plus real framing.
+        """
+        return (
+            TAG_BYTES
+            + TABLE_HEADER_BYTES
+            + FIELD_LEN_BYTES
+            + ENCODED_KEY_BYTES
+            + self.num_groups * self.table_size * (FIELD_LEN_BYTES + self.entry_len)
+        )
+
+    @property
+    def response_bytes(self) -> int:
+        """Serialized :class:`~repro.core.messages.LblAccessResponse`:
+        tag + one opened label field per group."""
+        return TAG_BYTES + self.num_groups * (FIELD_LEN_BYTES + self.label_len)
+
+    @property
+    def bytes_per_access(self) -> int:
+        """Request plus response, unframed (the in-process ``local`` view)."""
+        return self.request_bytes + self.response_bytes
+
+    def framed_request_bytes(self, traced: bool = True) -> int:
+        """Request as it crosses a socket: frame length + mux header + body.
+
+        With observability on, client frames carry the 16-byte trace
+        context (``traced=True``); server replies never do.
+        """
+        header = MUX_TRACED_HEADER_BYTES if traced else MUX_HEADER_BYTES
+        return FRAME_LEN_BYTES + header + self.request_bytes
+
+    def framed_response_bytes(self) -> int:
+        """Response as it crosses a socket (plain mux header)."""
+        return FRAME_LEN_BYTES + MUX_HEADER_BYTES + self.response_bytes
+
+    def framed_bytes_per_access(self, traced: bool = True) -> int:
+        """Total socket bytes of one pipelined access, both directions."""
+        return self.framed_request_bytes(traced) + self.framed_response_bytes()
+
+    def batch_request_bytes(self, n: int, traced: bool = True) -> int:
+        """``n`` accesses to one shard in a single batch frame."""
+        body = TAG_BYTES + n * (FIELD_LEN_BYTES + self.request_bytes)
+        header = MUX_TRACED_HEADER_BYTES if traced else MUX_HEADER_BYTES
+        return FRAME_LEN_BYTES + header + body
+
+    def batch_response_bytes(self, n: int) -> int:
+        """The matching batch reply frame."""
+        body = TAG_BYTES + n * (FIELD_LEN_BYTES + self.response_bytes)
+        return FRAME_LEN_BYTES + MUX_HEADER_BYTES + body
+
+    @property
+    def storage_bytes_per_object(self) -> int:
+        """Server-resident bytes per object: encoded key + ``G`` labels
+        (+ one decryption-slot byte per group under §10.2)."""
+        per_group = self.label_len + (
+            DECRYPT_INDEX_BYTES if self.point_and_permute else 0
+        )
+        return ENCODED_KEY_BYTES + self.num_groups * per_group
+
+    # ------------------------------------------------------------------ #
+    # Crypto ops
+    # ------------------------------------------------------------------ #
+
+    def _epoch_parts(self, counter: int) -> tuple[tuple[int, int], tuple[int, int]]:
+        """``((label_calls, label_comp), (offset_calls, offset_comp))`` of
+        deriving one epoch at ``counter``."""
+        label_calls, label_comp = self._codec.derivation_cost(self.key, counter)
+        both_calls, both_comp = self._codec.derivation_cost(
+            self.key, counter, offsets=True
+        )
+        return (
+            (label_calls, label_comp),
+            (both_calls - label_calls, both_comp - label_comp),
+        )
+
+    @property
+    def _encode_key_cost(self) -> tuple[int, int]:
+        """``(calls, compressions)`` of ``KeyChain.encode_key`` per access."""
+        message_len = 4 + len(encode_components("key-encoding", self.key))
+        return 1, hmac_compressions(message_len, ENCODED_KEY_BYTES)
+
+    def ops(self, include_server: bool = True) -> dict[str, int]:
+        """Predicted :mod:`repro.obs.ledger` op counts for one cold access.
+
+        Identical for GET and PUT by construction — the whole point of the
+        protocol — and the obliviousness auditor asserts the ledger agrees.
+        Covers the cold path (no label-cache hit); the cache's savings are
+        metered as ``cache.hits`` rows, not modeled here.
+
+        Args:
+            include_server: Include the server-side AEAD opens.  Under
+                point-and-permute the server opens exactly one entry per
+                group; without it the attempt count is value-dependent, so
+                decrypts are only modeled (and only asserted) under §10.2.
+                In a sharded deployment the server ops land in server-side
+                ledger rows, so client-row comparisons pass ``False``.
+        """
+        (lab_old_calls, lab_old_comp), (off_old_calls, off_old_comp) = (
+            self._epoch_parts(self.counter)
+        )
+        (lab_new_calls, lab_new_comp), (off_new_calls, off_new_comp) = (
+            self._epoch_parts(self.counter + 1)
+        )
+        ek_calls, ek_comp = self._encode_key_cost
+
+        # Every backend derives the old epoch once, the new epoch once in
+        # prepare, and the new epoch once more in finalize's decode (cold:
+        # no cache to remember it).
+        calls = lab_old_calls + 2 * lab_new_calls + ek_calls
+        comp = lab_old_comp + 2 * lab_new_comp + ek_comp
+        if self.point_and_permute:
+            if self.backend == "scalar":
+                # The scalar path derives the old-epoch offset once per
+                # group but re-derives the new-epoch offset inside every
+                # table entry's decrypt_index — T redundant calls per group.
+                calls += off_old_calls + self.table_size * off_new_calls
+                comp += off_old_comp + self.table_size * off_new_comp
+            else:
+                calls += off_old_calls + off_new_calls
+                comp += off_old_comp + off_new_comp
+
+        ops = {
+            "prf.calls": calls,
+            "sha256.compressions": comp,
+            "aead.encrypts": self.num_groups * self.table_size,
+        }
+        if include_server and self.point_and_permute:
+            ops["aead.decrypts"] = self.num_groups
+        return ops
+
+
+# --------------------------------------------------------------------- #
+# Capacity planning
+# --------------------------------------------------------------------- #
+
+#: Default planner throughput assumptions.  Both are deliberately explicit
+#: (and overridable) inputs, surfaced in the plan's ``assumptions`` — the
+#: model makes bytes and compressions exact, while sustained rates are
+#: hardware-dependent calibration points.
+DEFAULT_SHARD_OPS_PER_SEC = 2_000.0
+DEFAULT_COMPRESSIONS_PER_CORE_PER_SEC = 4_000_000.0
+DEFAULT_TARGET_UTILIZATION = 0.6
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityPlan:
+    """Output of :func:`plan_capacity` — deployment sizing + projections."""
+
+    users: int
+    ops_per_user_per_day: float
+    ops_per_second: float
+    bytes_per_access: int
+    compressions_per_access: int
+    shards: int
+    cpu_cores: int
+    network_mb_per_second: float
+    storage_gb: float
+    projected_p99_ms: float
+    dollars_per_day: float
+    assumptions: dict
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the planner report artifact)."""
+        return {
+            "users": self.users,
+            "ops_per_user_per_day": self.ops_per_user_per_day,
+            "ops_per_second": round(self.ops_per_second, 3),
+            "bytes_per_access": self.bytes_per_access,
+            "compressions_per_access": self.compressions_per_access,
+            "shards": self.shards,
+            "cpu_cores": self.cpu_cores,
+            "network_mb_per_second": round(self.network_mb_per_second, 3),
+            "storage_gb": round(self.storage_gb, 3),
+            "projected_p99_ms": round(self.projected_p99_ms, 3),
+            "dollars_per_day": round(self.dollars_per_day, 6),
+            "assumptions": self.assumptions,
+        }
+
+
+def plan_capacity(
+    users: int,
+    ops_per_user_per_day: float,
+    model: LblCostModel,
+    *,
+    num_objects: int | None = None,
+    shard_ops_per_sec: float = DEFAULT_SHARD_OPS_PER_SEC,
+    compressions_per_core_per_sec: float = DEFAULT_COMPRESSIONS_PER_CORE_PER_SEC,
+    target_utilization: float = DEFAULT_TARGET_UTILIZATION,
+    prices=None,
+) -> CapacityPlan:
+    """Size a deployment for ``users`` issuing ``ops_per_user_per_day`` each.
+
+    Bytes and compressions per access come from the wire-validated
+    ``model``; the sustained-rate assumptions (per-shard op rate, per-core
+    compression rate, target utilization) are explicit inputs echoed into
+    the plan.  The p99 projection uses the standard M/M/1 tail
+    ``p99 ≈ service_time · ln(100) / (1 − ρ)`` at the planned utilization —
+    a deliberately simple queueing bound, stated as such.
+
+    Args:
+        users: Active user count.
+        ops_per_user_per_day: Accesses per user per day.
+        model: The deployment's cost model.
+        num_objects: Stored objects (defaults to one per user).
+        shard_ops_per_sec: Sustained accesses one shard serves.
+        compressions_per_core_per_sec: Sustained SHA-256 compression rate
+            of one proxy core.
+        target_utilization: Planned peak utilization of shards and cores.
+        prices: :class:`repro.analysis.cost.CloudPrices` override.
+    """
+    from repro.analysis.cost import CloudPrices
+
+    if users < 1 or ops_per_user_per_day <= 0:
+        raise ConfigurationError("users and ops_per_user_per_day must be positive")
+    if not 0 < target_utilization < 1:
+        raise ConfigurationError("target_utilization must be in (0, 1)")
+    prices = prices or CloudPrices()
+    if num_objects is None:
+        num_objects = users
+
+    ops_per_day = users * ops_per_user_per_day
+    ops_per_second = ops_per_day / 86_400.0
+    bytes_per_access = model.framed_bytes_per_access(traced=True)
+    compressions = model.ops(include_server=True)["sha256.compressions"]
+
+    shards = max(
+        1, int(-(-ops_per_second // (shard_ops_per_sec * target_utilization)))
+    )
+    cpu_seconds_per_access = compressions / compressions_per_core_per_sec
+    cpu_cores = max(
+        1,
+        int(
+            -(-(ops_per_second * cpu_seconds_per_access) // target_utilization)
+        ),
+    )
+    network_mb_per_second = ops_per_second * bytes_per_access / 1e6
+    storage_gb = num_objects * model.storage_bytes_per_object / 1e9
+
+    # M/M/1 tail at the planned utilization: service time is the per-access
+    # CPU cost on one core; queueing inflates the tail by 1/(1-ρ).
+    service_ms = cpu_seconds_per_access * 1_000.0
+    projected_p99_ms = service_ms * 4.605 / (1.0 - target_utilization)
+
+    network_gb_per_day = ops_per_day * bytes_per_access / 1e9
+    dollars_per_day = (
+        network_gb_per_day * prices.network_per_gb
+        + storage_gb * prices.storage_per_gb_month / 30.0
+        + ops_per_day / 1e6 * prices.invocations_per_million
+        + ops_per_day * (service_ms / 100.0) * prices.cpu_per_100ms
+    )
+
+    return CapacityPlan(
+        users=users,
+        ops_per_user_per_day=ops_per_user_per_day,
+        ops_per_second=ops_per_second,
+        bytes_per_access=bytes_per_access,
+        compressions_per_access=compressions,
+        shards=shards,
+        cpu_cores=cpu_cores,
+        network_mb_per_second=network_mb_per_second,
+        storage_gb=storage_gb,
+        projected_p99_ms=projected_p99_ms,
+        dollars_per_day=dollars_per_day,
+        assumptions={
+            "backend": model.backend,
+            "value_len": model.value_len,
+            "group_bits": model.group_bits,
+            "label_bits": model.label_bits,
+            "point_and_permute": model.point_and_permute,
+            "num_objects": num_objects,
+            "shard_ops_per_sec": shard_ops_per_sec,
+            "compressions_per_core_per_sec": compressions_per_core_per_sec,
+            "target_utilization": target_utilization,
+            "p99_model": "M/M/1 tail: service_ms * ln(100) / (1 - utilization)",
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# Model-vs-ledger validation
+# --------------------------------------------------------------------- #
+
+
+def run_model_check(
+    value_sizes: "tuple[int, ...]" = (4, 8, 16),
+    backends: "tuple[str, ...]" = ("scalar", "stdlib", "vector"),
+    group_bits: int = 2,
+) -> dict:
+    """Replay GET and PUT in-process and diff the ledger against the model.
+
+    The backbone of ``repro plan --check``: for every (value size, backend)
+    cell it runs one GET and one PUT through a real
+    :class:`~repro.core.lbl.LblOrtoa` deployment under a tracked ledger row
+    and compares the row's ops *and* wire bytes to the model byte-for-byte.
+    Point-and-permute is always on (without it the server's decrypt-attempt
+    count is value-dependent and exact equality is not defined).
+
+    Returns a JSON-ready report: ``{"ok": bool, "cases": [...]}`` where
+    each case carries the expected/actual dicts and its own verdict.
+    """
+    import random as _random
+
+    from repro import obs
+    from repro.core.lbl import LblOrtoa
+    from repro.core.lbl.parallel import ParallelPrepareEngine
+    from repro.obs import ledger
+    from repro.types import Request
+
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    cases = []
+    try:
+        for value_len in value_sizes:
+            for backend in backends:
+                config = StoreConfig(
+                    value_len=value_len,
+                    group_bits=group_bits,
+                    point_and_permute=True,
+                )
+                engine = None
+                if backend == "procpool":
+                    protocol = LblOrtoa(
+                        config, rng=_random.Random(7), crypto_backend="stdlib"
+                    )
+                    engine = ParallelPrepareEngine(
+                        protocol.proxy, workers=0, backend="procpool"
+                    )
+                else:
+                    protocol = LblOrtoa(
+                        config,
+                        rng=_random.Random(7),
+                        batched=backend != "scalar",
+                        crypto_backend=backend if backend != "scalar" else "auto",
+                    )
+                protocol.initialize({"k": b"\x01" * value_len})
+                try:
+                    for op_name, request in (
+                        ("get", Request.read("k")),
+                        ("put", Request.write("k", b"\x02" * value_len)),
+                    ):
+                        epoch = protocol.proxy.counter("k")
+                        model = LblCostModel.from_config(
+                            config, backend=backend, key="k", counter=epoch
+                        )
+                        with ledger.track(label=f"check:{op_name}") as row:
+                            if engine is None:
+                                protocol.access(request)
+                                actual_wire = None
+                            else:
+                                built, ops_, new_epoch = engine.prepare_batch(
+                                    [request]
+                                )[0]
+                                response, _ = protocol.server.process(built)
+                                protocol.proxy.finalize(
+                                    "k", response, counter=new_epoch
+                                )
+                                # The engine path skips LblOrtoa.access, so
+                                # measure the logical exchange directly.
+                                actual_wire = {
+                                    "access.sent": len(built.to_bytes()),
+                                    "access.received": len(response.to_bytes()),
+                                }
+                        snap = row.snapshot()
+                        if actual_wire is None:
+                            actual_wire = snap["wire"]
+                        expected_ops = model.ops(include_server=True)
+                        actual_ops = {
+                            k: snap["ops"].get(k, 0) for k in expected_ops
+                        }
+                        expected_wire = {
+                            "access.sent": model.request_bytes,
+                            "access.received": model.response_bytes,
+                        }
+                        ok = (
+                            actual_ops == expected_ops
+                            and actual_wire == expected_wire
+                        )
+                        cases.append(
+                            {
+                                "value_len": value_len,
+                                "backend": backend,
+                                "op": op_name,
+                                "ok": ok,
+                                "expected_ops": expected_ops,
+                                "actual_ops": actual_ops,
+                                "expected_wire": expected_wire,
+                                "actual_wire": actual_wire,
+                            }
+                        )
+                finally:
+                    if engine is not None:
+                        engine.close()
+    finally:
+        if not was_enabled:
+            obs.disable()
+    return {"ok": all(case["ok"] for case in cases), "cases": cases}
+
+
+__all__ = [
+    "MODEL_BACKENDS",
+    "ENCODED_KEY_BYTES",
+    "AEAD_OVERHEAD_BYTES",
+    "DECRYPT_INDEX_BYTES",
+    "LblCostModel",
+    "CapacityPlan",
+    "plan_capacity",
+    "run_model_check",
+    "DEFAULT_SHARD_OPS_PER_SEC",
+    "DEFAULT_COMPRESSIONS_PER_CORE_PER_SEC",
+    "DEFAULT_TARGET_UTILIZATION",
+]

@@ -9,6 +9,8 @@ Usage::
     python -m repro run figure3c --obs-json obs.json   # spans + metrics
     python -m repro demo                      # 30-second functional demo
     python -m repro cost                      # §6.3.3 dollar-cost estimate
+    python -m repro plan --users 1000000      # capacity planner (cost model)
+    python -m repro plan --check              # assert cost model == ledger
     python -m repro obs                       # metrics + obliviousness audit
     python -m repro trace --chrome t.json     # merged trace -> Perfetto JSON
     python -m repro top localhost:9464        # live telemetry terminal view
@@ -148,6 +150,96 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 def _cmd_cost(_args: argparse.Namespace) -> int:
     rows = experiments.dollar_cost()
     print(render_table("§6.3.3: LBL-ORTOA operating cost", rows))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Capacity planner on the wire-validated cost model (or --check it)."""
+    from repro.analysis.costmodel import (
+        DEFAULT_COMPRESSIONS_PER_CORE_PER_SEC,
+        DEFAULT_SHARD_OPS_PER_SEC,
+        DEFAULT_TARGET_UTILIZATION,
+        LblCostModel,
+        plan_capacity,
+        run_model_check,
+    )
+
+    if args.check:
+        # Replay GET and PUT through real deployments on every backend and
+        # require the ledger to agree with the model byte-for-byte.
+        report = run_model_check(
+            value_sizes=(4, 8, 16),
+            backends=("scalar", "stdlib", "vector", "procpool"),
+        )
+        for case in report["cases"]:
+            mark = "ok " if case["ok"] else "FAIL"
+            print(
+                f"  [{mark}] value_len={case['value_len']:<3d} "
+                f"backend={case['backend']:<9s} {case['op']}"
+            )
+        verdict = (
+            "model == ledger for every case"
+            if report["ok"]
+            else "MODEL/LEDGER MISMATCH"
+        )
+        print(f"model check: {verdict} ({len(report['cases'])} cases)")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+            print(f"wrote {args.json}")
+        return 0 if report["ok"] else 1
+
+    try:
+        model = LblCostModel(
+            value_len=args.value_len,
+            group_bits=args.group_bits,
+            label_bits=args.label_bits,
+            point_and_permute=not args.base,
+            backend=args.backend,
+        )
+        plan = plan_capacity(
+            args.users,
+            args.ops_per_day,
+            model,
+            num_objects=args.objects,
+            shard_ops_per_sec=args.shard_ops or DEFAULT_SHARD_OPS_PER_SEC,
+            compressions_per_core_per_sec=args.core_compressions
+            or DEFAULT_COMPRESSIONS_PER_CORE_PER_SEC,
+            target_utilization=args.utilization or DEFAULT_TARGET_UTILIZATION,
+        )
+    except OrtoaError as exc:
+        print(f"cannot plan: {exc}", file=sys.stderr)
+        return 2
+
+    plan_dict = plan.as_dict()
+    rows = [
+        {"quantity": name, "value": value}
+        for name, value in plan_dict.items()
+        if name != "assumptions"
+    ]
+    print(render_table("LBL-ORTOA capacity plan (ledger-validated model)", rows))
+    print("assumptions:")
+    for name, value in plan_dict["assumptions"].items():
+        print(f"  {name:32s} {value}")
+    if args.record:
+        from repro.harness.bench import BenchRecorder
+
+        recorder = BenchRecorder()
+        for metric, value, unit in (
+            ("plan.bytes_per_access", plan.bytes_per_access, "bytes"),
+            ("plan.projected_p99_ms", plan.projected_p99_ms, "ms"),
+            ("plan.dollars_per_day", plan.dollars_per_day, "$/day"),
+        ):
+            # Planner projections are model outputs, not measurements:
+            # record the trajectory, never gate on them.
+            recorder.record(
+                metric, value, unit=unit, higher_is_better=False, gate=False
+            )
+        print(f"recorded planner projections to {recorder.path}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(plan_dict, handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -490,6 +582,85 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("cost", help="§6.3.3 dollar-cost estimate").set_defaults(
         func=_cmd_cost
     )
+
+    plan = sub.add_parser(
+        "plan",
+        help="size a deployment (shards, cores, p99, $/day) from the "
+        "ledger-validated cost model; --check asserts model == ledger "
+        "(exit 1 on mismatch)",
+    )
+    plan.add_argument(
+        "--users", type=int, default=1_000_000, help="active users (default: 1M)"
+    )
+    plan.add_argument(
+        "--ops-per-day",
+        dest="ops_per_day",
+        type=float,
+        default=10.0,
+        help="accesses per user per day (default: 10)",
+    )
+    plan.add_argument(
+        "--objects",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stored objects (default: one per user)",
+    )
+    plan.add_argument(
+        "--value-len", type=int, default=160, help="value bytes (default: 160)"
+    )
+    plan.add_argument(
+        "--group-bits", type=int, default=2, help="y grouping factor (default: 2)"
+    )
+    plan.add_argument(
+        "--label-bits", type=int, default=128, help="label width (default: 128)"
+    )
+    plan.add_argument(
+        "--base",
+        action="store_true",
+        help="plan the §5.2 base protocol instead of §10.2 point-and-permute",
+    )
+    plan.add_argument(
+        "--backend",
+        choices=("scalar", "stdlib", "vector", "procpool"),
+        default="stdlib",
+        help="proxy crypto backend to model (default: stdlib)",
+    )
+    plan.add_argument(
+        "--shard-ops",
+        dest="shard_ops",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="sustained accesses/s one shard serves (planner assumption)",
+    )
+    plan.add_argument(
+        "--core-compressions",
+        dest="core_compressions",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="sustained SHA-256 compressions/s per core (planner assumption)",
+    )
+    plan.add_argument(
+        "--utilization",
+        type=float,
+        default=None,
+        help="planned peak utilization of shards and cores (default: 0.6)",
+    )
+    plan.add_argument(
+        "--record",
+        action="store_true",
+        help="append planner projections to the BENCH trajectory (ungated)",
+    )
+    plan.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the model against the wire ledger for GET and PUT "
+        "across scalar/stdlib/vector/procpool at 3 value sizes",
+    )
+    plan.add_argument("--json", metavar="PATH", help="write a JSON report")
+    plan.set_defaults(func=_cmd_plan)
 
     obs_cmd = sub.add_parser(
         "obs",

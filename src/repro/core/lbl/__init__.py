@@ -76,12 +76,25 @@ class LblOrtoa(OrtoaProtocol):
             self.server.load(encoded_key, labels)
 
     def access(self, request: Request) -> AccessTranscript:
+        from repro.obs import _state as _obs
+        from repro.obs import ledger as _ledger
         from repro.obs.trace import TRACER
 
         with TRACER.span("lbl.access", op=request.op.value):
             req, proxy_ops = self.proxy.prepare(request)
             resp, server_ops = self.server.process(req)
             value, finalize_ops = self.proxy.finalize(request.key, resp)
+        req_bytes = len(req.to_bytes())
+        resp_bytes = len(resp.to_bytes())
+        if _obs.enabled:
+            # In-process deployments cross no socket; meter the logical
+            # request/response under role="local" so the cost model has the
+            # same frame-typed view as a remote run, and credit the ambient
+            # row (if an access is being tracked) with the exact exchange.
+            _ledger.count_wire("access", "sent", req_bytes, role="local")
+            _ledger.count_wire("access", "received", resp_bytes, role="local")
+            _ledger.credit_wire("access", "sent", req_bytes)
+            _ledger.credit_wire("access", "received", resp_bytes)
         return AccessTranscript(
             op=request.op,
             phases=(
@@ -89,7 +102,7 @@ class LblOrtoa(OrtoaProtocol):
                 PhaseRecord("server-open-and-update", "server", server_ops),
                 PhaseRecord("proxy-decode", "proxy", finalize_ops),
             ),
-            round_trips=(RoundTrip(len(req.to_bytes()), len(resp.to_bytes())),),
+            round_trips=(RoundTrip(req_bytes, resp_bytes),),
             response=Response(request.key, value),
         )
 

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from repro.crypto import aead
 from repro.errors import ConfigurationError
 from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
 from repro.obs.metrics import REGISTRY
 
 #: Default byte budget used when a cache is requested without an explicit
@@ -150,10 +151,12 @@ class LabelCache:
             self.misses += 1
             if _obs.enabled:
                 REGISTRY.counter("lbl.proxy.label_cache.misses").inc()
+                _ledger.add_op("cache.misses")
         else:
             self.hits += 1
             if _obs.enabled:
                 REGISTRY.counter("lbl.proxy.label_cache.hits").inc()
+                _ledger.add_op("cache.hits")
         return entry
 
     def peek(self, key: str, counter: int) -> LabelCacheEntry | None:

@@ -30,6 +30,7 @@ from repro.core.lbl import LblOrtoa
 from repro.core.lbl.proxy import LblProxy
 from repro.core.messages import LblAccessResponse, LblErrorEntry
 from repro.errors import ConfigurationError
+from repro.obs import ledger as _ledger
 from repro.types import Request, Response
 
 
@@ -109,6 +110,7 @@ def finalize_batch_entries(
     prepared: list[tuple[Request, OpCounts, int]],
     entries: tuple["LblAccessResponse | LblErrorEntry", ...],
     shares: list[tuple[int, int]],
+    rows: "list[_ledger.LedgerRow | None] | None" = None,
 ) -> tuple[dict[int, AccessTranscript], dict[int, str]]:
     """Finalize a batch response whose entries may include per-request errors.
 
@@ -125,6 +127,8 @@ def finalize_batch_entries(
         entries: The batch response entries, in request order.
         shares: Per request: its (request bytes, response bytes) share of
             the wire exchange that carried it.
+        rows: Optional per-request ledger rows (parallel positions); each
+            entry's finalize crypto is attributed to its own row.
 
     Returns:
         ``(transcripts, failures)`` keyed by original request index.
@@ -142,7 +146,13 @@ def finalize_batch_entries(
                 first_failed_epoch.get(key, epoch), epoch
             )
             continue
-        value, finalize_ops = proxy.finalize(request.key, entry, counter=epoch)
+        row = rows[index] if rows is not None else None
+        token = _ledger.activate(row) if row is not None else None
+        try:
+            value, finalize_ops = proxy.finalize(request.key, entry, counter=epoch)
+        finally:
+            if token is not None:
+                _ledger.deactivate(token)
         transcripts[index] = AccessTranscript(
             op=request.op,
             phases=(

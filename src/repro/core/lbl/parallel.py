@@ -43,6 +43,7 @@ from repro.core.lbl.proxy import LblProxy
 from repro.core.messages import LblAccessRequest
 from repro.errors import ConfigurationError
 from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
 from repro.obs.metrics import REGISTRY
 from repro.types import Request
 
@@ -115,6 +116,19 @@ class ParallelPrepareEngine:
         self.close()
 
     def _prepare_one(
+        self, request: Request, row: "_ledger.LedgerRow | None" = None
+    ) -> tuple[LblAccessRequest, OpCounts, int]:
+        # Contextvars do not follow work across the thread pool, so callers
+        # that track per-request rows pass them explicitly; the row is made
+        # ambient for exactly this request's crypto.
+        token = _ledger.activate(row) if row is not None else None
+        try:
+            return self._prepare_one_inner(request)
+        finally:
+            if token is not None:
+                _ledger.deactivate(token)
+
+    def _prepare_one_inner(
         self, request: Request
     ) -> tuple[LblAccessRequest, OpCounts, int]:
         proxy = self.proxy
@@ -139,31 +153,51 @@ class ParallelPrepareEngine:
         return lbl_request, ops, ct + 1
 
     def _prepare_key_group(
-        self, indexed: "list[tuple[int, Request]]"
+        self, indexed: "list[tuple[int, Request, _ledger.LedgerRow | None]]"
     ) -> "list[tuple[int, tuple[LblAccessRequest, OpCounts, int]]]":
         # All requests here share one key: take its stripe once, run the
         # group in submission order so epochs chain ct -> ct+1 -> ...
         stripe = self._stripes[hash(indexed[0][1].key) % len(self._stripes)]
         with stripe:
-            return [(index, self._prepare_one(request)) for index, request in indexed]
+            return [
+                (index, self._prepare_one(request, row))
+                for index, request, row in indexed
+            ]
 
     def prepare_batch(
-        self, requests: "list[Request]"
+        self,
+        requests: "list[Request]",
+        rows: "list[_ledger.LedgerRow | None] | None" = None,
     ) -> "list[tuple[LblAccessRequest, OpCounts, int]]":
         """Prepare every request; results are in request order.
 
         Returns one ``(wire_request, prepare_ops, epoch)`` triple per input,
         where ``epoch`` is the label counter the access installs — what
         ``finalize`` needs once the server response arrives.
+
+        Args:
+            requests: The batch, in submission order.
+            rows: Optional per-request ledger rows (parallel positions);
+                each request's crypto is attributed to its own row even when
+                the batch fans out across pool threads.
         """
         if not requests:
             raise ConfigurationError("prepare batch must contain at least one request")
+        if rows is not None and len(rows) != len(requests):
+            raise ConfigurationError(
+                f"{len(requests)} requests for {len(rows)} ledger rows"
+            )
         if self._pool is None or len(requests) == 1:
-            return [self._prepare_one(request) for request in requests]
+            return [
+                self._prepare_one(request, rows[index] if rows else None)
+                for index, request in enumerate(requests)
+            ]
         # Group by key, preserving submission order within each group.
-        groups: dict[str, list[tuple[int, Request]]] = {}
+        groups: dict[str, list[tuple[int, Request, object]]] = {}
         for index, request in enumerate(requests):
-            groups.setdefault(request.key, []).append((index, request))
+            groups.setdefault(request.key, []).append(
+                (index, request, rows[index] if rows else None)
+            )
         futures = [
             self._pool.submit(self._prepare_key_group, indexed)
             for indexed in groups.values()

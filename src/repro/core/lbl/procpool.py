@@ -33,6 +33,8 @@ import multiprocessing as mp
 from repro.crypto.labels import LabelCodec
 from repro.crypto.prf import Prf
 from repro.errors import ConfigurationError
+from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
 
 #: ``(old_labels, old_offsets, new_labels, new_offsets)`` in the nested-list
 #: shape :meth:`~repro.core.lbl.proxy.LblProxy.prepare` accepts as
@@ -125,6 +127,13 @@ class ProcessCryptoPool:
         self._label_len = label_prf.out_bytes
         self._table_size = 1 << group_bits
         self._num_groups = (value_len * 8 + group_bits - 1) // group_bits
+        # Parent-side twin of the worker codec, used only for its analytic
+        # ``derivation_cost``: the in-PRF ledger meters fire in the worker
+        # processes, whose registries die with them, so the parent credits
+        # the exact same counts here at submission time.
+        self._codec = LabelCodec(
+            label_prf, permute_prf, value_len=value_len, group_bits=group_bits
+        )
         if start_method is None:
             start_method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -180,6 +189,15 @@ class ProcessCryptoPool:
         """Submit a derivation; the returned handle's ``get()`` blocks."""
         if self._pool is None:
             raise ConfigurationError("procpool is closed")
+        if _obs.enabled:
+            pnp = self.point_and_permute
+            old_calls, old_comp = self._codec.derivation_cost(
+                key, counter, offsets=pnp
+            )
+            new_calls, new_comp = self._codec.derivation_cost(
+                key, counter + 1, offsets=pnp
+            )
+            _ledger.add_prf(old_calls + new_calls, old_comp + new_comp)
         task = (key, counter, self.point_and_permute)
         return _PendingLabels(
             self._pool.apply_async(_derive_flat, (task,)), self._unflatten

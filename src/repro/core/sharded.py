@@ -52,6 +52,7 @@ from repro.core.messages import LblAccessResponse, LblBatchRequest, LblBatchResp
 from repro.crypto.keys import KeyChain
 from repro.errors import BatchPartialFailure, ConfigurationError, ProtocolError
 from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
 from repro.obs.metrics import REGISTRY
 from repro.obs.propagate import TraceContext, merge_span_dumps
 from repro.obs.trace import TRACER
@@ -273,10 +274,22 @@ class ShardedLblDeployment(OrtoaProtocol):
             shard = self.shard_of(request.key)
             lbl_request, proxy_ops = self._prepare_timed(request)
             payload = lbl_request.to_bytes()
+            # The pipelined client propagates this span's context, so the
+            # frame travels with the 25-byte traced mux header; the reply
+            # comes back under the plain 9-byte header.  Credit the ambient
+            # row (if the caller is tracking) with exactly those bytes.
+            _ledger.credit_wire(
+                "access", "sent", _ledger.framed_mux_bytes(len(payload), traced=True)
+            )
             submitted_at = time.perf_counter()
             reply = self.clients[shard].submit(payload).result(self.timeout)
             REGISTRY.log_histogram("sharded.access.roundtrip.seconds").observe(
                 time.perf_counter() - submitted_at
+            )
+            _ledger.credit_wire(
+                "access",
+                "received",
+                _ledger.framed_mux_bytes(len(reply), traced=False),
             )
             response = LblAccessResponse.from_bytes(reply)
             value, finalize_ops = self.proxy.finalize(request.key, response)
@@ -310,8 +323,14 @@ class ShardedLblDeployment(OrtoaProtocol):
     def _access_batch_inner(
         self, requests: list[Request], batch_context: bytes | None
     ) -> list[AccessTranscript]:
+        rows: "list[_ledger.LedgerRow] | None" = None
+        if _obs.enabled:
+            rows = [
+                _ledger.LedgerRow(label=f"batched:{request.key}")
+                for request in requests
+            ]
         prepare_start = time.perf_counter()
-        built = self.prepare_engine.prepare_batch(requests)
+        built = self.prepare_engine.prepare_batch(requests, rows=rows)
         if _obs.enabled:
             REGISTRY.log_histogram("lbl.proxy.prepare.seconds").observe(
                 time.perf_counter() - prepare_start
@@ -329,12 +348,24 @@ class ShardedLblDeployment(OrtoaProtocol):
         shard_futures = {}
         shard_wire_bytes = {}
         for shard, indices in by_shard.items():
+            sub_messages = [prepared[i][1].to_bytes() for i in indices]
             sub = LblBatchRequest(tuple(prepared[i][1] for i in indices))
             wire = sub.to_bytes()
             shard_wire_bytes[shard] = len(wire)
             shard_futures[shard] = self.clients[shard].submit(
                 wire, trace_context=batch_context
             )
+            if rows is not None:
+                # Exact attribution: each request owns its length-prefixed
+                # sub-message; the shard envelope (batch tag + frame length
+                # + traced mux header) goes to the sub-batch's first row, so
+                # per-row sums equal the transport totals to the byte.
+                envelope = _ledger.framed_mux_bytes(1, traced=True)
+                for position, index in enumerate(indices):
+                    share = 4 + len(sub_messages[position])
+                    if position == 0:
+                        share += envelope
+                    rows[index].credit_wire("batch", "sent", share)
             if _obs.enabled:
                 REGISTRY.counter(f"sharded.shard{shard}.requests").inc(len(indices))
                 REGISTRY.gauge("sharded.batch.shards_in_flight").set(
@@ -352,16 +383,27 @@ class ShardedLblDeployment(OrtoaProtocol):
                 shard_wire_bytes[shard] // len(indices),
                 len(reply) // len(indices),
             )
-            for index, entry in zip(indices, response.responses):
+            for position, (index, entry) in enumerate(zip(indices, response.responses)):
                 entries[index] = entry
                 shares[index] = share
+                if rows is not None:
+                    nbytes = 4 + len(entry.to_bytes())
+                    if position == 0:
+                        # Reply envelope: batch tag + frame length + plain
+                        # mux header (server replies untraced).
+                        nbytes += _ledger.framed_mux_bytes(1, traced=False)
+                    rows[index].credit_wire("batch", "received", nbytes)
 
         transcripts, failures = finalize_batch_entries(
             self.proxy,
             [(request, proxy_ops, epoch) for request, _, proxy_ops, epoch in prepared],
             tuple(entries),
             shares=shares,
+            rows=rows,
         )
+        if rows is not None:
+            for row in rows:
+                _ledger.retire(row)
         if failures:
             raise BatchPartialFailure(failures, transcripts)
         return [transcripts[i] for i in range(len(requests))]
@@ -395,6 +437,7 @@ class ShardedLblDeployment(OrtoaProtocol):
                 request_bytes,
                 span,
                 submitted_at,
+                row,
             ) = window.popleft()
             reply = future.result(self.timeout)
             keys_in_flight.discard(request.key)
@@ -406,9 +449,25 @@ class ShardedLblDeployment(OrtoaProtocol):
                 )
                 TRACER.end(span)
             response = LblAccessResponse.from_bytes(reply)
-            value, finalize_ops = self.proxy.finalize(
-                request.key, response, counter=epoch
-            )
+            # Reactivate this request's row for the finalize crypto: up to
+            # ``depth`` request lifetimes interleave on this thread, so the
+            # ambient row must follow the request being drained, not the one
+            # most recently submitted.
+            token = _ledger.activate(row) if row is not None else None
+            try:
+                value, finalize_ops = self.proxy.finalize(
+                    request.key, response, counter=epoch
+                )
+            finally:
+                if token is not None:
+                    _ledger.deactivate(token)
+            if row is not None:
+                row.credit_wire(
+                    "access",
+                    "received",
+                    _ledger.framed_mux_bytes(len(reply), traced=False),
+                )
+                _ledger.retire(row)
             transcripts.append(
                 self._transcript(
                     request, proxy_ops, finalize_ops, request_bytes, len(reply), value
@@ -421,7 +480,15 @@ class ShardedLblDeployment(OrtoaProtocol):
                 drain_one()
             shard = self.shard_of(request.key)
             epoch = self.proxy.counter(request.key) + 1
-            lbl_request, proxy_ops = self._prepare_timed(request)
+            row = token = None
+            if _obs.enabled:
+                row = _ledger.LedgerRow(label=f"pipelined:{request.key}")
+                token = _ledger.activate(row)
+            try:
+                lbl_request, proxy_ops = self._prepare_timed(request)
+            finally:
+                if token is not None:
+                    _ledger.deactivate(token)
             payload = lbl_request.to_bytes()
             # The span is manual (start/end) because up to ``depth`` access
             # lifetimes interleave on this one thread; its context rides the
@@ -432,6 +499,12 @@ class ShardedLblDeployment(OrtoaProtocol):
                     "sharded.access", shard=shard, request_bytes=len(payload)
                 )
                 context = TraceContext.from_span(span).encode()
+                row.trace_id = span.trace_id
+                row.credit_wire(
+                    "access",
+                    "sent",
+                    _ledger.framed_mux_bytes(len(payload), traced=True),
+                )
             future = self.clients[shard].submit(payload, trace_context=context)
             window.append(
                 (
@@ -442,6 +515,7 @@ class ShardedLblDeployment(OrtoaProtocol):
                     len(payload),
                     span,
                     time.perf_counter() if _obs.enabled else 0.0,
+                    row,
                 )
             )
             keys_in_flight.add(request.key)

@@ -66,6 +66,7 @@ try:  # numpy accelerates batch assembly; every path has a stdlib fallback
 except ImportError:  # pragma: no cover - exercised on numpy-less installs
     _np = None  # type: ignore[assignment]
 from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
 from repro.obs.metrics import REGISTRY
 
 NONCE_LEN = 12
@@ -253,6 +254,7 @@ def encrypt(key: bytes, plaintext: bytes, *, nonce: bytes | None = None) -> byte
     tag = sha(opad + sha(ipad + _MAC_DOMAIN + nonce + body).digest()).digest()[:TAG_LEN]
     if _obs.enabled:
         REGISTRY.counter("crypto.aead.encrypts").inc()
+        _ledger.add_op("aead.encrypts")
     return nonce + body + tag
 
 
@@ -390,6 +392,7 @@ def encrypt_many(
         )
     if _obs.enabled:
         REGISTRY.counter("crypto.aead.encrypts").inc(n)
+        _ledger.add_op("aead.encrypts", n)
     return out
 
 
@@ -486,6 +489,7 @@ def _encrypt_many_keyed(
         if as_matrix:
             if _obs.enabled:
                 REGISTRY.counter("crypto.aead.encrypts").inc(n)
+                _ledger.add_op("aead.encrypts", n)
             return cipher
         flat = cipher.tobytes()
         for index in range(n):
@@ -523,6 +527,7 @@ def _encrypt_many_keyed(
             append(nonce_body + outer.digest()[:TAG_LEN])
     if _obs.enabled:
         REGISTRY.counter("crypto.aead.encrypts").inc(n)
+        _ledger.add_op("aead.encrypts", n)
     return out
 
 
@@ -579,6 +584,7 @@ def _encrypt_many_lanes(
     out = [flat[i * total : (i + 1) * total] for i in range(n)]
     if _obs.enabled:
         REGISTRY.counter("crypto.aead.encrypts").inc(n)
+        _ledger.add_op("aead.encrypts", n)
     return out
 
 
@@ -594,6 +600,7 @@ def decrypt(key: bytes, ciphertext: bytes) -> bytes:
     if len(ciphertext) < NONCE_LEN + TAG_LEN:
         if _obs.enabled:
             REGISTRY.counter("crypto.aead.decrypt_failures").inc()
+            _ledger.add_op("aead.decrypt_failures")
         raise DecryptionError("ciphertext too short")
     nonce = ciphertext[:NONCE_LEN]
     body = ciphertext[NONCE_LEN:-TAG_LEN]
@@ -605,9 +612,11 @@ def decrypt(key: bytes, ciphertext: bytes) -> bytes:
     if not hmac.compare_digest(tag, expected):
         if _obs.enabled:
             REGISTRY.counter("crypto.aead.decrypt_failures").inc()
+            _ledger.add_op("aead.decrypt_failures")
         raise DecryptionError("authentication tag mismatch")
     if _obs.enabled:
         REGISTRY.counter("crypto.aead.decrypts").inc()
+        _ledger.add_op("aead.decrypts")
     return _xor(body, _keystream(ipad, opad, nonce, len(body)))
 
 
@@ -674,8 +683,10 @@ def open_any(
         if _obs.enabled:
             if failures:
                 REGISTRY.counter("crypto.aead.decrypt_failures").inc(failures)
+                _ledger.add_op("aead.decrypt_failures", failures)
             if found is not None:
                 REGISTRY.counter("crypto.aead.decrypts").inc()
+                _ledger.add_op("aead.decrypts")
         return found
     for index, ciphertext in enumerate(ciphertexts):
         if len(ciphertext) < NONCE_LEN + TAG_LEN:
@@ -692,8 +703,10 @@ def open_any(
     if _obs.enabled:
         if failures:
             REGISTRY.counter("crypto.aead.decrypt_failures").inc(failures)
+            _ledger.add_op("aead.decrypt_failures", failures)
         if found is not None:
             REGISTRY.counter("crypto.aead.decrypts").inc()
+            _ledger.add_op("aead.decrypts")
     return found
 
 
@@ -758,8 +771,10 @@ def open_many(
             if _obs.enabled:
                 if failures:
                     REGISTRY.counter("crypto.aead.decrypt_failures").inc(failures)
+                    _ledger.add_op("aead.decrypt_failures", failures)
                 if opened:
                     REGISTRY.counter("crypto.aead.decrypts").inc(opened)
+                    _ledger.add_op("aead.decrypts", opened)
             return out
     sha = _DIGEST
     ipad_trans = _IPAD_TRANS
@@ -793,8 +808,10 @@ def open_many(
     if _obs.enabled:
         if failures:
             REGISTRY.counter("crypto.aead.decrypt_failures").inc(failures)
+            _ledger.add_op("aead.decrypt_failures", failures)
         if opened:
             REGISTRY.counter("crypto.aead.decrypts").inc(opened)
+            _ledger.add_op("aead.decrypts", opened)
     return out
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto import sha256_lanes as _lanes
-from repro.crypto.prf import Prf, encode_components
+from repro.crypto.prf import Prf, encode_components, hmac_compressions
 from repro.errors import ConfigurationError, TamperDetectedError
 
 try:  # numpy accelerates the batched decode; the dict path always works
@@ -179,6 +179,43 @@ class LabelCodec:
             flat[start : start + table_size]
             for start in range(0, len(flat), table_size)
         ]
+
+    def derivation_cost(
+        self, key: str, counter: int, *, offsets: bool = False
+    ) -> tuple[int, int]:
+        """``(prf_calls, sha256_compressions)`` of one epoch's derivation.
+
+        Predicts exactly what :meth:`labels_for_groups`\\ ``(key, counter)``
+        — plus :meth:`permute_offsets` when ``offsets`` is set — costs, by
+        re-deriving the encoded message lengths the PRF would hash.  This is
+        the single source of truth shared by the analytic cost model
+        (:mod:`repro.analysis.costmodel`) and the process-pool ledger hook
+        (:class:`~repro.core.lbl.procpool.ProcessCryptoPool`), whose workers
+        run the real derivation out-of-process where the in-PRF meters can't
+        reach the parent's registry.
+        """
+        enc = encode_components
+        enc_ct_len = len(enc(counter))
+        label_head = 4 + len(enc("label", key))
+        label_out = self.label_len
+        value_lens = [len(enc(value)) for value in range(self.table_size)]
+        calls = self.num_groups * self.table_size
+        compressions = 0
+        for index in range(self.num_groups):
+            index_len = len(enc(index))
+            for value_len in value_lens:
+                compressions += hmac_compressions(
+                    label_head + index_len + value_len + enc_ct_len, label_out
+                )
+        if offsets:
+            permute_head = 4 + len(enc("permute", key))
+            permute_out = self._permute_prf.out_bytes
+            calls += self.num_groups
+            for index in range(self.num_groups):
+                compressions += hmac_compressions(
+                    permute_head + len(enc(index)) + enc_ct_len, permute_out
+                )
+        return calls, compressions
 
     # ------------------------------------------------------------------ #
     # Inversion (proxy decodes the server's response after a read)

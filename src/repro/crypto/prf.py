@@ -34,9 +34,29 @@ from typing import Iterable, Sequence
 
 from repro.crypto import sha256_lanes as _lanes
 from repro.errors import ConfigurationError
+from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
 
 _DIGEST_BYTES = hashlib.sha256().digest_size
 _BLOCK_BYTES = 64
+
+
+def hmac_compressions(message_len: int, out_bytes: int = _DIGEST_BYTES) -> int:
+    """SHA-256 compression-function applications of one :class:`Prf` call.
+
+    ``message_len`` is the full hashed message including the 4-byte counter
+    head.  With the keyed inner/outer states precomputed (their key blocks
+    are paid once per :class:`Prf`), a single-digest HMAC costs
+    ``(message_len + 8) // 64`` extra inner compressions beyond the one that
+    absorbs the final padding, plus one inner-final and one outer
+    compression; outputs wider than a digest repeat that per 32-byte block.
+    This closed form is what the ledger hooks meter and what
+    :mod:`repro.analysis.costmodel` predicts — the model-vs-ledger tests
+    keep the two in lockstep.
+    """
+    per_digest = (message_len + 8) // _BLOCK_BYTES + 2
+    blocks = (out_bytes + _DIGEST_BYTES - 1) // _DIGEST_BYTES
+    return blocks * per_digest
 
 # HMAC ipad/opad as byte-translation tables: ``key.translate(_IPAD_TRANS)``
 # XORs every byte with 0x36 at C speed, which makes the explicit
@@ -179,6 +199,8 @@ class Prf:
         if n <= 0:
             raise ConfigurationError("PRF output length must be positive")
         message = b"".join(_encode_component(c) for c in components)
+        if _obs.enabled:
+            _ledger.add_prf(1, hmac_compressions(4 + len(message), n))
         return self._raw(message, n)
 
     def evaluate_many(
@@ -214,6 +236,10 @@ class Prf:
             messages = [
                 head + b"".join([encode(c) for c in suffix]) for suffix in suffixes
             ]
+            if _obs.enabled and messages:
+                _ledger.add_prf(
+                    len(messages), sum(hmac_compressions(len(m)) for m in messages)
+                )
             if _lanes.use_lanes(len(messages)):
                 inner_row, outer_row = self._lane_pair()
                 return _lanes.hmac_many_with_state(inner_row, outer_row, messages, n)
@@ -228,7 +254,10 @@ class Prf:
                 append(outer.digest()[:n])
         else:
             for suffix in suffixes:
-                append(self._raw(prefix + b"".join([encode(c) for c in suffix]), n))
+                message = prefix + b"".join([encode(c) for c in suffix])
+                if _obs.enabled:
+                    _ledger.add_prf(1, hmac_compressions(4 + len(message), n))
+                append(self._raw(message, n))
         return out
 
     def context(
@@ -294,6 +323,8 @@ class PrfContext:
     def evaluate_tail(self, tail: bytes) -> bytes:
         """PRF output for an already-encoded (:func:`encode_components`) tail."""
         n = self.out_bytes
+        if _obs.enabled:
+            _ledger.add_prf(1, hmac_compressions(len(self._head) + len(tail), n))
         if n <= _DIGEST_BYTES:
             prf = self._prf
             inner = prf._inner0.copy()
@@ -327,6 +358,12 @@ class PrfContext:
             head = self._head
             if not isinstance(tails, (list, tuple)):
                 tails = list(tails)
+            if _obs.enabled and tails:
+                head_len = len(head)
+                _ledger.add_prf(
+                    len(tails),
+                    sum(hmac_compressions(head_len + len(t)) for t in tails),
+                )
             if _lanes.use_lanes(len(tails)):
                 inner_row, outer_row = prf._lane_pair()
                 return _lanes.hmac_many_with_state(
@@ -343,9 +380,18 @@ class PrfContext:
         else:
             raw = self._prf._raw
             prefix = self._prefix
+            head_len = 4 + len(prefix)
             for tail in tails:
+                if _obs.enabled:
+                    _ledger.add_prf(1, hmac_compressions(head_len + len(tail), n))
                 append(raw(prefix + tail, n))
         return out
 
 
-__all__ = ["Prf", "PrfContext", "encode_components", "hmac_sha256_pair"]
+__all__ = [
+    "Prf",
+    "PrfContext",
+    "encode_components",
+    "hmac_compressions",
+    "hmac_sha256_pair",
+]

@@ -50,6 +50,9 @@ except ImportError:  # pragma: no cover - exercised on numpy-less installs
     _np = None  # type: ignore[assignment]
     HAVE_NUMPY = False
 
+from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
+
 _BLOCK = 64
 _DIGEST_BYTES = 32
 
@@ -301,7 +304,14 @@ def _run_lanes(matrix, initial_state=None, prefix_bytes: int = 0):
         state = np.repeat(_IV[:, None], n, axis=1)
     else:
         state = initial_state.copy()
-    for block in range(words.shape[1] // 16):
+    blocks_per_lane = words.shape[1] // 16
+    if _obs.enabled:
+        # Informational: compressions the lane engine actually ran.  The
+        # canonical ``sha256.compressions`` meter lives in the PRF hooks
+        # (engine-independent by design); this one lets ``repro top`` show
+        # how much of the work the lanes absorbed.
+        _ledger.add_op("sha256.lane_compressions", n * blocks_per_lane)
+    for block in range(blocks_per_lane):
         _compress(state, words[:, block * 16 : (block + 1) * 16].T)
     return _digest_bytes_from_state(state)
 

@@ -17,6 +17,10 @@ the corresponding quantities first-class observables:
   endpoint;
 * :mod:`repro.obs.top` — the ``repro top`` live terminal view built on
   scraping those endpoints;
+* :mod:`repro.obs.ledger` — the per-request resource ledger: wire bytes
+  per frame type/direction and crypto-primitive invocations, attributed to
+  the request that caused them and validated against the closed-form cost
+  model (:mod:`repro.analysis.costmodel`);
 * :mod:`repro.obs.audit` — replays the *server-side* span stream of a run
   and checks the server-visible trace is identical for reads and writes
   (the paper's §5 security argument as a runnable check).  Imported lazily
@@ -40,6 +44,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.obs import _state
+from repro.obs import ledger
 from repro.obs.clock import (
     Clock,
     FakeClock,
@@ -85,9 +90,10 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop all recorded spans and zero every metric."""
+    """Drop all recorded spans, zero every metric, clear retired ledger rows."""
     TRACER.reset()
     REGISTRY.reset()
+    ledger.reset()
 
 
 @contextmanager
@@ -119,6 +125,7 @@ def export() -> dict[str, Any]:
 
 
 __all__ = [
+    "ledger",
     "enable",
     "disable",
     "is_enabled",

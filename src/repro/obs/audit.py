@@ -32,6 +32,7 @@ from repro.core.lbl.server import SERVER_SPAN, LblServer
 from repro.crypto.keys import KeyChain
 from repro.errors import ConfigurationError
 from repro.obs import _state
+from repro.obs import ledger as _ledger
 from repro.obs.trace import Span, TRACER
 from repro.types import Operation, Request, StoreConfig
 
@@ -46,6 +47,32 @@ EXACT_FEATURES = (
 )
 #: Stochastic server-visible features: compared by mean within a tolerance.
 MEAN_FEATURES = ("decrypt_attempts", "failed_decrypts")
+#: Per-request resource-ledger features (wire bytes per frame/direction and
+#: crypto-primitive counts, frozen to sorted item tuples).  Deterministic:
+#: a GET and a PUT must burn byte-for-byte and call-for-call identical
+#: resources, or the expenditure itself is a distinguisher.
+LEDGER_FEATURES = ("ledger.wire", "ledger.ops")
+
+
+#: Ops excluded from the exact ledger comparison: the shuffled base
+#: protocol's trial decryptions stop after a uniformly random number of
+#: attempts, so these are stochastic per access.  They are audited anyway,
+#: by mean, via the server span's ``decrypt_attempts``/``failed_decrypts``.
+_STOCHASTIC_OPS = frozenset({"aead.decrypts", "aead.decrypt_failures"})
+
+
+def _ledger_features(snapshot: dict[str, Any]) -> dict[str, Any]:
+    """Freeze a :meth:`LedgerRow.snapshot` into hashable audit features."""
+    return {
+        "ledger.wire": tuple(sorted(snapshot["wire"].items())),
+        "ledger.ops": tuple(
+            sorted(
+                (name, count)
+                for name, count in snapshot["ops"].items()
+                if name not in _STOCHASTIC_OPS
+            )
+        ),
+    }
 
 
 @dataclass(frozen=True, slots=True)
@@ -160,7 +187,7 @@ def audit_observations(
         )
 
     checks: list[AuditCheck] = []
-    for feature in EXACT_FEATURES:
+    for feature in EXACT_FEATURES + LEDGER_FEATURES:
         read_support = set(_feature_values(reads, feature))
         write_support = set(_feature_values(writes, feature))
         if not read_support and not write_support:
@@ -241,16 +268,21 @@ def run_audit(
     previous = _state.enabled
     TRACER.reset()
     _state.enabled = True
+    row_snapshots: list[dict[str, Any]] = []
     try:
         protocol.initialize({key: bytes(value_len) for key in keys})
         before = len(TRACER.spans(SERVER_SPAN))
         for request in requests:
-            protocol.access(request)
+            with _ledger.track(label=f"audit:{request.key}") as row:
+                protocol.access(request)
+            row_snapshots.append(row.snapshot())
         spans = TRACER.spans(SERVER_SPAN)[before:]
     finally:
         _state.enabled = previous
 
     observations = observations_from_spans(spans, [r.op for r in requests])
+    for observation, snapshot in zip(observations, row_snapshots):
+        observation.features.update(_ledger_features(snapshot))
     return audit_observations(observations, mean_tolerance=mean_tolerance)
 
 
@@ -394,6 +426,7 @@ def run_sharded_audit(
 
     previous = _state.enabled
     TRACER.reset()
+    _ledger.reset()
     _state.enabled = True
     try:
         deployment.initialize({key: bytes(value_len) for key in keys})
@@ -403,7 +436,22 @@ def run_sharded_audit(
     finally:
         _state.enabled = previous
 
+    # The pipelined path retires one client-side ledger row per request,
+    # labeled with its key; attach each row's resource totals as audit
+    # features so a read/write asymmetry in *spending* is also flagged.
+    row_by_key = {
+        row.label.split(":", 1)[1]: row.snapshot()
+        for row in _ledger.completed_rows()
+        if row.label.startswith("pipelined:")
+    }
+    key_by_fingerprint = {fp: key for key, fp in fingerprint_of.items()}
+
     observations = observations_by_fingerprint(spans, op_by_fingerprint)
+    for observation, span in zip(observations, spans):
+        key = key_by_fingerprint[span.attributes["key_fingerprint"]]
+        snapshot = row_by_key.get(key)
+        if snapshot is not None:
+            observation.features.update(_ledger_features(snapshot))
     overall = audit_observations(observations, mean_tolerance=mean_tolerance)
     per_shard = []
     for shard in range(deployment.num_shards):
@@ -479,4 +527,5 @@ __all__ = [
     "LeakyLblOrtoa",
     "EXACT_FEATURES",
     "MEAN_FEATURES",
+    "LEDGER_FEATURES",
 ]

@@ -43,6 +43,20 @@ def _value(samples: Samples, metric: str, labels: dict[str, str] | None = None) 
     return None
 
 
+def _wire_bytes_total(samples: Samples) -> float | None:
+    """Sum of every ``repro_ledger_wire_*_bytes_total`` counter on a target
+    (all roles, frame types, and directions), or ``None`` when the target
+    exports no ledger counters (observability off)."""
+    total, found = 0.0, False
+    for metric, entries in samples.items():
+        if metric.startswith("repro_ledger_wire_") and metric.endswith(
+            "_bytes_total"
+        ):
+            found = True
+            total += sum(value for _labels, value in entries)
+    return total if found else None
+
+
 def target_row(
     target: str,
     current: Samples,
@@ -56,12 +70,20 @@ def target_row(
         before = _value(previous, "repro_transport_requests_dispatched_total")
         if before is not None:
             ops_per_s = max(0.0, dispatched - before) / interval_s
+    wire_bytes = _wire_bytes_total(current)
+    mb_per_s = None
+    if previous is not None and wire_bytes is not None and interval_s > 0:
+        wire_before = _wire_bytes_total(previous)
+        if wire_before is not None:
+            mb_per_s = max(0.0, wire_bytes - wire_before) / interval_s / 1e6
     roundtrip = "repro_transport_pipeline_roundtrip_seconds"
     return {
         "target": target,
         "up": bool(current),
         "requests": dispatched,
         "ops_per_s": ops_per_s,
+        "wire_bytes": wire_bytes,
+        "mb_per_s": mb_per_s,
         "p50_ms": _ms(_value(current, roundtrip, {"quantile": "0.5"})),
         "p99_ms": _ms(_value(current, roundtrip, {"quantile": "0.99"})),
         "service_p99_ms": _ms(
@@ -92,7 +114,7 @@ def _cell(value: Any, fmt: str = "{:.1f}") -> str:
 def render_top(rows: list[dict[str, Any]], *, refreshed_at: str = "") -> str:
     """Render rows as the fixed-width ``repro top`` table."""
     header = (
-        f"{'TARGET':24s} {'REQS':>8s} {'OPS/S':>8s} {'RT p50':>8s} "
+        f"{'TARGET':24s} {'REQS':>8s} {'OPS/S':>8s} {'MB/S':>7s} {'RT p50':>8s} "
         f"{'RT p99':>8s} {'SVC p99':>8s} {'HIT%':>6s} {'QUEUE':>6s} {'ERRS':>5s}"
     )
     lines = [f"repro top — {len(rows)} target(s)  {refreshed_at}".rstrip(), header]
@@ -105,6 +127,7 @@ def render_top(rows: list[dict[str, Any]], *, refreshed_at: str = "") -> str:
             f"{row['target']:24s}"
             f" {_cell(row['requests'], '{:.0f}'):>8s}"
             f" {_cell(row['ops_per_s']):>8s}"
+            f" {_cell(row.get('mb_per_s'), '{:.2f}'):>7s}"
             f" {_cell(row['p50_ms'], '{:.2f}'):>8s}"
             f" {_cell(row['p99_ms'], '{:.2f}'):>8s}"
             f" {_cell(row['service_p99_ms'], '{:.2f}'):>8s}"
@@ -113,7 +136,10 @@ def render_top(rows: list[dict[str, Any]], *, refreshed_at: str = "") -> str:
             f" {_cell(row['span_errors'], '{:.0f}'):>5s}"
         )
     lines.append("")
-    lines.append("RT/SVC in ms; OPS/S from scrape deltas; ctrl-c to quit")
+    lines.append(
+        "RT/SVC in ms; OPS/S and MB/S (ledger wire bytes) from scrape deltas; "
+        "ctrl-c to quit"
+    )
     return "\n".join(lines)
 
 

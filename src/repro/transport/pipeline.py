@@ -29,6 +29,7 @@ from concurrent.futures import Future
 
 from repro.errors import ProtocolError
 from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
 from repro.obs.metrics import REGISTRY
 from repro.obs.propagate import TraceContext
 from repro.obs.trace import TRACER
@@ -64,6 +65,10 @@ class _Connection:
                 request_id, inner = framing.unwrap_mux(payload)
             except (ProtocolError, OSError):
                 break  # closed, truncated mid-frame, or protocol violation
+            if _obs.enabled:
+                _ledger.count_wire(
+                    _ledger.frame_type(payload), "received", 4 + len(payload)
+                )
             with self.pending_lock:
                 future = self.pending.pop(request_id, None)
             if future is None:
@@ -183,10 +188,13 @@ class PipelinedLblClient:
 
             future.add_done_callback(_observe)
         try:
-            with conn.send_lock:
-                framing.send_frame(
-                    conn.sock, framing.wrap_mux(request_id, payload, trace_context)
+            wrapped = framing.wrap_mux(request_id, payload, trace_context)
+            if _obs.enabled:
+                _ledger.count_wire(
+                    _ledger.frame_type(payload), "sent", 4 + len(wrapped)
                 )
+            with conn.send_lock:
+                framing.send_frame(conn.sock, wrapped)
         except OSError as exc:
             with conn.pending_lock:
                 conn.pending.pop(request_id, None)

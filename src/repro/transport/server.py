@@ -65,6 +65,7 @@ from repro.core.messages import (
 )
 from repro.errors import ConfigurationError, OrtoaError, ProtocolError
 from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.obs.propagate import REMOTE_PARENT_ATTR, TraceContext, remote_parent
@@ -131,8 +132,22 @@ class _Handler(socketserver.BaseRequestHandler):
             if framing.is_mux(payload):
                 server.submit_mux(self.request, send_lock, payload)
                 continue
+            if _obs.enabled:
+                _ledger.count_wire(
+                    _ledger.frame_type(payload),
+                    "received",
+                    4 + len(payload),
+                    role="server",
+                )
             reply = server.safe_dispatch(payload)
             try:
+                if _obs.enabled:
+                    _ledger.count_wire(
+                        _ledger.frame_type(reply),
+                        "sent",
+                        4 + len(reply),
+                        role="server",
+                    )
                 with send_lock:
                     framing.send_frame(self.request, reply)
             except OSError:
@@ -304,6 +319,9 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         if _obs.enabled:
             REGISTRY.counter("transport.mux_frames_received").inc()
             REGISTRY.gauge("transport.server.in_flight").set(depth)
+            _ledger.count_wire(
+                _ledger.frame_type(payload), "received", 4 + len(payload), role="server"
+            )
         self._pool.submit(
             self._handle_mux, sock, send_lock, request_id, inner, trace_context
         )
@@ -322,15 +340,22 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         start = time.perf_counter()
         parent = None
         attributes = {}
+        trace_id = None
         if trace_context is not None:
             try:
-                parent = remote_parent(TraceContext.decode(trace_context))
+                decoded = TraceContext.decode(trace_context)
+                parent = remote_parent(decoded)
+                trace_id = decoded.trace_id
                 attributes[REMOTE_PARENT_ATTR] = True
             except ProtocolError:
                 parent = None  # unparseable context: serve the request anyway
         try:
             with TRACER.span("transport.server.request", parent=parent, **attributes):
-                return self.safe_dispatch(inner)
+                # Server-side ops (AEAD opens, re-encrypt) land in a
+                # server-labeled row linked to the client trace, so the
+                # ledger can pair both halves of one access.
+                with _ledger.track(label="server", trace_id=trace_id):
+                    return self.safe_dispatch(inner)
         finally:
             REGISTRY.log_histogram("transport.server.service.seconds").observe(
                 time.perf_counter() - start
@@ -352,8 +377,13 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
             else:
                 reply = self.safe_dispatch(inner)
             try:
+                wrapped = framing.wrap_mux(request_id, reply)
+                if _obs.enabled:
+                    _ledger.count_wire(
+                        _ledger.frame_type(reply), "sent", 4 + len(wrapped), role="server"
+                    )
                 with send_lock:
-                    framing.send_frame(sock, framing.wrap_mux(request_id, reply))
+                    framing.send_frame(sock, wrapped)
             except OSError:
                 pass  # client vanished mid-flight; nothing left to tell it
         finally:
