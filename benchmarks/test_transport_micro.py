@@ -3,30 +3,64 @@
 Unlike the figure benchmarks (simulated WAN), these time actual socket
 round trips on localhost — the end-to-end software overhead a deployment
 adds on top of network latency.
+
+The LBL paths run over **both** transports: the threaded
+:class:`~repro.transport.LblTcpServer` and the event-loop
+:class:`~repro.transport.AsyncLblServer`.  The comparison tests gate the
+async transport's two promises from ROADMAP item 1: throughput at low
+concurrency no worse than the threaded stack, and a bounded p99 while the
+server is holding 1k+ concurrent connections under admission-control
+overload.
 """
 
+import asyncio
 import random
+import statistics
+import time
 
 import pytest
 
+from conftest import record_bench
 from repro.tee.attestation import AttestationService, measure_code
 from repro.tee.enclave import ENCLAVE_CODE_IDENTITY
-from repro.transport import LblTcpServer, RemoteLblOrtoa, RemoteTeeOrtoa, TeeTcpServer
+from repro.transport import (
+    AsyncLblServer,
+    LblTcpServer,
+    RemoteLblOrtoa,
+    RemoteTeeOrtoa,
+    TeeTcpServer,
+    make_pipelined_client,
+)
+from repro.transport.server import OBS_DUMP_TAG, OBS_PULL_TAG
 from repro.types import Request, StoreConfig
 
 CONFIG = StoreConfig(value_len=160, group_bits=2, point_and_permute=True)
 
+#: Idempotent control frame, repeatable at will (unlike a LOAD, which is
+#: rejected as a duplicate on re-send): isolates transport overhead
+#: (framing, mux, scheduling) from crypto.
+PING = bytes([OBS_PULL_TAG])
 
-@pytest.fixture()
-def lbl_pair():
-    server = LblTcpServer(point_and_permute=True)
-    server.serve_in_background()
+
+def make_server(transport: str):
+    """One started LBL server of either flavor (same wire format)."""
+    if transport == "thread":
+        server = LblTcpServer(point_and_permute=True)
+        server.serve_in_background()
+        return server
+    server = AsyncLblServer(point_and_permute=True)
+    server.start()
+    return server
+
+
+@pytest.fixture(params=["thread", "async"])
+def lbl_pair(request):
+    server = make_server(request.param)
     client = RemoteLblOrtoa(CONFIG, server.address, rng=random.Random(1))
     client.initialize({"k": bytes(160)})
     yield server, client
     client.close()
-    server.shutdown()
-    server.server_close()
+    server.close()
 
 
 def test_lbl_tcp_access_roundtrip(benchmark, lbl_pair):
@@ -36,37 +70,172 @@ def test_lbl_tcp_access_roundtrip(benchmark, lbl_pair):
     assert transcript.num_rounds == 1
 
 
-def test_tee_tcp_access_roundtrip(benchmark):
-    server = TeeTcpServer()
-    server.serve_in_background()
-    attestation = AttestationService(
-        server.hardware, measure_code(ENCLAVE_CODE_IDENTITY)
+# --------------------------------------------------------------------- #
+# Thread vs async pipelined throughput (low concurrency)
+# --------------------------------------------------------------------- #
+
+
+def _pipelined_rps(transport: str, num_requests: int = 2000, depth: int = 32) -> float:
+    """Control-frame requests/sec through the pipelined client stack."""
+    with make_server(transport) as server:
+        with make_pipelined_client(server.address, transport=transport) as client:
+            assert client.request(PING)[:1] == bytes([OBS_DUMP_TAG])  # warm up
+            start = time.perf_counter()
+            window = []
+            for _ in range(num_requests):
+                if len(window) >= depth:
+                    window.pop(0).result(30.0)
+                window.append(client.submit(PING))
+            for future in window:
+                future.result(30.0)
+            elapsed = time.perf_counter() - start
+    return num_requests / elapsed
+
+
+def test_async_throughput_vs_threaded():
+    """Async transport must not lose throughput at low concurrency.
+
+    The event loop's win is scale; this pins down that it does not cost
+    the common case.  The ratio (not the raw rps) is gated in the BENCH
+    trajectory — raw numbers do not compare across machines.
+    """
+    # Keep the best of three runs each: peak throughput is far less
+    # sensitive to a transient stall from an unrelated process than a
+    # single sample on a shared single-core machine.
+    thread_rps = max(_pipelined_rps("thread") for _ in range(3))
+    async_rps = max(_pipelined_rps("async") for _ in range(3))
+    ratio = async_rps / thread_rps
+    record_bench(
+        "transport.async.low_concurrency_rps", async_rps,
+        unit="req/s", gate=False,
     )
-    client = RemoteTeeOrtoa(StoreConfig(value_len=160), server.address, attestation)
-    client.initialize({"k": bytes(160)})
+    record_bench(
+        "transport.thread.low_concurrency_rps", thread_rps,
+        unit="req/s", gate=False,
+    )
+    record_bench(
+        "transport.async_vs_thread.throughput_ratio", ratio,
+        unit="x", higher_is_better=True, gate=False,
+    )
+    # The gated metric is capped at parity: the claim under test is
+    # "async costs nothing at low concurrency", and a lucky >1.0 sample
+    # must not ratchet the trajectory's baseline above the claim itself.
+    record_bench(
+        "transport.async_vs_thread.parity", min(ratio, 1.0),
+        unit="x", higher_is_better=True, gate=True,
+    )
+    # Single-core CI machines jitter; require parity within tolerance, not
+    # strict dominance on one sample.
+    assert ratio >= 0.75, (
+        f"async transport {async_rps:.0f} req/s vs threaded "
+        f"{thread_rps:.0f} req/s (ratio {ratio:.2f} < 0.75)"
+    )
+
+
+# --------------------------------------------------------------------- #
+# C1K: p99 bounded under overload at 1k+ concurrent connections
+# --------------------------------------------------------------------- #
+
+
+def test_c1k_p99_bounded_under_overload():
+    """1000 connections on one loop; admitted requests keep a bounded p99.
+
+    The in-flight window is far smaller than the connection count, so most
+    requests are shed with OVERLOAD — the point of admission control is
+    that the *admitted* requests' latency stays flat instead of every
+    request queueing behind a thousand others.  Shed requests get their
+    (tiny, constant) reply fast; both are measured.
+    """
+    payload = PING
+    num_conns = 1000
+
+    server = AsyncLblServer(max_in_flight=64, max_in_flight_per_conn=4)
+    server.start()
     try:
-        transcript = benchmark(client.access, Request.read("k"))
-        assert transcript.num_rounds == 1
+        host, port = server.address
+
+        async def one_conn(latencies, outcomes):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                from repro.transport import framing
+                from repro.transport.framing import _LEN
+                from repro.transport.server import OVERLOAD_FRAME
+
+                wrapped = framing.wrap_mux(1, payload)
+                start = time.perf_counter()
+                writer.write(_LEN.pack(len(wrapped)) + wrapped)
+                await writer.drain()
+                header = await reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                reply = await reader.readexactly(length)
+                latencies.append(time.perf_counter() - start)
+                _rid, inner = framing.unwrap_mux(reply)
+                outcomes.append("shed" if inner == OVERLOAD_FRAME else "served")
+            finally:
+                writer.close()
+
+        async def storm():
+            latencies: list[float] = []
+            outcomes: list[str] = []
+            await asyncio.gather(
+                *(one_conn(latencies, outcomes) for _ in range(num_conns))
+            )
+            return latencies, outcomes
+
+        latencies, outcomes = asyncio.run(storm())
     finally:
-        client.close()
-        server.shutdown()
-        server.server_close()
+        server.close()
+
+    assert len(latencies) == num_conns, "every connection must get a reply"
+    served = outcomes.count("served")
+    shed = outcomes.count("shed")
+    assert served > 0, "admission control must admit some requests"
+    latencies.sort()
+    p99 = latencies[int(0.99 * (len(latencies) - 1))]
+    p50 = statistics.median(latencies)
+    record_bench("transport.async.c1k_connections", num_conns, unit="conns", gate=False)
+    record_bench("transport.async.c1k_p99_seconds", p99, unit="s",
+                 higher_is_better=False, gate=False)
+    record_bench("transport.async.c1k_p99_over_p50", p99 / p50, unit="x",
+                 higher_is_better=False, gate=False)
+    # "Bounded" for a loopback echo under a 1000-way storm on shared CI
+    # hardware: worst percentile still finishes in seconds, not minutes,
+    # and nothing hangs (the gather above would deadlock on a lost reply).
+    assert p99 < 10.0, f"p99 {p99:.3f}s under overload (served={served}, shed={shed})"
+
+
+# --------------------------------------------------------------------- #
+# TEE paths (threaded only: the enclave transport has no async twin)
+# --------------------------------------------------------------------- #
+
+
+def test_tee_tcp_access_roundtrip(benchmark):
+    with TeeTcpServer() as server:
+        server.serve_in_background()
+        attestation = AttestationService(
+            server.hardware, measure_code(ENCLAVE_CODE_IDENTITY)
+        )
+        client = RemoteTeeOrtoa(StoreConfig(value_len=160), server.address, attestation)
+        client.initialize({"k": bytes(160)})
+        try:
+            transcript = benchmark(client.access, Request.read("k"))
+            assert transcript.num_rounds == 1
+        finally:
+            client.close()
 
 
 def test_tee_attestation_handshake(benchmark):
     """Full attest+verify+provision handshake cost (fresh connection each)."""
-    server = TeeTcpServer()
-    server.serve_in_background()
-    attestation = AttestationService(
-        server.hardware, measure_code(ENCLAVE_CODE_IDENTITY)
-    )
+    with TeeTcpServer() as server:
+        server.serve_in_background()
+        attestation = AttestationService(
+            server.hardware, measure_code(ENCLAVE_CODE_IDENTITY)
+        )
 
-    def handshake():
-        client = RemoteTeeOrtoa(StoreConfig(value_len=16), server.address, attestation)
-        client.close()
+        def handshake():
+            client = RemoteTeeOrtoa(
+                StoreConfig(value_len=16), server.address, attestation
+            )
+            client.close()
 
-    try:
         benchmark.pedantic(handshake, rounds=5, iterations=1)
-    finally:
-        server.shutdown()
-        server.server_close()

@@ -46,8 +46,7 @@ def main() -> None:
         print(f"  write: {t_write.request_bytes:6d} / {t_write.response_bytes} B")
         print("  identical -> a packet capture cannot tell them apart.")
 
-    server.shutdown()
-    server.server_close()
+    server.close()
     print("\nServer stopped.")
 
 

@@ -66,6 +66,7 @@ _RUN_OVERRIDES = {
     "workers": "workers",
     "label_cache": "label_cache",
     "crypto_backend": "crypto_backend",
+    "transport": "transport",
 }
 
 
@@ -279,6 +280,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 args.shards,
                 point_and_permute=config.point_and_permute,
                 in_process=True,
+                transport=args.transport,
             ) as cluster:
                 deployment = ShardedLblDeployment(
                     config,
@@ -286,6 +288,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                     rng=random.Random(args.seed),
                     pipeline_depth=args.pipeline_depth,
                     prepare_workers=args.workers,
+                    transport=args.transport,
                 )
                 try:
                     report = run_sharded_audit(
@@ -397,12 +400,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             point_and_permute=True,
             in_process=not args.processes,
             enable_obs=args.processes,
+            transport=args.transport,
         ) as cluster:
             deployment = ShardedLblDeployment(
                 config,
                 cluster.addresses,
                 rng=random.Random(args.seed),
                 pipeline_depth=args.pipeline_depth,
+                transport=args.transport,
             )
             try:
                 deployment.initialize(
@@ -574,6 +579,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. `lbl`): scalar reference path, stdlib batched kernels, "
         "numpy lane engine, or a label-derivation process pool",
     )
+    run.add_argument(
+        "--transport",
+        choices=("thread", "async"),
+        help="shard transport for experiments that take one "
+        "(e.g. `sharded`, `pipeline`): threaded servers/clients or the "
+        "asyncio event-loop transport",
+    )
     run.set_defaults(func=_cmd_run)
 
     sub.add_parser("demo", help="30-second functional demo").set_defaults(
@@ -707,6 +719,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="audit without the proxy label cache (enabled by default)",
     )
+    obs_cmd.add_argument(
+        "--transport",
+        choices=("thread", "async"),
+        default="thread",
+        help="shard transport for the sharded audit (default: thread)",
+    )
     obs_cmd.add_argument("--json", metavar="PATH", help="also write a JSON bundle")
     obs_cmd.set_defaults(func=_cmd_obs)
 
@@ -722,6 +740,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0, help="workload seed")
     trace.add_argument(
         "--pipeline-depth", type=int, default=8, metavar="D", help="in-flight window"
+    )
+    trace.add_argument(
+        "--transport",
+        choices=("thread", "async"),
+        default="thread",
+        help="shard transport (default: thread)",
     )
     trace.add_argument(
         "--processes",

@@ -57,7 +57,7 @@ from repro.obs.metrics import REGISTRY
 from repro.obs.propagate import TraceContext, merge_span_dumps
 from repro.obs.trace import TRACER
 from repro.storage.sharding import ShardRouter
-from repro.transport.pipeline import PipelinedLblClient
+from repro.transport.async_client import make_pipelined_client
 from repro.transport.server import LOAD_ACK, OBS_DUMP_TAG, OBS_PULL_TAG, pack_load
 from repro.types import Request, Response, StoreConfig
 
@@ -76,6 +76,12 @@ class ShardedLblDeployment(OrtoaProtocol):
             :meth:`access_pipelined`.
         pool_size: Sockets per shard.
         timeout: Connect timeout and per-reply wait (seconds).
+        transport: ``"thread"`` builds
+            :class:`~repro.transport.pipeline.PipelinedLblClient` pools,
+            ``"async"`` builds event-loop-backed
+            :class:`~repro.transport.async_client.SyncAsyncLblClient`
+            pools.  Both expose the same submit/request surface, so every
+            access path works over either unmodified.
         prepare_workers: Size of the :meth:`access_batch` table-build pool
             (:class:`~repro.core.lbl.parallel.ParallelPrepareEngine`);
             ``0`` prepares serially on the calling thread.
@@ -103,6 +109,7 @@ class ShardedLblDeployment(OrtoaProtocol):
         prepare_workers: int = 0,
         prepare_backend: str = "thread",
         crypto_backend: str = "auto",
+        transport: str = "thread",
     ) -> None:
         super().__init__(config)
         if not addresses:
@@ -118,11 +125,14 @@ class ShardedLblDeployment(OrtoaProtocol):
         )
         self.router = ShardRouter(len(addresses))
         self.clients = [
-            PipelinedLblClient(address, pool_size=pool_size, timeout=timeout)
+            make_pipelined_client(
+                address, pool_size=pool_size, timeout=timeout, transport=transport
+            )
             for address in addresses
         ]
         self.pipeline_depth = pipeline_depth
         self.timeout = timeout
+        self.transport = transport
         self._encoded: dict[str, bytes] = {}
         self.name = f"lbl-ortoa-sharded-x{len(addresses)}"
 

@@ -51,6 +51,17 @@ class KeyNotFoundError(ProtocolError):
     """The requested key does not exist in the store."""
 
 
+class OverloadError(ProtocolError):
+    """The server shed this request instead of queueing it.
+
+    Raised when a transport receives the one-byte OVERLOAD frame: the
+    server's admission control found its in-flight window full (or the
+    server draining for shutdown) and refused the request *before* looking
+    at it.  The request was not processed — no label rotated, no counter
+    moved — so retrying after backoff is always safe.
+    """
+
+
 class BatchPartialFailure(ProtocolError):
     """Some requests of a batch failed server-side; the rest completed.
 

@@ -347,6 +347,7 @@ def sharded_scaling(
     shards: int = 4,
     num_requests: int = 64,
     in_process: bool = True,
+    transport: str = "thread",
 ) -> list[Row]:
     """§6.2.4 on real sockets: throughput as loopback storage shards are added.
 
@@ -363,6 +364,7 @@ def sharded_scaling(
         num_requests: Accesses per data point.
         in_process: Thread-backed shard servers (default) or spawned
             subprocesses.
+        transport: ``"thread"`` or ``"async"`` shard servers and clients.
     """
     from repro.transport.cluster import measure_shard_scaling
 
@@ -373,6 +375,7 @@ def sharded_scaling(
         shard_counts=tuple(counts),
         num_requests=num_requests,
         in_process=in_process,
+        transport=transport,
     )
 
 
@@ -380,6 +383,7 @@ def pipeline_depth_sweep(
     pipeline_depth: int = 8,
     num_requests: int = 48,
     emulated_rtt_s: float = 0.01,
+    transport: str = "thread",
 ) -> list[Row]:
     """Lockstep vs pipelined throughput on one loopback shard.
 
@@ -394,6 +398,7 @@ def pipeline_depth_sweep(
         depths=depths,
         num_requests=num_requests,
         emulated_rtt_s=emulated_rtt_s,
+        transport=transport,
     )
 
 

@@ -71,6 +71,7 @@ _FRAME_NAMES = {
     0x41: "load",  # LOAD_ACK_TAG
     0x60: "obs",  # OBS_PULL_TAG
     0x61: "obs",  # OBS_DUMP_TAG
+    0x7E: "overload",  # OVERLOAD_TAG (async transport load shedding)
     0x7F: "error",  # ERROR_TAG
 }
 

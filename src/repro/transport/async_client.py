@@ -1,0 +1,425 @@
+"""Asyncio pipelined LBL client plus a drop-in sync wrapper.
+
+:class:`AsyncPipelinedLblClient` is the event-loop twin of
+:class:`~repro.transport.pipeline.PipelinedLblClient`: it multiplexes
+requests over a small pool of connections, matches replies to awaiting
+futures by request id, and interprets nothing but the error and OVERLOAD
+tags.  Where the threaded client burns one reader *thread* per socket,
+this one runs one reader *task* per socket — a client holding hundreds of
+connections costs hundreds of coroutines, not hundreds of stacks.
+
+:class:`SyncAsyncLblClient` wraps it for synchronous callers: a private
+event loop on one background thread, ``submit`` hopping onto it via
+``run_coroutine_threadsafe`` and returning a
+:class:`concurrent.futures.Future` — the same contract as
+``PipelinedLblClient.submit``, so :class:`~repro.core.sharded.ShardedLblDeployment`,
+the ledger, and the obliviousness auditor run over either transport
+unmodified.  :func:`make_pipelined_client` picks between them by name.
+
+Ledger note: the sync wrapper captures the caller's trace context *on the
+calling thread, before hopping loops* — the current span is a contextvar
+the loop thread cannot see.  Wire metering stays on the loop: the ledger
+registry is process-wide and thread-safe, so the totals come out exact
+either way, and metering once is what keeps them exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+
+from repro.errors import ConfigurationError, OverloadError, ProtocolError
+from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
+from repro.obs.metrics import REGISTRY
+from repro.obs.propagate import TraceContext
+from repro.obs.trace import TRACER
+from repro.transport import framing
+from repro.transport.framing import MAX_FRAME_BYTES, _LEN
+from repro.transport.server import ERROR_TAG, OVERLOAD_FRAME
+
+
+class _AsyncConnection:
+    """One (reader, writer) stream pair plus its reader task and pending map."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        #: Request id → future-like (asyncio or concurrent — the read loop
+        #: only calls set_result/set_exception/done on it).
+        self.pending: dict[int, "asyncio.Future | Future"] = {}
+        self.dead = False
+        self.reader_task: asyncio.Task | None = None
+
+    def fail_pending(self, error: ProtocolError) -> None:
+        self.dead = True
+        orphans = list(self.pending.values())
+        self.pending.clear()
+        for future in orphans:
+            if not future.done():
+                future.set_exception(error)
+
+
+class AsyncPipelinedLblClient:
+    """Pure-async multiplexing client; create then ``await open()``.
+
+    Args:
+        address: ``(host, port)`` of a running LBL server (threaded or
+            async — the wire format is identical).
+        pool_size: Connections to open; submissions round-robin.
+        timeout: Connect timeout per connection (seconds).
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        pool_size: int = 1,
+        timeout: float = 30.0,
+    ) -> None:
+        if pool_size < 1:
+            raise ProtocolError("pool_size must be >= 1")
+        self.address = address
+        self._pool_size = pool_size
+        self._timeout = timeout
+        self._connections: list[_AsyncConnection] = []
+        self._ids = itertools.count(1)
+        self._rr = itertools.cycle(range(pool_size))
+        self._closed = False
+        self._opened = False
+
+    async def open(self) -> "AsyncPipelinedLblClient":
+        """Connect the pool and start one reader task per connection."""
+        if self._opened:
+            return self
+        loop = asyncio.get_running_loop()
+        for _ in range(self._pool_size):
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*self.address), timeout=self._timeout
+            )
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                import socket as _socket
+
+                sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+            conn = _AsyncConnection(reader, writer)
+            conn.reader_task = loop.create_task(self._read_loop(conn))
+            self._connections.append(conn)
+        self._opened = True
+        return self
+
+    @property
+    def num_connections(self) -> int:
+        """Connections in the pool (dead ones included)."""
+        return len(self._connections)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet completed."""
+        return sum(len(c.pending) for c in self._connections)
+
+    async def _read_loop(self, conn: _AsyncConnection) -> None:
+        try:
+            while True:
+                header = await conn.reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise ProtocolError(
+                        f"peer announced a {length}-byte frame; refusing"
+                    )
+                payload = await conn.reader.readexactly(length)
+                request_id, inner = framing.unwrap_mux(payload)
+                if _obs.enabled:
+                    _ledger.count_wire(
+                        _ledger.frame_type(payload), "received", 4 + len(payload)
+                    )
+                future = conn.pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue  # reply nobody is waiting on (e.g. cancelled)
+                if inner == OVERLOAD_FRAME:
+                    if _obs.enabled:
+                        REGISTRY.counter(
+                            "transport.overload_frames_received"
+                        ).inc()
+                    future.set_exception(
+                        OverloadError("server shed this request (overloaded)")
+                    )
+                elif inner[:1] == bytes([ERROR_TAG]):
+                    if _obs.enabled:
+                        REGISTRY.counter("transport.error_frames_received").inc()
+                    future.set_exception(
+                        ProtocolError(
+                            f"server error: {inner[1:].decode('utf-8', 'replace')}"
+                        )
+                    )
+                else:
+                    future.set_result(inner)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError, ProtocolError):
+            pass  # fall through to fail whatever is still pending
+        except asyncio.CancelledError:
+            conn.fail_pending(ProtocolError("client closed with requests in flight"))
+            raise
+        conn.fail_pending(ProtocolError("connection lost with requests in flight"))
+
+    def _pick(self) -> _AsyncConnection:
+        for _ in range(len(self._connections)):
+            conn = self._connections[next(self._rr)]
+            if not conn.dead:
+                return conn
+        raise ProtocolError(f"all connections to {self.address} are closed")
+
+    def submit(
+        self,
+        payload: bytes,
+        trace_context: bytes | None = None,
+        future: "asyncio.Future | Future | None" = None,
+    ) -> "asyncio.Future | Future":
+        """Send one payload; the returned future completes with the reply.
+
+        Must be called on the loop that ran :meth:`open`.  Identical
+        contract to ``PipelinedLblClient.submit`` — including automatic
+        trace-context propagation from the calling context's current span
+        and the ``transport.pipeline.roundtrip.seconds`` histogram — except
+        the future is an :class:`asyncio.Future`, not a concurrent one.
+
+        ``future`` lets the sync wrapper hand in a
+        :class:`concurrent.futures.Future` to complete instead: the read
+        loop only ever calls ``set_result``/``set_exception``/``done`` on
+        it, which both future types share, and skipping the
+        asyncio-to-concurrent chaining keeps the hot path to one
+        ``call_soon_threadsafe`` per request.
+        """
+        if self._closed:
+            raise ProtocolError("client is closed")
+        if not self._opened:
+            raise ProtocolError("client not opened; await open() first")
+        if _obs.enabled and trace_context is None:
+            span = TRACER.current_span()
+            if span is not None:
+                trace_context = TraceContext.from_span(span).encode()
+        conn = self._pick()
+        request_id = next(self._ids)
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+        conn.pending[request_id] = future
+        if _obs.enabled:
+            submitted_at = time.perf_counter()
+            roundtrip = REGISTRY.log_histogram("transport.pipeline.roundtrip.seconds")
+
+            def _observe(f: asyncio.Future) -> None:
+                if not f.cancelled() and f.exception() is None:
+                    roundtrip.observe(time.perf_counter() - submitted_at)
+
+            future.add_done_callback(_observe)
+        wrapped = framing.wrap_mux(request_id, payload, trace_context)
+        if _obs.enabled:
+            _ledger.count_wire(_ledger.frame_type(payload), "sent", 4 + len(wrapped))
+        try:
+            conn.writer.write(_LEN.pack(len(wrapped)) + wrapped)
+        except (ConnectionError, OSError) as exc:
+            conn.pending.pop(request_id, None)
+            conn.fail_pending(ProtocolError(f"send failed: {exc}"))
+            raise ProtocolError(f"send to {self.address} failed: {exc}") from exc
+        if _obs.enabled:
+            REGISTRY.counter("transport.pipeline.submitted").inc()
+            REGISTRY.gauge("transport.pipeline.in_flight").set(self.in_flight)
+        return future
+
+    async def request(self, payload: bytes, timeout: float | None = 30.0) -> bytes:
+        """Submit and await the reply (lockstep convenience)."""
+        future = self.submit(payload)
+        if timeout is None:
+            return await future
+        return await asyncio.wait_for(future, timeout=timeout)
+
+    async def drain(self) -> None:
+        """Flush pending writes (backpressure point for bulk submitters)."""
+        for conn in self._connections:
+            if not conn.dead:
+                async with conn.write_lock:
+                    await conn.writer.drain()
+
+    async def close(self) -> None:
+        """Close every connection and fail any still-pending futures."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._connections:
+            conn.dead = True
+            if conn.reader_task is not None:
+                conn.reader_task.cancel()
+            conn.writer.close()
+        for conn in self._connections:
+            if conn.reader_task is not None:
+                try:
+                    await conn.reader_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            conn.fail_pending(ProtocolError("client closed with requests in flight"))
+
+    async def __aenter__(self) -> "AsyncPipelinedLblClient":
+        return await self.open()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+
+class SyncAsyncLblClient:
+    """``PipelinedLblClient``-compatible facade over the async client.
+
+    Runs a private event loop on one daemon thread; every pooled
+    connection lives there.  ``submit`` returns a
+    :class:`concurrent.futures.Future` exactly like the threaded client,
+    so the sharded deployment and everything above it cannot tell the
+    transports apart.
+
+    Trace capture happens here on the calling thread — the caller's
+    current span lives in contextvars the loop thread cannot see — while
+    wire metering stays inside the async client, whose registry counters
+    are process-wide and thread-safe.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        pool_size: int = 1,
+        timeout: float = 30.0,
+    ) -> None:
+        if pool_size < 1:
+            raise ProtocolError("pool_size must be >= 1")
+        self.address = address
+        self._timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="lbl-async-client", daemon=True
+        )
+        self._thread.start()
+        self._inner = AsyncPipelinedLblClient(
+            address, pool_size=pool_size, timeout=timeout
+        )
+        self._closed = False
+        try:
+            self._call(self._inner.open(), timeout=timeout + 5.0)
+        except Exception:
+            self._stop_loop()
+            raise
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+        # Drain callbacks scheduled right before stop() so cancellations run.
+        self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+        self._loop.close()
+
+    def _call(self, coro, timeout: float | None):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+
+    @property
+    def num_connections(self) -> int:
+        """Connections in the pool (dead ones included)."""
+        return self._inner.num_connections
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet completed."""
+        return self._inner.in_flight
+
+    def submit(self, payload: bytes, trace_context: bytes | None = None) -> Future:
+        """Send one payload; the future completes with the reply bytes.
+
+        Same contract as :meth:`PipelinedLblClient.submit`: trace context
+        defaults to the calling context's current span, the round trip
+        lands in ``transport.pipeline.roundtrip.seconds``, and the future
+        fails with :class:`~repro.errors.OverloadError` when the server
+        shed the request or :class:`~repro.errors.ProtocolError` on error
+        frames and dead connections.
+        """
+        if self._closed:
+            raise ProtocolError("client is closed")
+        # Capture the trace context on the CALLER's thread: the current
+        # span lives in the caller's contextvars, which the loop thread
+        # cannot see.  Wire metering stays inside the async client — the
+        # ledger registry is process-wide and thread-safe, so counting on
+        # the loop thread is exact, and counting here too would double it.
+        if _obs.enabled and trace_context is None:
+            span = TRACER.current_span()
+            if span is not None:
+                trace_context = TraceContext.from_span(span).encode()
+        # One call_soon_threadsafe per request — no coroutine, no Task,
+        # no future chaining.  The inner submit is synchronous on the
+        # loop (StreamWriter.write buffers without awaiting) and
+        # completes our concurrent future directly from its read loop.
+        future: Future = Future()
+
+        def _submit_on_loop() -> None:
+            try:
+                self._inner.submit(
+                    payload, trace_context=trace_context, future=future
+                )
+            except BaseException as exc:
+                if not future.done():
+                    future.set_exception(exc)
+
+        self._loop.call_soon_threadsafe(_submit_on_loop)
+        return future
+
+    def request(self, payload: bytes, timeout: float | None = 30.0) -> bytes:
+        """Submit and block for the reply (lockstep convenience)."""
+        return self.submit(payload).result(timeout)
+
+    def close(self) -> None:
+        """Close the pool, stop the loop thread, fail pending futures."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._call(self._inner.close(), timeout=10.0)
+        except Exception:
+            pass  # loop may already be wedged; still stop it below
+        self._stop_loop()
+
+    def __enter__(self) -> "SyncAsyncLblClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def make_pipelined_client(
+    address: tuple[str, int],
+    pool_size: int = 1,
+    timeout: float = 30.0,
+    transport: str = "thread",
+):
+    """Build a pipelined client for ``transport`` ("thread" or "async").
+
+    Both return objects with the same surface (``submit`` →
+    :class:`concurrent.futures.Future`, ``request``, ``close``,
+    ``in_flight``, ``num_connections``, context manager), so callers pick
+    a transport by name and change nothing else.
+    """
+    if transport == "thread":
+        from repro.transport.pipeline import PipelinedLblClient
+
+        return PipelinedLblClient(address, pool_size=pool_size, timeout=timeout)
+    if transport == "async":
+        return SyncAsyncLblClient(address, pool_size=pool_size, timeout=timeout)
+    raise ConfigurationError(
+        f"unknown transport {transport!r}; expected 'thread' or 'async'"
+    )
+
+
+__all__ = [
+    "AsyncPipelinedLblClient",
+    "SyncAsyncLblClient",
+    "make_pipelined_client",
+]

@@ -41,25 +41,59 @@ if TYPE_CHECKING:  # imported lazily at runtime: core.sharded imports this packa
 
 
 def _serve_shard(conn, point_and_permute: bool, response_delay_s: float,
-                 max_workers: int, metrics: bool,
-                 enable_obs: bool) -> None:  # pragma: no cover - child process
+                 max_workers: int, metrics: bool, enable_obs: bool,
+                 transport: str = "thread") -> None:  # pragma: no cover - child process
     """Child-process entry point: bind, report the addresses, serve forever."""
+    import threading
+
     from repro import obs
-    from repro.transport.server import LblTcpServer
 
     if enable_obs:
         # The child records into its own tracer/registry; the trusted side
         # pulls the dump over an OBS_PULL control frame and merges it.
         obs.enable()
-    server = LblTcpServer(
+    server = _make_shard_server(
+        transport,
         point_and_permute=point_and_permute,
         response_delay_s=response_delay_s,
         max_workers=max_workers,
         metrics_port=0 if metrics else None,
     )
-    conn.send({"address": server.address, "metrics": server.metrics_address})
-    conn.close()
-    server.serve_forever()
+    if transport == "async":
+        server.start()
+        conn.send({"address": server.address, "metrics": server.metrics_address})
+        conn.close()
+        threading.Event().wait()  # serve until the parent terminates us
+    else:
+        conn.send({"address": server.address, "metrics": server.metrics_address})
+        conn.close()
+        server.serve_forever()
+
+
+def _make_shard_server(transport: str, point_and_permute: bool,
+                       response_delay_s: float, max_workers: int,
+                       metrics_port: int | None):
+    """Build one (unstarted for async, bound for thread) shard server."""
+    if transport == "thread":
+        from repro.transport.server import LblTcpServer
+
+        return LblTcpServer(
+            point_and_permute=point_and_permute,
+            response_delay_s=response_delay_s,
+            max_workers=max_workers,
+            metrics_port=metrics_port,
+        )
+    if transport == "async":
+        from repro.transport.async_server import AsyncLblServer
+
+        return AsyncLblServer(
+            point_and_permute=point_and_permute,
+            response_delay_s=response_delay_s,
+            metrics_port=metrics_port,
+        )
+    raise ConfigurationError(
+        f"unknown transport {transport!r}; expected 'thread' or 'async'"
+    )
 
 
 class ShardCluster:
@@ -79,6 +113,12 @@ class ShardCluster:
             control frame at shutdown.  Ignored for in-process shards,
             which share this process's global tracer — the caller already
             controls that with :func:`repro.obs.enable`.
+        transport: ``"thread"`` boots
+            :class:`~repro.transport.server.LblTcpServer` shards,
+            ``"async"`` boots
+            :class:`~repro.transport.async_server.AsyncLblServer` shards
+            (one event loop each).  The wire format is identical, so
+            clients need not know which they got.
     """
 
     def __init__(
@@ -90,9 +130,15 @@ class ShardCluster:
         max_workers: int = 8,
         metrics: bool = False,
         enable_obs: bool = False,
+        transport: str = "thread",
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError("num_shards must be >= 1")
+        if transport not in ("thread", "async"):
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; expected 'thread' or 'async'"
+            )
+        self.transport = transport
         self.num_shards = num_shards
         self.point_and_permute = point_and_permute
         self.in_process = in_process
@@ -110,10 +156,9 @@ class ShardCluster:
         if self.addresses:
             raise ConfigurationError("cluster already started")
         if self.in_process:
-            from repro.transport.server import LblTcpServer
-
             for _ in range(self.num_shards):
-                server = LblTcpServer(
+                server = _make_shard_server(
+                    self.transport,
                     point_and_permute=self.point_and_permute,
                     response_delay_s=self.response_delay_s,
                     max_workers=self.max_workers,
@@ -136,6 +181,7 @@ class ShardCluster:
                         self.max_workers,
                         self.metrics,
                         self.enable_obs,
+                        self.transport,
                     ),
                     daemon=True,
                 )
@@ -161,8 +207,7 @@ class ShardCluster:
     def stop(self) -> None:
         """Shut every shard down (idempotent)."""
         for server in self.servers:
-            server.shutdown()
-            server.server_close()
+            server.close()
         self.servers = []
         for process in self._processes:
             process.terminate()
@@ -276,6 +321,7 @@ def measure_shard_scaling(
     workers_per_shard: int = 4,
     in_process: bool = True,
     seed: int = 0,
+    transport: str = "thread",
 ) -> list[dict]:
     """Batch (pipelined, deep window) throughput as shards are added.
 
@@ -309,11 +355,13 @@ def measure_shard_scaling(
             in_process=in_process,
             response_delay_s=service_time_s,
             max_workers=workers_per_shard,
+            transport=transport,
         ) as cluster:
             deployment = ShardedLblDeployment(
                 config,
                 cluster.addresses,
                 rng=random.Random(seed),
+                transport=transport,
             )
             try:
                 stats = measure_throughput(
@@ -348,6 +396,7 @@ def measure_pipeline_gain(
     emulated_rtt_s: float = 0.01,
     in_process: bool = True,
     seed: int = 0,
+    transport: str = "thread",
 ) -> list[dict]:
     """Lockstep vs pipelined throughput on one shard with an emulated WAN.
 
@@ -370,9 +419,13 @@ def measure_pipeline_gain(
             in_process=in_process,
             response_delay_s=emulated_rtt_s,
             max_workers=max(8, depth),
+            transport=transport,
         ) as cluster:
             deployment = ShardedLblDeployment(
-                config, cluster.addresses, rng=random.Random(seed)
+                config,
+                cluster.addresses,
+                rng=random.Random(seed),
+                transport=transport,
             )
             try:
                 mode = "lockstep" if depth <= 1 else "pipelined"

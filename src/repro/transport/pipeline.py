@@ -27,14 +27,14 @@ import threading
 import time
 from concurrent.futures import Future
 
-from repro.errors import ProtocolError
+from repro.errors import OverloadError, ProtocolError
 from repro.obs import _state as _obs
 from repro.obs import ledger as _ledger
 from repro.obs.metrics import REGISTRY
 from repro.obs.propagate import TraceContext
 from repro.obs.trace import TRACER
 from repro.transport import framing
-from repro.transport.server import ERROR_TAG
+from repro.transport.server import ERROR_TAG, OVERLOAD_FRAME
 
 
 class _Connection:
@@ -73,7 +73,13 @@ class _Connection:
                 future = self.pending.pop(request_id, None)
             if future is None:
                 continue  # reply for a request nobody is waiting on
-            if inner[:1] == bytes([ERROR_TAG]):
+            if inner == OVERLOAD_FRAME:
+                if _obs.enabled:
+                    REGISTRY.counter("transport.overload_frames_received").inc()
+                future.set_exception(
+                    OverloadError("server shed this request (overloaded)")
+                )
+            elif inner[:1] == bytes([ERROR_TAG]):
                 if _obs.enabled:
                     REGISTRY.counter("transport.error_frames_received").inc()
                 future.set_exception(

@@ -33,7 +33,11 @@ Wire protocol (within the framing of :mod:`repro.transport.framing`):
   telemetry into one trace;
 * on any handling error → an error frame (tag 0x7F + UTF-8 message, mux
   wrapped iff the request was), so clients fail with a described exception
-  instead of a dead socket.
+  instead of a dead socket;
+* on load shedding (asyncio transport only) → an overload frame (tag 0x7E,
+  exactly one byte, mux wrapped iff the request was).  The frame carries
+  no request-derived content, so a shed GET and a shed PUT are
+  byte-identical on the wire.
 
 With ``metrics_port=`` the server additionally exposes its metrics
 registry as Prometheus text on an HTTP scrape endpoint
@@ -80,6 +84,12 @@ OBS_PULL_TAG = 0x60
 #: Reply to :data:`OBS_PULL_TAG`: the tag followed by a UTF-8 JSON dump.
 OBS_DUMP_TAG = 0x61
 ERROR_TAG = 0x7F
+#: Load-shed reply: the server refused to queue the request.  The frame is
+#: exactly this one tag byte — no message, no request-derived content — so
+#: a shed GET and a shed PUT answer with byte-identical frames and load
+#: shedding cannot become an operation-type side channel.
+OVERLOAD_TAG = 0x7E
+OVERLOAD_FRAME = bytes([OVERLOAD_TAG])
 
 _log = get_logger("transport.server")
 
@@ -110,6 +120,146 @@ def unpack_load(payload: bytes):
     except Exception as exc:  # struct.error, IndexError on hostile blobs
         raise ProtocolError(f"malformed load record labels: {exc}") from None
     return encoded_key, labels
+
+
+class LblFrameDispatcher:
+    """Transport-agnostic frame router over one :class:`LblServer`.
+
+    The threaded :class:`LblTcpServer` and the asyncio
+    :class:`~repro.transport.async_server.AsyncLblServer` speak exactly the
+    same frames; this class owns the routing (LOAD / access / batch /
+    obs-pull → reply bytes) so the two transports cannot drift apart.
+
+    Args:
+        point_and_permute: Must match the clients' configuration.
+        num_stripes: Per-key lock stripes for ``locking=True``.
+        locking: Serialize same-key requests with striped locks.  A
+            multi-threaded transport needs this; an event-loop transport
+            whose dispatches never overlap passes ``False`` and pays no
+            locking at all.
+    """
+
+    def __init__(
+        self,
+        point_and_permute: bool = True,
+        num_stripes: int = 64,
+        locking: bool = True,
+    ) -> None:
+        if num_stripes < 1:
+            raise ConfigurationError("num_stripes must be >= 1")
+        self.lbl = LblServer(point_and_permute=point_and_permute)
+        self._stripes = (
+            [threading.Lock() for _ in range(num_stripes)] if locking else None
+        )
+
+    class _NoLock:
+        def __enter__(self):  # noqa: D401 - trivial context manager
+            return self
+
+        def __exit__(self, *_exc) -> None:
+            return None
+
+    _NO_LOCK = _NoLock()
+
+    def _stripe_for(self, encoded_key: bytes):
+        if self._stripes is None:
+            return self._NO_LOCK
+        return self._stripes[hash(encoded_key) % len(self._stripes)]
+
+    def safe_dispatch(self, payload: bytes) -> bytes:
+        """Dispatch one frame, converting failures into error frames."""
+        try:
+            return self.dispatch(payload)
+        except OrtoaError as exc:
+            _log.warning("request failed, returning error frame: %s", exc)
+            if _obs.enabled:
+                REGISTRY.counter("transport.error_frames_sent").inc()
+            return bytes([ERROR_TAG]) + str(exc).encode("utf-8")
+
+    def dispatch(self, payload: bytes) -> bytes:
+        """Route one decoded frame; returns the serialized reply."""
+        if _obs.enabled:
+            REGISTRY.counter("transport.requests_dispatched").inc()
+        if not payload:
+            raise ProtocolError("empty frame")
+        if payload[0] == OBS_PULL_TAG:
+            return self.obs_dump()
+        if payload[0] == LOAD_TAG:
+            encoded_key, labels = unpack_load(payload)
+            with self._stripe_for(encoded_key):
+                self.lbl.load(encoded_key, labels)
+            return LOAD_ACK
+        if payload[0] == LblAccessRequest.TAG:
+            request = LblAccessRequest.from_bytes(payload)
+            with self._stripe_for(request.encoded_key):
+                response, _ops = self.lbl.process(request)
+            return response.to_bytes()
+        if payload[0] == LblBatchRequest.TAG:
+            batch = LblBatchRequest.from_bytes(payload)
+            entries: list[LblAccessResponse | LblErrorEntry] = []
+            for request in batch.requests:
+                # Per-request isolation: requests processed so far have
+                # already rotated their labels, so a later failure must not
+                # discard them — slot an error entry and keep going.
+                try:
+                    with self._stripe_for(request.encoded_key):
+                        response, _ops = self.lbl.process(request)
+                    entries.append(response)
+                except OrtoaError as exc:
+                    _log.warning("batch request failed: %s", exc)
+                    if _obs.enabled:
+                        REGISTRY.counter("transport.batch_error_entries").inc()
+                    entries.append(LblErrorEntry(str(exc)))
+            return LblBatchResponse(tuple(entries)).to_bytes()
+        raise ProtocolError(f"unknown frame tag {payload[0]:#x}")
+
+    def obs_dump(self) -> bytes:
+        """This process's telemetry as an obs-dump frame.
+
+        Ships finished spans and the metrics snapshot back to the trusted
+        side, which merges them via
+        :func:`repro.obs.propagate.merge_span_dumps`.  Meaningful for
+        process-backed shards (a thread-backed shard already shares the
+        client's tracer); returns whatever this process recorded — an
+        empty dump when observability was never enabled here.
+        """
+        bundle = {"spans": TRACER.export(), "metrics": REGISTRY.snapshot()}
+        return bytes([OBS_DUMP_TAG]) + json.dumps(bundle, default=str).encode("utf-8")
+
+    def traced_dispatch(self, inner: bytes, trace_context: bytes | None) -> bytes:
+        """Dispatch under a request span parented by the propagated context.
+
+        The span marks itself :data:`~repro.obs.propagate.REMOTE_PARENT_ATTR`
+        so a cross-process merge keeps its parent link pointing at the
+        client span; making it the context's current span lets the nested
+        ``lbl.server.process`` span (emitted by the protocol layer in this
+        context) parent locally under it.  Service time — queueing
+        excluded, dispatch only — lands in the
+        ``transport.server.service.seconds`` log histogram.
+        """
+        start = time.perf_counter()
+        parent = None
+        attributes = {}
+        trace_id = None
+        if trace_context is not None:
+            try:
+                decoded = TraceContext.decode(trace_context)
+                parent = remote_parent(decoded)
+                trace_id = decoded.trace_id
+                attributes[REMOTE_PARENT_ATTR] = True
+            except ProtocolError:
+                parent = None  # unparseable context: serve the request anyway
+        try:
+            with TRACER.span("transport.server.request", parent=parent, **attributes):
+                # Server-side ops (AEAD opens, re-encrypt) land in a
+                # server-labeled row linked to the client trace, so the
+                # ledger can pair both halves of one access.
+                with _ledger.track(label="server", trace_id=trace_id):
+                    return self.safe_dispatch(inner)
+        finally:
+            REGISTRY.log_histogram("transport.server.service.seconds").observe(
+                time.perf_counter() - start
+            )
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -186,29 +336,34 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         response_delay_s: float = 0.0,
         metrics_port: int | None = None,
     ) -> None:
-        if num_stripes < 1:
-            raise ConfigurationError("num_stripes must be >= 1")
         if max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
         if response_delay_s < 0:
             raise ConfigurationError("response_delay_s cannot be negative")
         super().__init__((host, port), _Handler)
-        self.lbl = LblServer(point_and_permute=point_and_permute)
+        # process() mutates per-key state, so accesses to the same key must
+        # serialize — but only to the same key.  The dispatcher's striped
+        # locks (mirroring ConcurrentLblProxy) let distinct keys dispatch
+        # in parallel across the worker pool.
+        self.dispatcher = LblFrameDispatcher(
+            point_and_permute=point_and_permute,
+            num_stripes=num_stripes,
+            locking=True,
+        )
+        self.lbl = self.dispatcher.lbl
         self.response_delay_s = response_delay_s
         self.metrics_server = None
         if metrics_port is not None:
             from repro.obs.export import start_metrics_server
 
             self.metrics_server = start_metrics_server(host, metrics_port)
-        # process() mutates per-key state, so accesses to the same key must
-        # serialize — but only to the same key.  Striped locks (mirroring
-        # ConcurrentLblProxy) let distinct keys dispatch in parallel.
-        self._stripes = [threading.Lock() for _ in range(num_stripes)]
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="lbl-mux"
         )
         self._in_flight = 0
         self._in_flight_lock = threading.Lock()
+        self._serve_thread: threading.Thread | None = None
+        self._closed = False
 
     @property
     def address(self) -> tuple[str, int]:
@@ -227,72 +382,22 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         """Multiplexed requests currently queued or executing."""
         return self._in_flight
 
-    def _stripe_for(self, encoded_key: bytes) -> threading.Lock:
-        return self._stripes[hash(encoded_key) % len(self._stripes)]
-
     # ------------------------------------------------------------------ #
-    # Dispatch
+    # Dispatch (delegated to the shared frame dispatcher)
     # ------------------------------------------------------------------ #
 
     def safe_dispatch(self, payload: bytes) -> bytes:
         """Dispatch one frame, converting failures into error frames."""
-        try:
-            return self.dispatch(payload)
-        except OrtoaError as exc:
-            _log.warning("request failed, returning error frame: %s", exc)
-            if _obs.enabled:
-                REGISTRY.counter("transport.error_frames_sent").inc()
-            return bytes([ERROR_TAG]) + str(exc).encode("utf-8")
+        return self.dispatcher.safe_dispatch(payload)
 
     def dispatch(self, payload: bytes) -> bytes:
         """Route one decoded frame; returns the serialized reply."""
-        if _obs.enabled:
-            REGISTRY.counter("transport.requests_dispatched").inc()
-        if not payload:
-            raise ProtocolError("empty frame")
-        if payload[0] == OBS_PULL_TAG:
-            return self.obs_dump()
-        if payload[0] == LOAD_TAG:
-            encoded_key, labels = unpack_load(payload)
-            with self._stripe_for(encoded_key):
-                self.lbl.load(encoded_key, labels)
-            return LOAD_ACK
-        if payload[0] == LblAccessRequest.TAG:
-            request = LblAccessRequest.from_bytes(payload)
-            with self._stripe_for(request.encoded_key):
-                response, _ops = self.lbl.process(request)
-            return response.to_bytes()
-        if payload[0] == LblBatchRequest.TAG:
-            batch = LblBatchRequest.from_bytes(payload)
-            entries: list[LblAccessResponse | LblErrorEntry] = []
-            for request in batch.requests:
-                # Per-request isolation: requests processed so far have
-                # already rotated their labels, so a later failure must not
-                # discard them — slot an error entry and keep going.
-                try:
-                    with self._stripe_for(request.encoded_key):
-                        response, _ops = self.lbl.process(request)
-                    entries.append(response)
-                except OrtoaError as exc:
-                    _log.warning("batch request failed: %s", exc)
-                    if _obs.enabled:
-                        REGISTRY.counter("transport.batch_error_entries").inc()
-                    entries.append(LblErrorEntry(str(exc)))
-            return LblBatchResponse(tuple(entries)).to_bytes()
-        raise ProtocolError(f"unknown frame tag {payload[0]:#x}")
+        return self.dispatcher.dispatch(payload)
 
     def obs_dump(self) -> bytes:
-        """This process's telemetry as an obs-dump frame.
-
-        Ships finished spans and the metrics snapshot back to the trusted
-        side, which merges them via
-        :func:`repro.obs.propagate.merge_span_dumps`.  Meaningful for
-        process-backed shards (a thread-backed shard already shares the
-        client's tracer); returns whatever this process recorded — an
-        empty dump when observability was never enabled here.
-        """
-        bundle = {"spans": TRACER.export(), "metrics": REGISTRY.snapshot()}
-        return bytes([OBS_DUMP_TAG]) + json.dumps(bundle, default=str).encode("utf-8")
+        """This process's telemetry as an obs-dump frame (see
+        :meth:`LblFrameDispatcher.obs_dump`)."""
+        return self.dispatcher.obs_dump()
 
     # ------------------------------------------------------------------ #
     # Multiplexed (pipelined) frames
@@ -326,41 +431,6 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
             self._handle_mux, sock, send_lock, request_id, inner, trace_context
         )
 
-    def _traced_dispatch(self, inner: bytes, trace_context: bytes | None) -> bytes:
-        """Dispatch under a request span parented by the propagated context.
-
-        The span marks itself :data:`~repro.obs.propagate.REMOTE_PARENT_ATTR`
-        so a cross-process merge keeps its parent link pointing at the
-        client span; making it the context's current span lets the nested
-        ``lbl.server.process`` span (emitted by the protocol layer on this
-        worker thread) parent locally under it.  Service time — queueing
-        excluded, dispatch only — lands in the
-        ``transport.server.service.seconds`` log histogram.
-        """
-        start = time.perf_counter()
-        parent = None
-        attributes = {}
-        trace_id = None
-        if trace_context is not None:
-            try:
-                decoded = TraceContext.decode(trace_context)
-                parent = remote_parent(decoded)
-                trace_id = decoded.trace_id
-                attributes[REMOTE_PARENT_ATTR] = True
-            except ProtocolError:
-                parent = None  # unparseable context: serve the request anyway
-        try:
-            with TRACER.span("transport.server.request", parent=parent, **attributes):
-                # Server-side ops (AEAD opens, re-encrypt) land in a
-                # server-labeled row linked to the client trace, so the
-                # ledger can pair both halves of one access.
-                with _ledger.track(label="server", trace_id=trace_id):
-                    return self.safe_dispatch(inner)
-        finally:
-            REGISTRY.log_histogram("transport.server.service.seconds").observe(
-                time.perf_counter() - start
-            )
-
     def _handle_mux(
         self,
         sock,
@@ -373,7 +443,7 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
             if self.response_delay_s:
                 time.sleep(self.response_delay_s)
             if _obs.enabled:
-                reply = self._traced_dispatch(inner, trace_context)
+                reply = self.dispatcher.traced_dispatch(inner, trace_context)
             else:
                 reply = self.safe_dispatch(inner)
             try:
@@ -398,10 +468,37 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
     # ------------------------------------------------------------------ #
 
     def serve_in_background(self) -> threading.Thread:
-        """Start serving on a daemon thread; returns the thread."""
-        thread = threading.Thread(target=self.serve_forever, daemon=True)
-        thread.start()
-        return thread
+        """Start serving on a background thread; returns the thread.
+
+        The thread is kept (and joined by :meth:`close`) so a shutdown
+        actually waits for the accept loop to exit instead of leaking a
+        daemon thread holding the listener socket.  Idempotent: calling it
+        again returns the already-running thread.
+        """
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever, name="lbl-tcp-serve", daemon=True
+            )
+            self._serve_thread.start()
+        return self._serve_thread
+
+    def close(self) -> None:
+        """Stop serving and release every resource (idempotent).
+
+        Shuts the accept loop down, joins the serving thread started by
+        :meth:`serve_in_background`, and closes the listener, the mux
+        worker pool, and the scrape endpoint — the common lifecycle shared
+        with :class:`~repro.transport.async_server.AsyncLblServer`, so
+        ``with server:`` works identically over both transports.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._serve_thread is not None:
+            self.shutdown()
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        self.server_close()
 
     def server_close(self) -> None:
         """Close the listener, the mux worker pool, and the scrape endpoint."""
@@ -410,9 +507,17 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         if self.metrics_server is not None:
             self.metrics_server.shutdown()
             self.metrics_server.server_close()
+            self.metrics_server = None
+
+    def __enter__(self) -> "LblTcpServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 __all__ = [
+    "LblFrameDispatcher",
     "LblTcpServer",
     "pack_load",
     "unpack_load",
@@ -421,4 +526,6 @@ __all__ = [
     "OBS_PULL_TAG",
     "OBS_DUMP_TAG",
     "ERROR_TAG",
+    "OVERLOAD_TAG",
+    "OVERLOAD_FRAME",
 ]

@@ -103,6 +103,8 @@ class TeeTcpServer(socketserver.ThreadingTCPServer):
         self.enclave = Enclave(self.hardware)
         self.store: KeyValueStore[bytes] = KeyValueStore("tee-tcp-server")
         self._lock = threading.Lock()
+        self._serve_thread: threading.Thread | None = None
+        self._closed = False
 
     @property
     def address(self) -> tuple[str, int]:
@@ -110,10 +112,34 @@ class TeeTcpServer(socketserver.ThreadingTCPServer):
         return self.socket.getsockname()
 
     def serve_in_background(self) -> threading.Thread:
-        """Start serving on a daemon thread; returns the thread."""
-        thread = threading.Thread(target=self.serve_forever, daemon=True)
-        thread.start()
-        return thread
+        """Start serving on a daemon thread (idempotent); returns the thread."""
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever, name="tee-tcp-serve", daemon=True
+            )
+            self._serve_thread.start()
+        return self._serve_thread
+
+    def close(self) -> None:
+        """Stop serving, join the background thread, release the socket.
+
+        Idempotent; the common lifecycle shared by every transport server
+        (see :meth:`repro.transport.server.LblTcpServer.close`).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._serve_thread is not None:
+            self.shutdown()
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        self.server_close()
+
+    def __enter__(self) -> "TeeTcpServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def dispatch(self, payload: bytes) -> bytes:
         """Route one frame; returns the serialized reply."""

@@ -32,8 +32,7 @@ def server():
     tcp = LblTcpServer(point_and_permute=True)
     tcp.serve_in_background()
     yield tcp
-    tcp.shutdown()
-    tcp.server_close()
+    tcp.close()
 
 
 def make_proxy(seed: int = 1) -> LblProxy:

@@ -36,8 +36,7 @@ def metrics_server():
     server = LblTcpServer(point_and_permute=True, metrics_port=0)
     server.serve_in_background()
     yield server
-    server.shutdown()
-    server.server_close()
+    server.close()
 
 
 def _metrics_url(server: LblTcpServer) -> str:

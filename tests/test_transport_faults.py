@@ -51,8 +51,7 @@ def server():
     tcp = LblTcpServer(point_and_permute=True)
     tcp.serve_in_background()
     yield tcp
-    tcp.shutdown()
-    tcp.server_close()
+    tcp.close()
 
 
 def assert_server_alive(server):

@@ -25,8 +25,7 @@ def server():
     tcp = TeeTcpServer()
     tcp.serve_in_background()
     yield tcp
-    tcp.shutdown()
-    tcp.server_close()
+    tcp.close()
 
 
 def good_attestation(server):

@@ -1,5 +1,13 @@
 """Fuzz tests: parsers must fail *cleanly* (ProtocolError/ConfigurationError),
-never with unexpected exceptions, on arbitrary or mutated input."""
+never with unexpected exceptions, on arbitrary or mutated input.
+
+The final section points the same adversarial streams at a *live*
+:class:`~repro.transport.AsyncLblServer` over real sockets: a garbage,
+truncated, or oversized frame may earn an error reply or a hangup, but
+must never wedge the event loop or take the server down for other
+connections."""
+
+import socket
 
 import pytest
 from hypothesis import given, settings
@@ -9,8 +17,23 @@ from repro.core import messages as m
 from repro.crypto.fhe import FheCiphertext, FheParams
 from repro.crypto.labels import StoredLabel
 from repro.errors import ConfigurationError, OrtoaError, ProtocolError
-from repro.transport.framing import MAX_REQUEST_ID, unwrap_mux, wrap_mux
-from repro.transport.server import LOAD_TAG, pack_load, unpack_load
+from repro.transport import framing
+from repro.transport.async_server import AsyncLblServer
+from repro.transport.framing import (
+    _LEN,
+    MAX_FRAME_BYTES,
+    MAX_REQUEST_ID,
+    unwrap_mux,
+    wrap_mux,
+)
+from repro.transport.server import (
+    ERROR_TAG,
+    LOAD_TAG,
+    OBS_DUMP_TAG,
+    OBS_PULL_TAG,
+    pack_load,
+    unpack_load,
+)
 
 PARSERS = [
     m.ReadRequest,
@@ -196,3 +219,158 @@ def test_batch_response_mutation_is_rejected_or_parses(mutation_at, new_byte):
         assert isinstance(parsed.responses, tuple)
     except ProtocolError:
         pass
+
+
+# --------------------------------------------------------------------- #
+# Live async server under adversarial byte streams
+# --------------------------------------------------------------------- #
+
+PING = bytes([OBS_PULL_TAG])
+
+
+@pytest.fixture(scope="module")
+def async_server():
+    """One event-loop server shared by every fuzz example in this module.
+
+    Sharing is the point: each example attacks the same loop, so a wedge
+    or crash caused by example N fails the liveness probes of N+1.
+    """
+    with AsyncLblServer(point_and_permute=True) as server:
+        yield server
+
+
+def assert_loop_alive(server) -> None:
+    """A well-formed request on a fresh connection still completes."""
+    probe = socket.create_connection(server.address, timeout=30)
+    try:
+        framing.send_frame(probe, framing.wrap_mux(1, PING))
+        _rid, inner = unwrap_mux(framing.recv_frame(probe))
+        assert inner[:1] == bytes([OBS_DUMP_TAG])
+    finally:
+        probe.close()
+
+
+def exchange(server, blob: bytes, timeout: float = 10.0) -> bytes | None:
+    """Send raw bytes; return the first reply frame, or None on hangup.
+
+    A timeout (the server neither replying nor hanging up) is the one
+    outcome that fails the test: it means a connection wedged the loop.
+    """
+    sock = socket.create_connection(server.address, timeout=timeout)
+    try:
+        sock.sendall(blob)
+        try:
+            return framing.recv_frame(sock)
+        except ProtocolError:
+            return None  # server hung up cleanly
+        except TimeoutError:
+            pytest.fail(f"server neither replied nor hung up for {blob[:40]!r}")
+    finally:
+        sock.close()
+
+
+#: First bytes the dispatcher recognizes (access, batch, load, obs pull,
+#: and the two mux envelopes).  Garbage behind a known tag may parse by
+#: coincidence; garbage behind anything else must earn an error frame.
+KNOWN_TAGS = {
+    m.LblAccessRequest.TAG,
+    m.LblBatchRequest.TAG,
+    LOAD_TAG,
+    OBS_PULL_TAG,
+    framing.MUX_TAG,
+    framing.MUX_TRACED_TAG,
+}
+
+
+@given(payload=st.binary(min_size=0, max_size=300))
+@settings(max_examples=25, deadline=None)
+def test_async_server_replies_or_hangs_up_on_garbage_frames(async_server, payload):
+    """A well-framed garbage payload earns an error reply or a hangup."""
+    reply = exchange(async_server, _LEN.pack(len(payload)) + payload)
+    if reply is not None and (not payload or payload[0] not in KNOWN_TAGS):
+        # Unknown leading tag: the reply must be an explicit error frame,
+        # not a fake success.
+        assert reply[:1] == bytes([ERROR_TAG]), reply
+    assert_loop_alive(async_server)
+
+
+@given(
+    request_id=st.integers(min_value=0, max_value=MAX_REQUEST_ID),
+    inner=st.binary(min_size=0, max_size=200),
+)
+@settings(max_examples=25, deadline=None)
+def test_async_server_answers_garbage_mux_frames_under_their_id(
+    async_server, request_id, inner
+):
+    """Garbage *inside* a mux envelope is answered under that request id,
+    so a pipelined client can fail just the one future."""
+    frame = wrap_mux(request_id, inner)
+    reply = exchange(async_server, _LEN.pack(len(frame)) + frame)
+    if reply is not None and reply[:1] != bytes([ERROR_TAG]):
+        reply_id, reply_inner = unwrap_mux(reply)
+        assert reply_id == request_id
+        # Almost always an error frame; a coincidentally-valid control
+        # frame (obs pull, load record) may earn its genuine ack.
+        assert reply_inner[:1] in (
+            bytes([ERROR_TAG]),
+            bytes([OBS_DUMP_TAG]),
+            bytes([LOAD_TAG + 1]),  # LOAD_ACK
+        )
+    assert_loop_alive(async_server)
+
+
+@given(
+    claimed=st.integers(min_value=0, max_value=2**32 - 1),
+    delivered=st.binary(max_size=100),
+)
+@settings(max_examples=25, deadline=None)
+def test_async_server_survives_lying_length_prefixes(async_server, claimed, delivered):
+    """Length prefixes that promise more (or less) than delivered.
+
+    Over-claims beyond MAX_FRAME_BYTES must be refused outright; short
+    deliveries just look like a slow client until we hang up first.
+    """
+    sock = socket.create_connection(async_server.address, timeout=10)
+    try:
+        sock.sendall(_LEN.pack(claimed) + delivered)
+        if claimed > MAX_FRAME_BYTES:
+            # The server must refuse without reading the (absent) payload.
+            try:
+                reply = framing.recv_frame(sock)
+                assert reply[:1] == bytes([ERROR_TAG])
+            except ProtocolError:
+                pass  # immediate hangup is acceptable too
+    finally:
+        sock.close()
+    assert_loop_alive(async_server)
+
+
+@given(raw=st.binary(min_size=1, max_size=300))
+@settings(max_examples=25, deadline=None)
+def test_async_server_survives_unframed_byte_storm(async_server, raw):
+    """Raw bytes with no framing discipline at all, then a hard close."""
+    sock = socket.create_connection(async_server.address, timeout=10)
+    try:
+        sock.sendall(raw)
+    finally:
+        sock.close()
+    assert_loop_alive(async_server)
+
+
+def test_async_server_survives_max_frame_boundary(async_server):
+    """Frames exactly at, one under, and one over the size limit."""
+    at_limit_ok = _LEN.pack(MAX_FRAME_BYTES)
+    over_limit = _LEN.pack(MAX_FRAME_BYTES + 1)
+    # Over the limit: refused before any payload is read.
+    reply = exchange(async_server, over_limit)
+    assert reply is None or reply[:1] == bytes([ERROR_TAG])
+    # At the limit: legal length, we just never deliver the body; the
+    # server must not block anyone else while waiting, and our hangup
+    # must reap the connection.
+    sock = socket.create_connection(async_server.address, timeout=10)
+    try:
+        sock.sendall(at_limit_ok)
+        assert_loop_alive(async_server)
+    finally:
+        sock.close()
+    assert_loop_alive(async_server)
