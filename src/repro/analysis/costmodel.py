@@ -301,6 +301,14 @@ DEFAULT_SHARD_OPS_PER_SEC = 2_000.0
 DEFAULT_COMPRESSIONS_PER_CORE_PER_SEC = 4_000_000.0
 DEFAULT_TARGET_UTILIZATION = 0.6
 
+#: Fixed proxy-side cost of one prepare *dispatch* (interpreter dispatch,
+#: lane-engine setup, worker IPC where a procpool is attached) — the part
+#: of an access that does not scale with bytes hashed and that cross-request
+#: coalescing amortizes across a window.  Like the rates above this is an
+#: explicit, overridable calibration point echoed into the plan, calibrated
+#: against ``benchmarks/test_coalesce_throughput.py`` on the CI host.
+DEFAULT_FLUSH_OVERHEAD_SECONDS = 250e-6
+
 
 @dataclass(frozen=True, slots=True)
 class CapacityPlan:
@@ -346,6 +354,8 @@ def plan_capacity(
     shard_ops_per_sec: float = DEFAULT_SHARD_OPS_PER_SEC,
     compressions_per_core_per_sec: float = DEFAULT_COMPRESSIONS_PER_CORE_PER_SEC,
     target_utilization: float = DEFAULT_TARGET_UTILIZATION,
+    coalesce_batch: int = 1,
+    flush_overhead_seconds: float = DEFAULT_FLUSH_OVERHEAD_SECONDS,
     prices=None,
 ) -> CapacityPlan:
     """Size a deployment for ``users`` issuing ``ops_per_user_per_day`` each.
@@ -357,6 +367,14 @@ def plan_capacity(
     ``p99 ≈ service_time · ln(100) / (1 − ρ)`` at the planned utilization —
     a deliberately simple queueing bound, stated as such.
 
+    The per-access CPU cost splits into work that scales with bytes hashed
+    (``compressions / compressions_per_core_per_sec`` — coalescing does not
+    change it: a fused window hashes exactly the per-request messages) and
+    a fixed per-flush dispatch overhead, amortized across the
+    ``coalesce_batch`` requests that share a flush (ROADMAP item 4).  With
+    the default ``coalesce_batch=1`` each access pays the full dispatch
+    cost, which is the uncoalesced deployment.
+
     Args:
         users: Active user count.
         ops_per_user_per_day: Accesses per user per day.
@@ -366,6 +384,11 @@ def plan_capacity(
         compressions_per_core_per_sec: Sustained SHA-256 compression rate
             of one proxy core.
         target_utilization: Planned peak utilization of shards and cores.
+        coalesce_batch: Expected requests per coalescing flush (the
+            deployment's ``coalesce_batch`` under saturating traffic);
+            ``1`` models the per-request prepare path.
+        flush_overhead_seconds: Fixed dispatch cost of one prepare flush
+            (see :data:`DEFAULT_FLUSH_OVERHEAD_SECONDS`).
         prices: :class:`repro.analysis.cost.CloudPrices` override.
     """
     from repro.analysis.cost import CloudPrices
@@ -374,6 +397,10 @@ def plan_capacity(
         raise ConfigurationError("users and ops_per_user_per_day must be positive")
     if not 0 < target_utilization < 1:
         raise ConfigurationError("target_utilization must be in (0, 1)")
+    if coalesce_batch < 1:
+        raise ConfigurationError("coalesce_batch must be >= 1")
+    if flush_overhead_seconds < 0:
+        raise ConfigurationError("flush_overhead_seconds must be >= 0")
     prices = prices or CloudPrices()
     if num_objects is None:
         num_objects = users
@@ -386,7 +413,12 @@ def plan_capacity(
     shards = max(
         1, int(-(-ops_per_second // (shard_ops_per_sec * target_utilization)))
     )
-    cpu_seconds_per_access = compressions / compressions_per_core_per_sec
+    # Hashing work is batch-invariant; the fixed dispatch overhead is paid
+    # once per flush and shared by the window that flushed together.
+    cpu_seconds_per_access = (
+        compressions / compressions_per_core_per_sec
+        + flush_overhead_seconds / coalesce_batch
+    )
     cpu_cores = max(
         1,
         int(
@@ -431,6 +463,8 @@ def plan_capacity(
             "shard_ops_per_sec": shard_ops_per_sec,
             "compressions_per_core_per_sec": compressions_per_core_per_sec,
             "target_utilization": target_utilization,
+            "coalesce_batch": coalesce_batch,
+            "flush_overhead_seconds": flush_overhead_seconds,
             "p99_model": "M/M/1 tail: service_ms * ln(100) / (1 - utilization)",
         },
     )
@@ -455,6 +489,13 @@ def run_model_check(
     Point-and-permute is always on (without it the server's decrypt-attempt
     count is value-dependent and exact equality is not defined).
 
+    The pseudo-backend ``"coalesced"`` routes the access through a
+    :class:`~repro.core.lbl.parallel.ParallelPrepareEngine` with the
+    coalescing window *and* the shared-memory procpool enabled — the
+    fused-dispatch path — and checks it against the ``"procpool"`` model:
+    per-request op counts are unchanged by fusion, which is exactly the
+    exactness claim coalescing must preserve.
+
     Returns a JSON-ready report: ``{"ok": bool, "cases": [...]}`` where
     each case carries the expected/actual dicts and its own verdict.
     """
@@ -478,12 +519,17 @@ def run_model_check(
                     point_and_permute=True,
                 )
                 engine = None
-                if backend == "procpool":
+                if backend in ("procpool", "coalesced"):
                     protocol = LblOrtoa(
                         config, rng=_random.Random(7), crypto_backend="stdlib"
                     )
                     engine = ParallelPrepareEngine(
-                        protocol.proxy, workers=0, backend="procpool"
+                        protocol.proxy,
+                        workers=0,
+                        backend="procpool",
+                        coalesce_window=(
+                            0.0005 if backend == "coalesced" else 0.0
+                        ),
                     )
                 else:
                     protocol = LblOrtoa(
@@ -500,7 +546,12 @@ def run_model_check(
                     ):
                         epoch = protocol.proxy.counter("k")
                         model = LblCostModel.from_config(
-                            config, backend=backend, key="k", counter=epoch
+                            config,
+                            backend=(
+                                "procpool" if backend == "coalesced" else backend
+                            ),
+                            key="k",
+                            counter=epoch,
                         )
                         with ledger.track(label=f"check:{op_name}") as row:
                             if engine is None:

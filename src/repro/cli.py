@@ -67,6 +67,7 @@ _RUN_OVERRIDES = {
     "label_cache": "label_cache",
     "crypto_backend": "crypto_backend",
     "transport": "transport",
+    "coalesce_window": "coalesce_window",
 }
 
 
@@ -158,6 +159,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     """Capacity planner on the wire-validated cost model (or --check it)."""
     from repro.analysis.costmodel import (
         DEFAULT_COMPRESSIONS_PER_CORE_PER_SEC,
+        DEFAULT_FLUSH_OVERHEAD_SECONDS,
         DEFAULT_SHARD_OPS_PER_SEC,
         DEFAULT_TARGET_UTILIZATION,
         LblCostModel,
@@ -170,7 +172,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         # require the ledger to agree with the model byte-for-byte.
         report = run_model_check(
             value_sizes=(4, 8, 16),
-            backends=("scalar", "stdlib", "vector", "procpool"),
+            backends=("scalar", "stdlib", "vector", "procpool", "coalesced"),
         )
         for case in report["cases"]:
             mark = "ok " if case["ok"] else "FAIL"
@@ -207,6 +209,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             compressions_per_core_per_sec=args.core_compressions
             or DEFAULT_COMPRESSIONS_PER_CORE_PER_SEC,
             target_utilization=args.utilization or DEFAULT_TARGET_UTILIZATION,
+            coalesce_batch=args.coalesce_batch,
+            flush_overhead_seconds=(
+                args.flush_overhead
+                if args.flush_overhead is not None
+                else DEFAULT_FLUSH_OVERHEAD_SECONDS
+            ),
         )
     except OrtoaError as exc:
         print(f"cannot plan: {exc}", file=sys.stderr)
@@ -586,6 +594,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. `sharded`, `pipeline`): threaded servers/clients or the "
         "asyncio event-loop transport",
     )
+    run.add_argument(
+        "--coalesce-window",
+        dest="coalesce_window",
+        type=float,
+        metavar="SECONDS",
+        help="prepare-coalescing flush timer for experiments that take one "
+        "(e.g. `lbl`): concurrent prepares fuse into windowed lane "
+        "dispatches; 0 disables",
+    )
     run.set_defaults(func=_cmd_run)
 
     sub.add_parser("demo", help="30-second functional demo").set_defaults(
@@ -661,6 +678,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="planned peak utilization of shards and cores (default: 0.6)",
     )
     plan.add_argument(
+        "--coalesce-batch",
+        dest="coalesce_batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="expected requests per prepare-coalescing flush; the fixed "
+        "dispatch overhead amortizes across the window (default: 1 = "
+        "per-request prepares)",
+    )
+    plan.add_argument(
+        "--flush-overhead",
+        dest="flush_overhead",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fixed dispatch cost of one prepare flush (planner assumption)",
+    )
+    plan.add_argument(
         "--record",
         action="store_true",
         help="append planner projections to the BENCH trajectory (ungated)",
@@ -669,7 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="validate the model against the wire ledger for GET and PUT "
-        "across scalar/stdlib/vector/procpool at 3 value sizes",
+        "across scalar/stdlib/vector/procpool/coalesced at 3 value sizes",
     )
     plan.add_argument("--json", metavar="PATH", help="write a JSON report")
     plan.set_defaults(func=_cmd_plan)

@@ -38,12 +38,14 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.base import OpCounts
+from repro.core.lbl.coalesce import DEFAULT_MAX_BATCH, PrepareCoalescer
 from repro.core.lbl.procpool import ProcessCryptoPool
 from repro.core.lbl.proxy import LblProxy
 from repro.core.messages import LblAccessRequest
 from repro.errors import ConfigurationError
 from repro.obs import _state as _obs
 from repro.obs import ledger as _ledger
+from repro.obs.clock import Clock
 from repro.obs.metrics import REGISTRY
 from repro.types import Request
 
@@ -64,6 +66,14 @@ class ParallelPrepareEngine:
             derives labels in a :class:`ProcessCryptoPool` of
             ``max(1, workers)`` worker processes, overlapping the PRF
             kernels of independent keys even under a GIL.
+        coalesce_window: When ``> 0``, route every prepare through a
+            :class:`~repro.core.lbl.coalesce.PrepareCoalescer` with this
+            flush timer (seconds): concurrent prepares fuse into windowed
+            lane dispatches, and serial ``prepare_batch`` calls fuse the
+            whole batch.  ``0`` (default) keeps the per-request paths.
+        coalesce_batch: Size flush threshold for the coalescing window.
+        coalesce_clock: Injectable time source for the flush timer
+            (deterministic timer tests); defaults to wall time.
     """
 
     def __init__(
@@ -72,6 +82,9 @@ class ParallelPrepareEngine:
         workers: int = 0,
         num_stripes: int = 64,
         backend: str = "thread",
+        coalesce_window: float = 0.0,
+        coalesce_batch: int = DEFAULT_MAX_BATCH,
+        coalesce_clock: "Clock | None" = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError("workers must be >= 0")
@@ -98,6 +111,16 @@ class ParallelPrepareEngine:
                 group_bits=config.group_bits,
                 point_and_permute=config.point_and_permute,
                 workers=max(1, workers),
+                max_batch=max(coalesce_batch, 1),
+            )
+        self._coalescer: PrepareCoalescer | None = None
+        if coalesce_window > 0:
+            self._coalescer = PrepareCoalescer(
+                proxy,
+                window=coalesce_window,
+                max_batch=coalesce_batch,
+                procpool=self._procpool,
+                clock=coalesce_clock,
             )
 
     def close(self) -> None:
@@ -115,9 +138,29 @@ class ParallelPrepareEngine:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    @property
+    def coalescer(self) -> "PrepareCoalescer | None":
+        """The coalescing stage, when enabled (``coalesce_window > 0``)."""
+        return self._coalescer
+
+    def prepare_one(
+        self, request: Request, row: "_ledger.LedgerRow | None" = None
+    ) -> tuple[LblAccessRequest, OpCounts, int]:
+        """Prepare a single access through the engine's configured path.
+
+        With coalescing enabled this joins the current window — concurrent
+        callers (pipelined transports, multi-client deployments) fuse into
+        one lane dispatch; otherwise it is a plain per-request prepare.
+        Returns the same ``(wire_request, prepare_ops, epoch)`` triple as a
+        :meth:`prepare_batch` entry.
+        """
+        return self._prepare_one(request, row)
+
     def _prepare_one(
         self, request: Request, row: "_ledger.LedgerRow | None" = None
     ) -> tuple[LblAccessRequest, OpCounts, int]:
+        if self._coalescer is not None:
+            return self._coalescer.prepare(request, row)
         # Contextvars do not follow work across the thread pool, so callers
         # that track per-request rows pass them explicitly; the row is made
         # ambient for exactly this request's crypto.
@@ -188,6 +231,10 @@ class ParallelPrepareEngine:
                 f"{len(requests)} requests for {len(rows)} ledger rows"
             )
         if self._pool is None or len(requests) == 1:
+            if self._coalescer is not None:
+                # The whole batch is known up front: fuse it as one window
+                # instead of paying the flush timer per request.
+                return self._coalescer.prepare_all(requests, rows)
             return [
                 self._prepare_one(request, rows[index] if rows else None)
                 for index, request in enumerate(requests)

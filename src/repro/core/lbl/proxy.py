@@ -61,6 +61,7 @@ from repro.crypto.keys import KeyChain
 from repro.crypto.labels import LabelCodec, StoredLabel, value_to_groups
 from repro.errors import ConfigurationError, KeyNotFoundError, ProtocolError
 from repro.obs import _state as _obs
+from repro.obs import ledger as _ledger
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
 from repro.types import Request, StoreConfig
@@ -368,28 +369,9 @@ class LblProxy:
             # Flatten the whole table build into one encrypt_many call: entry
             # (index, value) encrypts payload(value) under
             # old_labels[index][value].
-            flat_keys: list[bytes] = []
-            flat_payloads: list[bytes] = []
-            for index in range(num_groups):
-                old_row = old_labels[index]
-                new_row = new_labels[index]
-                flat_keys += old_row
-                if point_and_permute:
-                    next_offset = new_offsets[index]  # type: ignore[index]
-                    if is_read:
-                        flat_payloads += [
-                            new_row[value] + _BYTE[value ^ next_offset]
-                            for value in range(table_size)
-                        ]
-                    else:
-                        target = new_value[index]  # type: ignore[index]
-                        payload = new_row[target] + _BYTE[target ^ next_offset]
-                        flat_payloads += [payload] * table_size
-                else:
-                    if is_read:
-                        flat_payloads += new_row
-                    else:
-                        flat_payloads += [new_row[new_value[index]]] * table_size  # type: ignore[index]
+            flat_keys, flat_payloads = self._flat_table_inputs(
+                old_labels, new_labels, new_offsets, new_value, is_read
+            )
 
             if vector:
                 # Vector pipeline: keyed states (and, when finalize ran in
@@ -410,19 +392,7 @@ class LblProxy:
                     flat_keys, flat_payloads, schedules=flat_schedules
                 )
             enc_count = len(ciphertexts)
-
-            tables = []
-            for index in range(num_groups):
-                chunk = ciphertexts[index * table_size : (index + 1) * table_size]
-                if point_and_permute:
-                    offset = old_offsets[index]  # type: ignore[index]
-                    entries: list[bytes] = [b""] * table_size
-                    for value in range(table_size):
-                        entries[value ^ offset] = chunk[value]
-                else:
-                    entries = chunk
-                    self._rng.shuffle(entries)
-                tables.append(tuple(entries))
+            tables = self._assemble_tables(ciphertexts, old_offsets)
 
         if self.label_cache is not None:
             self.label_cache.put(
@@ -441,6 +411,203 @@ class LblProxy:
             LblAccessRequest(self.keychain.encode_key(key), tuple(tables)),
             ops,
         )
+
+    def _flat_table_inputs(
+        self,
+        old_labels: "list[list[bytes]]",
+        new_labels: "list[list[bytes]]",
+        new_offsets: "list[int] | None",
+        new_value: "list[int] | None",
+        is_read: bool,
+    ) -> "tuple[list[bytes], list[bytes]]":
+        """Flat ``(keys, payloads)`` for one access's whole-table encrypt.
+
+        Entry ``(index, value)`` encrypts ``payload(value)`` under
+        ``old_labels[index][value]`` — reads carry each value's own new
+        label, writes repeat the written value's label across the row, and
+        point-and-permute payloads append the permuted slot byte.
+        """
+        table_size = self.codec.table_size
+        point_and_permute = self.config.point_and_permute
+        flat_keys: list[bytes] = []
+        flat_payloads: list[bytes] = []
+        for index in range(self.codec.num_groups):
+            old_row = old_labels[index]
+            new_row = new_labels[index]
+            flat_keys += old_row
+            if point_and_permute:
+                next_offset = new_offsets[index]  # type: ignore[index]
+                if is_read:
+                    flat_payloads += [
+                        new_row[value] + _BYTE[value ^ next_offset]
+                        for value in range(table_size)
+                    ]
+                else:
+                    target = new_value[index]  # type: ignore[index]
+                    payload = new_row[target] + _BYTE[target ^ next_offset]
+                    flat_payloads += [payload] * table_size
+            else:
+                if is_read:
+                    flat_payloads += new_row
+                else:
+                    flat_payloads += [new_row[new_value[index]]] * table_size  # type: ignore[index]
+        return flat_keys, flat_payloads
+
+    def _assemble_tables(
+        self, ciphertexts: "list[bytes]", old_offsets: "list[int] | None"
+    ) -> "list[tuple[bytes, ...]]":
+        """Place one access's ciphertexts into per-group tables.
+
+        Point-and-permute entries land at ``value ^ offset``; base-protocol
+        tables are shuffled so position leaks nothing.
+        """
+        table_size = self.codec.table_size
+        tables: list[tuple[bytes, ...]] = []
+        for index in range(self.codec.num_groups):
+            chunk = ciphertexts[index * table_size : (index + 1) * table_size]
+            if self.config.point_and_permute:
+                offset = old_offsets[index]  # type: ignore[index]
+                entries: list[bytes] = [b""] * table_size
+                for value in range(table_size):
+                    entries[value ^ offset] = chunk[value]
+            else:
+                entries = chunk
+                self._rng.shuffle(entries)
+            tables.append(tuple(entries))
+        return tables
+
+    def prepare_window(
+        self,
+        entries: "list[tuple[Request, tuple[list[list[bytes]], list[int] | None, list[list[bytes]], list[int] | None]]]",
+        rows: "list[_ledger.LedgerRow | None] | None" = None,
+    ) -> "list[tuple[LblAccessRequest, OpCounts, int]]":
+        """Build many accesses' requests with **one** fused table encrypt.
+
+        The coalescing stage's proxy half: every entry arrives with its
+        label sets pre-derived (fused across the window by the caller), so
+        the per-access work here is payload assembly — and the AEAD table
+        encryption of the whole window runs as a single
+        :func:`~repro.crypto.aead.encrypt_many` call, filling the lane
+        engine the way one access alone cannot.  Requires the batched path
+        and distinct keys per entry (same-key accesses chain epochs and
+        must prepare sequentially).
+
+        Payload bytes, table placement, counter bumps, and per-access op
+        counts are identical to calling :meth:`prepare` once per entry with
+        the same ``label_sets``; only the batching of the AEAD dispatch
+        changes.  GET and PUT entries contribute identical shapes — key
+        list, payload lengths, and ciphertext count per entry do not depend
+        on the op — so a fused window leaks nothing about its mix.
+
+        Args:
+            entries: ``(request, label_sets)`` per access, all for distinct
+                keys at their current epochs.
+            rows: Optional per-access ledger rows; the fused encrypt is
+                metered once in the registry and credited to each access's
+                row analytically (exactly ``groups * table_size`` each), so
+                fused rows still sum to registry totals.
+
+        Returns:
+            ``(lbl_request, ops, new_counter)`` per entry, in order.
+        """
+        if not self.batched:
+            raise ConfigurationError("prepare_window requires the batched path")
+        if rows is not None and len(rows) != len(entries):
+            raise ConfigurationError(f"{len(entries)} entries for {len(rows)} rows")
+        keys = [request.key for request, _sets in entries]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(
+                "prepare_window entries must use distinct keys"
+            )
+        codec = self.codec
+        num_groups = codec.num_groups
+        table_size = codec.table_size
+        point_and_permute = self.config.point_and_permute
+        per_entry_enc = num_groups * table_size
+        per_entry_prf = 2 * per_entry_enc + (
+            2 * num_groups if point_and_permute else 0
+        )
+
+        spans = []
+        all_keys: list[bytes] = []
+        all_payloads: list[bytes] = []
+        staged: list[tuple] = []
+        for position, (request, label_sets) in enumerate(entries):
+            row = rows[position] if rows is not None else None
+            token = _ledger.activate(row) if row is not None else None
+            try:
+                span = (
+                    TRACER.start_span("lbl.proxy.prepare") if _obs.enabled else None
+                )
+                spans.append(span)
+                key = request.key
+                ct = self.counter(key)
+                new_value = None
+                if request.op.is_write:
+                    padded = self.config.pad(request.value)  # type: ignore[arg-type]
+                    new_value = value_to_groups(padded, self.config.group_bits)
+                # Consume (and meter) any stale cache entry; window entries
+                # are routed here only on a cache miss, but a hit is still
+                # byte-identical — the cache stores the same labels.
+                cached = (
+                    self.label_cache.take(key, ct)
+                    if self.label_cache is not None
+                    else None
+                )
+                if cached is not None:
+                    old_labels, old_offsets = cached.labels, cached.offsets
+                    if cached.next_labels is not None:
+                        new_labels = cached.next_labels
+                        new_offsets = cached.next_offsets
+                    else:
+                        _old, _old_off, new_labels, new_offsets = label_sets
+                else:
+                    old_labels, old_offsets, new_labels, new_offsets = label_sets
+                flat_keys, flat_payloads = self._flat_table_inputs(
+                    old_labels, new_labels, new_offsets, new_value, request.op.is_read
+                )
+                all_keys += flat_keys
+                all_payloads += flat_payloads
+                encoded_key = self.keychain.encode_key(key)
+                if self.label_cache is not None:
+                    self.label_cache.put(
+                        key,
+                        ct + 1,
+                        LabelCacheEntry(labels=new_labels, offsets=new_offsets),
+                    )
+                self._counters[key] = ct + 1
+                staged.append((request, encoded_key, old_offsets, ct + 1, row))
+            finally:
+                if token is not None:
+                    _ledger.deactivate(token)
+
+        # One AEAD dispatch for the whole window.  The registry meters the
+        # real call once (under no ambient row); each access's row is then
+        # credited its exact share.
+        token = _ledger.activate(None)
+        try:
+            ciphertexts = aead.encrypt_many(all_keys, all_payloads)
+        finally:
+            _ledger.deactivate(token)
+
+        results: "list[tuple[LblAccessRequest, OpCounts, int]]" = []
+        for position, (request, encoded_key, old_offsets, new_ct, row) in enumerate(
+            staged
+        ):
+            if row is not None:
+                row.add_op("aead.encrypts", per_entry_enc)
+            chunk = ciphertexts[
+                position * per_entry_enc : (position + 1) * per_entry_enc
+            ]
+            tables = self._assemble_tables(chunk, old_offsets)
+            ops = OpCounts(prf=per_entry_prf + 1, aead_enc=per_entry_enc)
+            self._emit_prepare_span(
+                spans[position], request, per_entry_prf + 1, per_entry_enc, False
+            )
+            results.append(
+                (LblAccessRequest(encoded_key, tuple(tables)), ops, new_ct)
+            )
+        return results
 
     def _build_tables_matrix(
         self,

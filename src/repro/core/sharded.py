@@ -92,6 +92,13 @@ class ShardedLblDeployment(OrtoaProtocol):
         crypto_backend: Proxy batch-crypto backend — ``"auto"`` (default),
             ``"stdlib"``, or ``"vector"``
             (see :class:`~repro.core.lbl.proxy.LblProxy`).
+        coalesce_window: When ``> 0``, every prepare (single accesses,
+            pipelined windows, batches) routes through the engine's
+            :class:`~repro.core.lbl.coalesce.PrepareCoalescer` with this
+            flush timer in seconds — concurrent clients' prepares fuse
+            into shared lane dispatches.  ``0`` (default) keeps the
+            per-request paths.
+        coalesce_batch: Size flush threshold for the coalescing window.
     """
 
     name = "lbl-ortoa-sharded"
@@ -110,6 +117,8 @@ class ShardedLblDeployment(OrtoaProtocol):
         prepare_backend: str = "thread",
         crypto_backend: str = "auto",
         transport: str = "thread",
+        coalesce_window: float = 0.0,
+        coalesce_batch: int = 8,
     ) -> None:
         super().__init__(config)
         if not addresses:
@@ -121,7 +130,11 @@ class ShardedLblDeployment(OrtoaProtocol):
             config, self.keychain, rng=rng, crypto_backend=crypto_backend
         )
         self.prepare_engine = ParallelPrepareEngine(
-            self.proxy, workers=prepare_workers, backend=prepare_backend
+            self.proxy,
+            workers=prepare_workers,
+            backend=prepare_backend,
+            coalesce_window=coalesce_window,
+            coalesce_batch=coalesce_batch,
         )
         self.router = ShardRouter(len(addresses))
         self.clients = [
@@ -250,11 +263,19 @@ class ShardedLblDeployment(OrtoaProtocol):
         )
 
     def _prepare_timed(self, request: Request):
-        """``proxy.prepare`` with the build time recorded when obs is on."""
+        """One prepare through the engine, timed when obs is on.
+
+        Routing through
+        :meth:`~repro.core.lbl.parallel.ParallelPrepareEngine.prepare_one`
+        means single accesses and pipelined windows share the engine's
+        configured path — procpool derivation, and (when enabled) the
+        coalescing window that fuses concurrent callers.  Returns the
+        ``(wire_request, prepare_ops, epoch)`` triple.
+        """
         if not _obs.enabled:
-            return self.proxy.prepare(request)
+            return self.prepare_engine.prepare_one(request)
         start = time.perf_counter()
-        built = self.proxy.prepare(request)
+        built = self.prepare_engine.prepare_one(request)
         REGISTRY.log_histogram("lbl.proxy.prepare.seconds").observe(
             time.perf_counter() - start
         )
@@ -272,17 +293,19 @@ class ShardedLblDeployment(OrtoaProtocol):
         """
         if not _obs.enabled:
             shard = self.shard_of(request.key)
-            lbl_request, proxy_ops = self.proxy.prepare(request)
+            lbl_request, proxy_ops, epoch = self._prepare_timed(request)
             payload = lbl_request.to_bytes()
             reply = self.clients[shard].submit(payload).result(self.timeout)
             response = LblAccessResponse.from_bytes(reply)
-            value, finalize_ops = self.proxy.finalize(request.key, response)
+            value, finalize_ops = self.proxy.finalize(
+                request.key, response, counter=epoch
+            )
             return self._transcript(
                 request, proxy_ops, finalize_ops, len(payload), len(reply), value
             )
         with TRACER.span("sharded.access") as span:
             shard = self.shard_of(request.key)
-            lbl_request, proxy_ops = self._prepare_timed(request)
+            lbl_request, proxy_ops, epoch = self._prepare_timed(request)
             payload = lbl_request.to_bytes()
             # The pipelined client propagates this span's context, so the
             # frame travels with the 25-byte traced mux header; the reply
@@ -302,7 +325,9 @@ class ShardedLblDeployment(OrtoaProtocol):
                 _ledger.framed_mux_bytes(len(reply), traced=False),
             )
             response = LblAccessResponse.from_bytes(reply)
-            value, finalize_ops = self.proxy.finalize(request.key, response)
+            value, finalize_ops = self.proxy.finalize(
+                request.key, response, counter=epoch
+            )
             span.set_attributes(shard=shard, request_bytes=len(payload))
             REGISTRY.counter(f"sharded.shard{shard}.requests").inc()
         return self._transcript(
@@ -489,13 +514,12 @@ class ShardedLblDeployment(OrtoaProtocol):
             while request.key in keys_in_flight or len(window) >= depth:
                 drain_one()
             shard = self.shard_of(request.key)
-            epoch = self.proxy.counter(request.key) + 1
             row = token = None
             if _obs.enabled:
                 row = _ledger.LedgerRow(label=f"pipelined:{request.key}")
                 token = _ledger.activate(row)
             try:
-                lbl_request, proxy_ops = self._prepare_timed(request)
+                lbl_request, proxy_ops, epoch = self._prepare_timed(request)
             finally:
                 if token is not None:
                     _ledger.deactivate(token)

@@ -180,6 +180,70 @@ class LabelCodec:
             for start in range(0, len(flat), table_size)
         ]
 
+    def labels_for_epochs(
+        self, epochs: "list[tuple[str, int]]"
+    ) -> "list[list[list[bytes]]]":
+        """Candidate label tables for many ``(key, counter)`` epochs, fused.
+
+        Entry ``e`` equals :meth:`labels_for_groups`\\ ``(*epochs[e])`` —
+        byte-identical, because the per-key PRF context is just a pre-encoded
+        prefix: evaluating an empty-prefix context on fully-encoded tails
+        hashes exactly the same messages.  The point is the dispatch shape:
+        *one* :meth:`~repro.crypto.prf.PrfContext.evaluate_tails` call covers
+        every epoch in the batch, so eight coalesced accesses fill the
+        8-wide SHA-256 lanes instead of each running alone (and the ledger
+        meters the identical call/compression counts either way).
+        """
+        table_size = self.table_size
+        num_groups = self.num_groups
+        ctx = self._label_prf.context()
+        enc = encode_components
+        tails: list[bytes] = []
+        for key, counter in epochs:
+            head = enc("label", key)
+            tails_by_value = [enc(value) + enc(counter) for value in range(table_size)]
+            tails += [
+                head + enc(index) + tail
+                for index in range(num_groups)
+                for tail in tails_by_value
+            ]
+        flat = ctx.evaluate_tails(tails)
+        per_epoch = num_groups * table_size
+        return [
+            [
+                flat[base + start : base + start + table_size]
+                for start in range(0, per_epoch, table_size)
+            ]
+            for base in range(0, len(flat), per_epoch)
+        ]
+
+    def permute_offsets_for_epochs(
+        self, epochs: "list[tuple[str, int]]"
+    ) -> "list[list[int]]":
+        """Batched :meth:`permute_offsets` across many epochs, fused.
+
+        Entry ``e`` equals :meth:`permute_offsets`\\ ``(*epochs[e])``; one
+        empty-prefix ``evaluate_tails`` serves all epochs (see
+        :meth:`labels_for_epochs` for why the outputs are byte-identical).
+        """
+        table_size = self.table_size
+        num_groups = self.num_groups
+        ctx = self._permute_prf.context()
+        enc = encode_components
+        tails: list[bytes] = []
+        for key, counter in epochs:
+            head = enc("permute", key)
+            enc_ct = enc(counter)
+            tails += [head + enc(index) + enc_ct for index in range(num_groups)]
+        flat = ctx.evaluate_tails(tails)
+        return [
+            [
+                int.from_bytes(raw, "big") % table_size
+                for raw in flat[base : base + num_groups]
+            ]
+            for base in range(0, len(flat), num_groups)
+        ]
+
     def derivation_cost(
         self, key: str, counter: int, *, offsets: bool = False
     ) -> tuple[int, int]:

@@ -409,6 +409,7 @@ def lbl_kernels(
     num_requests: int = 48,
     value_len: int = 160,
     crypto_backend: str = "auto",
+    coalesce_window: float = 0.0,
 ) -> list[Row]:
     """Batched-kernel throughput: scalar vs batched vs batched+cache.
 
@@ -433,6 +434,9 @@ def lbl_kernels(
             in-process rows), or ``"procpool"`` (the sharded-batch row
             derives labels in a process pool).  See
             ``repro run lbl --crypto-backend``.
+        coalesce_window: Flush-timer seconds for the sharded-batch row's
+            prepare coalescing stage (``repro run lbl --coalesce-window``);
+            ``0`` (default) keeps the per-request prepare path.
     """
     import random
     import time
@@ -523,6 +527,7 @@ def lbl_kernels(
             prepare_workers=workers,
             prepare_backend=prepare_backend,
             crypto_backend=proxy_backend,
+            coalesce_window=coalesce_window,
         )
         try:
             deployment.initialize(records)
@@ -532,7 +537,11 @@ def lbl_kernels(
             cache = deployment.proxy.label_cache
             rows.append(
                 {
-                    "mode": "sharded-batch",
+                    "mode": (
+                        "sharded-batch+coalesce"
+                        if coalesce_window > 0
+                        else "sharded-batch"
+                    ),
                     "workers": workers,
                     "ops_per_sec": round(len(requests) / elapsed, 1),
                     "cache_hit_rate": round(cache.hit_rate, 3) if cache else "-",

@@ -90,6 +90,31 @@ def batch_deployment():
         deployment.close()
 
 
+@pytest.fixture(scope="module")
+def coalesced_deployment():
+    """Batch topology with the coalescing stage in front of the shm pool.
+
+    Fused windows are the hardest attribution case: one worker dispatch and
+    one ``encrypt_many`` serve several requests, so every PRF call and AEAD
+    op is credited analytically to the row that caused it.  The per-row
+    model equality below is exact only if that analytic split is exact.
+    """
+    with ShardCluster(2, in_process=True) as cluster:
+        deployment = ShardedLblDeployment(
+            CONFIG,
+            cluster.addresses,
+            rng=random.Random(19),
+            prepare_workers=2,
+            prepare_backend="procpool",
+            crypto_backend="stdlib",
+            coalesce_window=0.0005,
+            coalesce_batch=4,
+        )
+        deployment.initialize({key: b"\x04" * 8 for key in KEYS})
+        yield deployment
+        deployment.close()
+
+
 def _requests(workload):
     return [
         Request.read(KEYS[index])
@@ -213,3 +238,59 @@ def test_batch_procpool_rows_never_cross_attribute(batch_deployment, workload):
     assert len(rows) == len(requests)
     _assert_rows_match_model(rows, requests, epochs, wire_frame="batch")
     _assert_rows_sum_to_registry(rows, frame="batch")
+
+
+@SETTINGS
+@given(workload=WORKLOADS)
+def test_coalesced_batch_rows_never_cross_attribute(
+    coalesced_deployment, workload
+):
+    """Fused-window rows still equal the per-request model exactly.
+
+    Cold entries in a window share one procpool dispatch and one
+    ``encrypt_many`` call; repeated keys chain through the per-request tail.
+    Each row must nonetheless match the stdlib cost model for its own key
+    and epoch, and the rows must sum to the transport's socket totals."""
+    deployment = coalesced_deployment
+    obs.reset()
+    obs.enable()
+    try:
+        requests = _requests(workload)
+        epochs = _expected_epochs(deployment, requests)
+        deployment.access_batch(requests)
+    finally:
+        obs.disable()
+    rows = [
+        row.snapshot()
+        for row in ledger.completed_rows()
+        if row.label.startswith("batched:")
+    ]
+    assert len(rows) == len(requests)
+    _assert_rows_match_model(rows, requests, epochs, wire_frame="batch")
+    _assert_rows_sum_to_registry(rows, frame="batch")
+
+
+@SETTINGS
+@given(workload=WORKLOADS)
+def test_coalesced_pipelined_rows_never_cross_attribute(
+    coalesced_deployment, workload
+):
+    """The pipelined transport through the same coalescer: concurrent
+    window joins from the issuing loop must keep per-row exactness."""
+    deployment = coalesced_deployment
+    obs.reset()
+    obs.enable()
+    try:
+        requests = _requests(workload)
+        epochs = _expected_epochs(deployment, requests)
+        deployment.access_pipelined(requests, depth=4)
+    finally:
+        obs.disable()
+    rows = [
+        row.snapshot()
+        for row in ledger.completed_rows()
+        if row.label.startswith("pipelined:")
+    ]
+    assert len(rows) == len(requests)
+    _assert_rows_match_model(rows, requests, epochs, wire_frame="access")
+    _assert_rows_sum_to_registry(rows, frame="access")

@@ -13,9 +13,9 @@ import pytest
 
 from repro.core.lbl import LblOrtoa
 from repro.core.lbl.parallel import ParallelPrepareEngine
-from repro.core.lbl.procpool import ProcessCryptoPool
+from repro.core.lbl.procpool import NO_SHM_ENV, ProcessCryptoPool, shm_available
 from repro.crypto.keys import KeyChain
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, CryptoPoolError
 from repro.types import Request, StoreConfig
 
 
@@ -149,6 +149,84 @@ def test_engine_rejects_unknown_backend():
     store = _store()
     with pytest.raises(ConfigurationError):
         ParallelPrepareEngine(store.proxy, backend="gpu")
+
+
+def test_shm_and_blob_paths_are_byte_identical(pool_and_store):
+    """The shared-memory ring and the pickled-blob fallback carry the same
+    payloads: every label set and offset byte agrees across transports."""
+    pool, store = pool_and_store
+    with ProcessCryptoPool(
+        store.keychain,
+        value_len=32,
+        group_bits=2,
+        point_and_permute=True,
+        workers=2,
+        use_shm=False,
+    ) as blob_pool:
+        assert not blob_pool.shm_enabled
+        pairs = [("k0", 0), ("k1", 3), ("k0", 1), ("missing", 9)]
+        assert pool.derive_batch(pairs) == blob_pool.derive_batch(pairs)
+        assert pool.derive("k3", 2) == blob_pool.derive("k3", 2)
+
+
+def test_no_shm_env_disables_rings(monkeypatch):
+    """`REPRO_NO_SHM=1` forces the blob wire format — same bytes out."""
+    monkeypatch.setenv(NO_SHM_ENV, "1")
+    assert not shm_available()
+    store = _store()
+    store.initialize({"e0": bytes(32)})
+    with ProcessCryptoPool(
+        store.keychain,
+        value_len=32,
+        group_bits=2,
+        point_and_permute=True,
+        workers=1,
+    ) as pool:
+        assert not pool.shm_enabled
+        old_labels, _, new_labels, _ = pool.derive("e0", 0)
+        codec = store.proxy.codec
+        assert old_labels == codec.labels_for_groups("e0", 0)
+        assert new_labels == codec.labels_for_groups("e0", 1)
+
+
+def test_close_drains_inflight_work(pool_and_store):
+    """close() is a graceful drain: async results submitted before the
+    close still resolve (the pool refuses *new* work, not pending work)."""
+    _, store = pool_and_store
+    pool = ProcessCryptoPool(
+        store.keychain,
+        value_len=32,
+        group_bits=2,
+        point_and_permute=True,
+        workers=1,
+    )
+    handles = [pool.derive_async("k0", ct) for ct in range(4)]
+    pool.close()
+    codec = store.proxy.codec
+    for counter, handle in enumerate(handles):
+        old_labels, _, _, _ = handle.get(timeout=30)
+        assert old_labels == codec.labels_for_groups("k0", counter)
+    with pytest.raises(ConfigurationError):
+        pool.derive_async("k0", 9)
+
+
+def test_derive_batch_validates_input(pool_and_store):
+    pool, _ = pool_and_store
+    with pytest.raises(ConfigurationError):
+        pool.derive_batch([])
+    with pytest.raises(ConfigurationError):
+        pool.derive_batch([("k0", -1)])
+    with pytest.raises(ConfigurationError):
+        pool.derive_batch([("k0", 0)], rows=[None, None])
+
+
+def test_cryptopool_error_is_typed():
+    """Transport failures surface as CryptoPoolError (a CryptoError), so
+    callers can distinguish pool breakage from protocol errors."""
+    from repro.errors import CryptoError, OrtoaError
+
+    assert issubclass(CryptoPoolError, CryptoError)
+    assert issubclass(CryptoPoolError, OrtoaError)
 
 
 def test_prf_export_key_roundtrip():
