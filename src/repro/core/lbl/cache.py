@@ -105,6 +105,7 @@ class LabelCache:
         self.capacity = entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple[str, int], LabelCacheEntry] = OrderedDict()
 
@@ -181,12 +182,20 @@ class LabelCache:
 
     def put(self, key: str, counter: int, entry: LabelCacheEntry) -> None:
         """Insert (or refresh) an epoch, evicting the LRU entry when full."""
+        evicted = 0
         with self._lock:
             slot = (key, counter)
             self._entries[slot] = entry
             self._entries.move_to_end(slot)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+            occupancy = len(self._entries)
+        if _obs.enabled:
+            if evicted:
+                REGISTRY.counter("lbl.proxy.label_cache.evictions").inc(evicted)
+            REGISTRY.gauge("lbl.proxy.label_cache.occupancy").set(occupancy)
 
     def attach_schedules(self, key: str, counter: int, *, keyed: bool = False) -> bool:
         """Precompute AEAD key schedules for a cached epoch's labels.

@@ -54,6 +54,7 @@ from repro.obs import _state as _obs
 from repro.obs import ledger as _ledger
 from repro.obs.clock import Clock, WallClock
 from repro.obs.metrics import REGISTRY
+from repro.obs.recorder import RECORDER
 from repro.types import Request
 
 #: Default flush window in seconds (~200µs): long enough for a burst of
@@ -178,12 +179,13 @@ class PrepareCoalescer:
             if remaining <= 0:
                 break
             full.wait(min(remaining, _LEADER_POLL_SECONDS))
+        reason = "size" if full.is_set() else "timer"
         with self._lock:
             batch = self._pending
             self._pending = []
             self._window_open = False
         try:
-            self.flush(batch)
+            self.flush(batch, reason=reason)
         except BaseException as exc:
             # Never strand a follower: a failed flush raises for everyone.
             for pending in batch:
@@ -219,7 +221,7 @@ class PrepareCoalescer:
     # Flush side
     # ------------------------------------------------------------------ #
 
-    def flush(self, batch: "list[_Entry]") -> None:
+    def flush(self, batch: "list[_Entry]", reason: str = "explicit") -> None:
         """Prepare every entry of one window, fused, and publish results.
 
         Routing is payload-independent (it depends only on keys and cache
@@ -228,12 +230,20 @@ class PrepareCoalescer:
         dispatch — while warm entries keep the per-request fast path (a
         cached epoch always wins) and same-key followers prepare
         sequentially after their predecessor so epochs chain.
+
+        Args:
+            batch: The window's entries.
+            reason: Why the window closed — ``"size"`` (hit ``max_batch``),
+                ``"timer"`` (the window timer lapsed), or ``"explicit"``
+                (a direct :meth:`prepare_all`/:meth:`flush` call).  Counted
+                per reason and recorded per flush, so saturation tooling
+                can tell a size-bound window from a timer-bound one.
         """
         if not batch:
             return
         with self._flush_lock:
             try:
-                self._flush_inner(batch)
+                self._flush_inner(batch, reason)
             except BaseException as exc:
                 for entry in batch:
                     if not entry.done.is_set():
@@ -241,7 +251,7 @@ class PrepareCoalescer:
                         entry.done.set()
                 raise
 
-    def _flush_inner(self, batch: "list[_Entry]") -> None:
+    def _flush_inner(self, batch: "list[_Entry]", reason: str = "explicit") -> None:
         proxy = self.proxy
         seen_keys: set[str] = set()
         front: "list[_Entry]" = []
@@ -295,6 +305,20 @@ class PrepareCoalescer:
             REGISTRY.counter("lbl.coalesce.prepared").inc(len(batch))
             REGISTRY.counter("lbl.coalesce.fused").inc(len(cold))
             REGISTRY.gauge("lbl.coalesce.last_window").set(len(batch))
+            # Flush-reason split + window fill: a saturated deployment
+            # flushes on size with full windows; an idle one flushes on
+            # timer with near-empty windows.  Doctor reads the ratio.
+            REGISTRY.counter(f"lbl.coalesce.flush.{reason}").inc()
+            REGISTRY.gauge("lbl.coalesce.window_fill").set(
+                len(batch) / self.max_batch
+            )
+            RECORDER.record(
+                "coalesce.flush",
+                reason=reason,
+                window=len(batch),
+                fused=len(cold),
+                max_batch=self.max_batch,
+            )
 
     def _publish_one(self, entry: _Entry) -> None:
         """Per-request prepare (warm or same-key follower) under its row."""

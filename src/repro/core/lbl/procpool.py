@@ -57,6 +57,8 @@ from repro.errors import ConfigurationError, CryptoPoolError, OrtoaError
 from repro.obs import _state as _obs
 from repro.obs import ledger as _ledger
 from repro.obs.logging import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.recorder import RECORDER
 
 _log = get_logger("lbl.procpool")
 
@@ -395,6 +397,15 @@ class ProcessCryptoPool:
                 self._shm.slot_bytes if self._shm is not None else 0,
             ),
         )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        if _obs.enabled:
+            RECORDER.record(
+                "procpool.start",
+                workers=workers,
+                shm=self._shm is not None,
+                start_method=start_method,
+            )
 
     @property
     def shm_enabled(self) -> bool:
@@ -528,18 +539,45 @@ class ProcessCryptoPool:
             self._credit_derivations(pairs, rows)
         tasks = [(key, counter, self.point_and_permute) for key, counter in pairs]
         fn = _derive_batch_shm if self._shm is not None else _derive_batch_blobs
-        handle = self._pool.apply_async(fn, (tasks,))
+        with self._inflight_lock:
+            self._inflight += 1
+            depth = self._inflight
+        if _obs.enabled:
+            REGISTRY.gauge("lbl.procpool.queue_depth").set(depth)
         try:
-            result = handle.get(self.task_timeout)
-        except OrtoaError:
-            raise
-        except mp.TimeoutError as exc:
-            raise CryptoPoolError(
-                f"batch derivation not retrieved within {self.task_timeout}s "
-                "(worker dead or overloaded)"
-            ) from exc
-        except Exception as exc:
-            raise CryptoPoolError(f"procpool worker failed: {exc}") from exc
+            handle = self._pool.apply_async(fn, (tasks,))
+            try:
+                result = handle.get(self.task_timeout)
+            except OrtoaError:
+                raise
+            except mp.TimeoutError as exc:
+                if _obs.enabled:
+                    RECORDER.record(
+                        "procpool.worker_fault",
+                        cause="timeout",
+                        timeout_s=self.task_timeout,
+                        batch=len(pairs),
+                    )
+                    RECORDER.trigger("procpool-worker-fault")
+                raise CryptoPoolError(
+                    f"batch derivation not retrieved within {self.task_timeout}s "
+                    "(worker dead or overloaded)"
+                ) from exc
+            except Exception as exc:
+                if _obs.enabled:
+                    RECORDER.record(
+                        "procpool.worker_fault",
+                        cause=type(exc).__name__,
+                        batch=len(pairs),
+                    )
+                    RECORDER.trigger("procpool-worker-fault")
+                raise CryptoPoolError(f"procpool worker failed: {exc}") from exc
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                depth = self._inflight
+            if _obs.enabled:
+                REGISTRY.gauge("lbl.procpool.queue_depth").set(depth)
         if isinstance(result, tuple) and len(result) == 5 and result[0] == "shm":
             _tag, index, slot, labels_len, offsets_len = result
             payload = self._shm.read(index, slot, labels_len + offsets_len)
@@ -547,6 +585,16 @@ class ProcessCryptoPool:
             offsets_blob = payload[labels_len:]
         else:
             labels_blob, offsets_blob = result
+            if self._shm is not None and _obs.enabled:
+                # The worker had a ring but answered with a blob: either its
+                # ring attach failed or every slot was busy/undersized — the
+                # parent-visible signature of a ring slot stall.
+                REGISTRY.counter("lbl.procpool.shm_fallbacks").inc()
+                RECORDER.record(
+                    "procpool.shm_slot_fallback",
+                    batch=len(pairs),
+                    blob_bytes=len(labels_blob) + len(offsets_blob),
+                )
         return self._split_batch(labels_blob, offsets_blob, len(pairs))
 
     # ------------------------------------------------------------------ #
@@ -563,6 +611,8 @@ class ProcessCryptoPool:
         """
         pool, self._pool = self._pool, None
         if pool is not None:
+            if _obs.enabled:
+                RECORDER.record("procpool.close", workers=self.workers)
             pool.close()
             joiner = threading.Thread(target=pool.join, daemon=True)
             joiner.start()

@@ -63,6 +63,7 @@ from repro.errors import ConfigurationError, KeyNotFoundError, ProtocolError
 from repro.obs import _state as _obs
 from repro.obs import ledger as _ledger
 from repro.obs.metrics import REGISTRY
+from repro.obs.recorder import RECORDER
 from repro.obs.trace import TRACER
 from repro.types import Request, StoreConfig
 
@@ -169,6 +170,11 @@ class LblProxy:
         self._counters[key] = value
         if self.label_cache is not None:
             self.label_cache.invalidate_key(key)
+        if _obs.enabled:
+            # Forced counter moves are recovery events — rare, and exactly
+            # what a post-mortem wants on its timeline next to the faults
+            # that caused them.
+            RECORDER.record("proxy.counter_forced", value=value)
 
     def restore_counters(self, counters: dict[str, int]) -> None:
         """Install a recovered counter table (crash recovery).
@@ -182,6 +188,8 @@ class LblProxy:
         self._counters = dict(counters)
         if self.label_cache is not None:
             self.label_cache.clear()
+        if _obs.enabled:
+            RECORDER.record("proxy.counters_restored", keys=len(counters))
 
     # ------------------------------------------------------------------ #
     # Initialization (the Init(kv) procedure of Figure 1)

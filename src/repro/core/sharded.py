@@ -53,8 +53,10 @@ from repro.crypto.keys import KeyChain
 from repro.errors import BatchPartialFailure, ConfigurationError, ProtocolError
 from repro.obs import _state as _obs
 from repro.obs import ledger as _ledger
+from repro.obs.exemplars import EXEMPLARS
 from repro.obs.metrics import REGISTRY
 from repro.obs.propagate import TraceContext, merge_span_dumps
+from repro.obs.recorder import RECORDER, merge_recorder_dumps
 from repro.obs.trace import TRACER
 from repro.storage.sharding import ShardRouter
 from repro.transport.async_client import make_pipelined_client
@@ -219,6 +221,19 @@ class ShardedLblDeployment(OrtoaProtocol):
         remote = [dump.get("spans", []) for dump in (remote_dumps or [])]
         return merge_span_dumps(TRACER.export(), remote)
 
+    def merged_recorder(self, remote_dumps: list[dict] | None = None) -> list[dict]:
+        """One flight-recorder timeline: local ring plus the shards' rings.
+
+        Each shard dump's events are tagged ``process="shard-<i>"``
+        (:func:`repro.obs.recorder.merge_recorder_dumps`), so a post-mortem
+        reads as a single ordered timeline across the whole deployment —
+        the shed decision on shard 1 next to the coalescer flush on the
+        proxy that preceded it.
+        """
+        local = [event.to_dict() for event in RECORDER.events()]
+        remote = [dump.get("recorder", {}) for dump in (remote_dumps or [])]
+        return merge_recorder_dumps(local, remote)
+
     def __enter__(self) -> "ShardedLblDeployment":
         return self
 
@@ -316,8 +331,9 @@ class ShardedLblDeployment(OrtoaProtocol):
             )
             submitted_at = time.perf_counter()
             reply = self.clients[shard].submit(payload).result(self.timeout)
+            roundtrip = time.perf_counter() - submitted_at
             REGISTRY.log_histogram("sharded.access.roundtrip.seconds").observe(
-                time.perf_counter() - submitted_at
+                roundtrip
             )
             _ledger.credit_wire(
                 "access",
@@ -330,6 +346,17 @@ class ShardedLblDeployment(OrtoaProtocol):
             )
             span.set_attributes(shard=shard, request_bytes=len(payload))
             REGISTRY.counter(f"sharded.shard{shard}.requests").inc()
+            # Tail exemplar: if this round trip is in the window's tail the
+            # store retains its trace id (the span tree is resolved lazily
+            # at export, so the still-open access span is included) and the
+            # ambient ledger row, letting ``repro trace`` open this exact
+            # request later.
+            ambient = _ledger.current_row()
+            EXEMPLARS.consider(
+                roundtrip,
+                trace_id=span.trace_id,
+                ledger_row=ambient.snapshot() if ambient is not None else None,
+            )
         return self._transcript(
             request, proxy_ops, finalize_ops, len(payload), len(reply), value
         )
@@ -478,9 +505,11 @@ class ShardedLblDeployment(OrtoaProtocol):
             keys_in_flight.discard(request.key)
             if _obs.enabled:
                 REGISTRY.gauge("sharded.pipeline.in_flight").set(len(window))
+            roundtrip = 0.0
             if span is not None:
+                roundtrip = time.perf_counter() - submitted_at
                 REGISTRY.log_histogram("sharded.access.roundtrip.seconds").observe(
-                    time.perf_counter() - submitted_at
+                    roundtrip
                 )
                 TRACER.end(span)
             response = LblAccessResponse.from_bytes(reply)
@@ -503,6 +532,15 @@ class ShardedLblDeployment(OrtoaProtocol):
                     _ledger.framed_mux_bytes(len(reply), traced=False),
                 )
                 _ledger.retire(row)
+            if span is not None:
+                # Consider after the row is fully credited so a retained
+                # exemplar's ledger snapshot matches the transport totals.
+                EXEMPLARS.consider(
+                    roundtrip,
+                    trace_id=span.trace_id,
+                    label="pipelined",
+                    ledger_row=row.snapshot() if row is not None else None,
+                )
             transcripts.append(
                 self._transcript(
                     request, proxy_ops, finalize_ops, request_bytes, len(reply), value

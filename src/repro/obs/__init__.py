@@ -17,6 +17,15 @@ the corresponding quantities first-class observables:
   endpoint;
 * :mod:`repro.obs.top` — the ``repro top`` live terminal view built on
   scraping those endpoints;
+* :mod:`repro.obs.recorder` — the flight recorder: a bounded ring of
+  structured events (shed decisions, coalescer flushes, worker lifecycle)
+  with exactly-once post-mortem dumps and a cross-process merge;
+* :mod:`repro.obs.exemplars` — tail-exemplar capture: full span tree +
+  ledger row retained for requests beyond a latency threshold or in the
+  per-window top-K, so the exact p999 request can be opened;
+* :mod:`repro.obs.profiler` — a ~100 Hz ``sys._current_frames`` sampling
+  profiler with collapsed-stack and Perfetto export, attached explicitly
+  via CLI or the obs control frame (it never rides the global enable);
 * :mod:`repro.obs.ledger` — the per-request resource ledger: wire bytes
   per frame type/direction and crypto-primitive invocations, attributed to
   the request that caused them and validated against the closed-form cost
@@ -71,6 +80,8 @@ from repro.obs.metrics import (
     REGISTRY,
 )
 from repro.obs.propagate import TraceContext, merge_span_dumps
+from repro.obs.exemplars import EXEMPLARS, TailExemplarStore
+from repro.obs.recorder import FlightRecorder, RECORDER, merge_recorder_dumps
 from repro.obs.trace import NOOP_SPAN, Span, Tracer, TRACER
 
 
@@ -90,10 +101,13 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop all recorded spans, zero every metric, clear retired ledger rows."""
+    """Drop all recorded spans, zero every metric, clear retired ledger rows,
+    and empty the flight recorder and tail-exemplar stores."""
     TRACER.reset()
     REGISTRY.reset()
     ledger.reset()
+    RECORDER.reset()
+    EXEMPLARS.reset()
 
 
 @contextmanager
@@ -115,12 +129,15 @@ def capture(*, fresh: bool = True) -> Iterator[None]:
 
 
 def export() -> dict[str, Any]:
-    """One JSON-ready bundle: clock metadata, finished spans, metric snapshot."""
+    """One JSON-ready bundle: clock metadata, finished spans, metric
+    snapshot, flight-recorder ring, and retained tail exemplars."""
     clock = get_time_source()
     return {
         "clock": {"type": type(clock).__name__, "unit": clock.unit},
         "spans": TRACER.export(),
         "metrics": REGISTRY.snapshot(),
+        "recorder": RECORDER.export(),
+        "exemplars": EXEMPLARS.export(),
     }
 
 
@@ -152,6 +169,11 @@ __all__ = [
     "REGISTRY",
     "TraceContext",
     "merge_span_dumps",
+    "FlightRecorder",
+    "RECORDER",
+    "merge_recorder_dumps",
+    "TailExemplarStore",
+    "EXEMPLARS",
     "chrome_trace",
     "write_chrome_trace",
     "prometheus_text",

@@ -1,0 +1,248 @@
+"""Tail exemplars: keep the *exact* p999 request, not an average.
+
+Latency histograms say a p999 exists; they cannot say why.  This module
+retains full evidence — the trace id (resolving to the request's span
+tree) and the request's ledger row — for accesses that land in the tail:
+anything beyond an absolute latency threshold, plus the top-K slowest of
+every observation window even when the whole window is fast.  ``repro
+trace`` can then open the exact slow request instead of a reconstruction.
+
+Capture sites live where the access round-trip is observed
+(:meth:`repro.core.sharded.ShardedLblDeployment.access` and the pipelined
+drain path), behind the standard ``if _state.enabled`` guard.  The store
+is bounded: at most ``capacity`` exemplars are retained, oldest evicted
+first, so a pathological run cannot grow memory.
+
+Span trees are materialized lazily at :meth:`TailExemplarStore.export`
+time by filtering the tracer's finished spans on the exemplar's trace id —
+at capture time the access span itself may still be open, so capturing
+eagerly would record a truncated tree.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.obs import clock as obs_clock
+from repro.obs.trace import TRACER
+
+#: Default absolute retention threshold (seconds of round-trip latency).
+DEFAULT_THRESHOLD_S = 0.050
+
+#: Slowest requests retained per observation window even below threshold.
+DEFAULT_TOP_K = 2
+
+#: Observation window width, in the recording clock's unit.
+DEFAULT_WINDOW_S = 1.0
+
+#: Maximum exemplars retained at once (oldest evicted beyond this).
+DEFAULT_CAPACITY = 64
+
+
+class TailExemplarStore:
+    """Bounded store of tail-latency exemplars.
+
+    Args:
+        threshold_s: Durations at or above this are always retained.
+        top_k: The K slowest requests of each window are retained even
+            when below the threshold, so a uniformly-fast window still
+            yields representative exemplars.
+        window_s: Width of the top-K observation window.
+        capacity: Hard cap on retained exemplars (oldest evicted).
+    """
+
+    def __init__(
+        self,
+        threshold_s: float = DEFAULT_THRESHOLD_S,
+        top_k: int = DEFAULT_TOP_K,
+        window_s: float = DEFAULT_WINDOW_S,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("exemplar capacity must be >= 1")
+        self.threshold_s = threshold_s
+        self.top_k = top_k
+        self.window_s = window_s
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._retained: OrderedDict[int, dict[str, Any]] = OrderedDict()
+        self._window_start = 0.0
+        self._window: list[tuple[float, int]] = []  # (duration, exemplar key)
+        self._next_key = 0
+
+    # ------------------------------------------------------------------ #
+    # Capture
+    # ------------------------------------------------------------------ #
+
+    def consider(
+        self,
+        duration_s: float,
+        *,
+        trace_id: int | None,
+        label: str = "access",
+        ledger_row: dict[str, Any] | None = None,
+    ) -> bool:
+        """Offer one finished request; returns True when retained.
+
+        Call sites guard with ``if _state.enabled`` so the disabled path
+        is one attribute check.
+        """
+        now = obs_clock.now()
+        with self._lock:
+            if now - self._window_start >= self.window_s:
+                self._window_start = now
+                self._window = []
+            evict_key: int | None = None
+            if duration_s >= self.threshold_s:
+                retain = True
+            elif len(self._window) < self.top_k:
+                retain = True
+            else:
+                slowest_min = min(self._window)
+                if duration_s > slowest_min[0]:
+                    # Displace the window's current K-th slowest: it was
+                    # only retained as a window winner, so it leaves too.
+                    retain = True
+                    self._window.remove(slowest_min)
+                    evict_key = slowest_min[1]
+                else:
+                    retain = False
+            if not retain:
+                return False
+            key = self._next_key
+            self._next_key += 1
+            if duration_s < self.threshold_s:
+                self._window.append((duration_s, key))
+            if evict_key is not None:
+                self._retained.pop(evict_key, None)
+            self._retained[key] = {
+                "captured_at": now,
+                "duration_s": duration_s,
+                "trace_id": trace_id,
+                "label": label,
+                "ledger": ledger_row,
+            }
+            while len(self._retained) > self.capacity:
+                self._retained.popitem(last=False)
+            return True
+
+    # ------------------------------------------------------------------ #
+    # Inspection / export
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._retained)
+
+    def exemplars(self) -> list[dict[str, Any]]:
+        """Retained exemplars, oldest first, without span trees."""
+        with self._lock:
+            return [dict(record) for record in self._retained.values()]
+
+    def export(self, spans: list[dict[str, Any]] | None = None) -> dict[str, Any]:
+        """JSON-ready snapshot with span trees resolved per exemplar.
+
+        Args:
+            spans: The span-dump list to resolve trace ids against;
+                defaults to the local tracer's finished spans.  Pass a
+                merged dump (:func:`repro.obs.propagate.merge_span_dumps`)
+                to resolve exemplars across shard processes.
+        """
+        if spans is None:
+            spans = TRACER.export()
+        by_trace: dict[int, list[dict[str, Any]]] = {}
+        for span in spans:
+            by_trace.setdefault(span["trace_id"], []).append(span)
+        records = []
+        for record in self.exemplars():
+            record = dict(record)
+            record["spans"] = by_trace.get(record["trace_id"], [])
+            records.append(record)
+        return {
+            "threshold_s": self.threshold_s,
+            "top_k": self.top_k,
+            "window_s": self.window_s,
+            "capacity": self.capacity,
+            "exemplars": records,
+        }
+
+    def slowest(self) -> dict[str, Any] | None:
+        """The single slowest retained exemplar (no span tree)."""
+        with self._lock:
+            if not self._retained:
+                return None
+            return dict(max(self._retained.values(), key=lambda r: r["duration_s"]))
+
+    def reset(self) -> None:
+        """Drop all retained exemplars and window state."""
+        with self._lock:
+            self._retained = OrderedDict()
+            self._window_start = 0.0
+            self._window = []
+            self._next_key = 0
+
+
+def render_exemplar(record: dict[str, Any]) -> str:
+    """One exported exemplar as an indented span-tree text block.
+
+    Takes a record from :meth:`TailExemplarStore.export` (span tree
+    resolved); pure string building, so ``repro trace`` and tests share
+    it.
+    """
+    lines = [
+        f"exemplar [{record.get('label', 'access')}] "
+        f"{record['duration_s'] * 1e3:.2f} ms  "
+        f"(trace {record.get('trace_id')})"
+    ]
+    ledger = record.get("ledger")
+    if ledger:
+        wire = ledger.get("wire") or {}
+        total = sum(wire.values()) if isinstance(wire, dict) else 0
+        lines.append(
+            f"  ledger: {ledger.get('label', '?')} — {total} wire bytes, "
+            f"{sum((ledger.get('ops') or {}).values())} primitive ops"
+        )
+    spans = record.get("spans", [])
+    by_id = {span["span_id"]: span for span in spans}
+    children: dict[int, list[dict[str, Any]]] = {}
+    roots = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    def _walk(span: dict[str, Any], depth: int) -> None:
+        duration = span.get("duration")
+        shown = "?" if duration is None else f"{duration * 1e3:.2f} ms"
+        process = span.get("process")
+        suffix = f"  [{process}]" if process else ""
+        lines.append(f"  {'  ' * depth}{span['name']}  {shown}{suffix}")
+        for child in sorted(
+            children.get(span["span_id"], []), key=lambda s: s.get("start", 0.0)
+        ):
+            _walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s.get("start", 0.0)):
+        _walk(root, 0)
+    if not spans:
+        lines.append("  (no spans resolved for this trace id)")
+    return "\n".join(lines)
+
+
+#: The process-wide store the sharded access paths write to.
+EXEMPLARS = TailExemplarStore()
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD_S",
+    "DEFAULT_TOP_K",
+    "DEFAULT_WINDOW_S",
+    "DEFAULT_CAPACITY",
+    "TailExemplarStore",
+    "EXEMPLARS",
+    "render_exemplar",
+]

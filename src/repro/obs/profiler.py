@@ -1,0 +1,263 @@
+"""A sampling profiler built on :func:`sys._current_frames`.
+
+A background daemon thread wakes ~100 times a second, snapshots every
+thread's current stack, and counts identical stacks.  No tracing hooks, no
+interpreter slowdown between samples — the cost is the sampling thread
+itself, which is why the profiler is *attached* explicitly (CLI flag or
+obs control frame) instead of riding the global obs enable flag.
+
+Exports:
+
+* **collapsed stacks** (``pkg.mod.func;pkg.mod.caller 42`` lines) — the
+  flamegraph.pl / speedscope interchange format;
+* **Perfetto/Chrome trace events** — each sample becomes a complete event
+  whose args carry the full stack, loadable at ui.perfetto.dev.
+
+Remote attach: :data:`repro.transport.server.OBS_PROFILE_START_TAG` /
+``..._STOP_TAG`` control frames start and stop the per-process singleton
+(:func:`attach` / :func:`detach`), so ``repro profile --target host:port``
+can profile a live shard without restarting it.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Default sampling interval — ~100 Hz.
+DEFAULT_INTERVAL_S = 0.01
+
+#: Hard cap on frames walked per stack (guards against pathological
+#: recursion blowing up sample keys).
+MAX_STACK_DEPTH = 128
+
+
+def _frame_label(frame) -> str:
+    """``module.qualname`` style label for one frame."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}.{code.co_name}"
+
+
+class SamplingProfiler:
+    """Counts identical stacks sampled from all threads at a fixed rate.
+
+    Args:
+        interval_s: Seconds between samples (default ~100 Hz).
+
+    The profiler may be started and stopped repeatedly; counts accumulate
+    until :meth:`reset`.
+    """
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError("profiler interval must be positive")
+        self.interval_s = interval_s
+        self._lock = threading.Lock()
+        self._counts: dict[tuple[str, ...], int] = {}
+        self._samples = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started_at: float | None = None
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def running(self) -> bool:
+        """Whether the sampling thread is currently alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Launch the sampling thread (idempotent while running)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling and join the thread."""
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        if self._started_at is not None:
+            self._elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.is_set():
+            self.sample(skip_thread_ids={own_id})
+            self._stop.wait(self.interval_s)
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def sample(self, skip_thread_ids: set[int] | None = None) -> int:
+        """Take one sample of every thread's stack; returns stacks counted."""
+        skip = skip_thread_ids or set()
+        frames = sys._current_frames()
+        counted = 0
+        stacks: list[tuple[str, ...]] = []
+        for thread_id, frame in frames.items():
+            if thread_id in skip:
+                continue
+            stack: list[str] = []
+            depth = 0
+            while frame is not None and depth < MAX_STACK_DEPTH:
+                stack.append(_frame_label(frame))
+                frame = frame.f_back
+                depth += 1
+            if stack:
+                # Root-first, leaf-last: the collapsed-stack convention.
+                stacks.append(tuple(reversed(stack)))
+        with self._lock:
+            self._samples += 1
+            for stack_key in stacks:
+                self._counts[stack_key] = self._counts.get(stack_key, 0) + 1
+                counted += 1
+        return counted
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    @property
+    def samples(self) -> int:
+        """Sampling rounds taken so far."""
+        with self._lock:
+            return self._samples
+
+    def elapsed_seconds(self) -> float:
+        """Total wall time spent attached."""
+        extra = 0.0
+        if self._started_at is not None:
+            extra = time.perf_counter() - self._started_at
+        return self._elapsed + extra
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: ``frame;frame;leaf count`` per line."""
+        with self._lock:
+            counts = dict(self._counts)
+        lines = [
+            f"{';'.join(stack)} {count}"
+            for stack, count in sorted(counts.items())
+        ]
+        return "\n".join(lines)
+
+    def perfetto(self) -> dict[str, Any]:
+        """Chrome trace-event JSON (Perfetto-loadable).
+
+        Each distinct stack becomes one complete event whose duration is
+        its share of the attached wall time; the full stack rides in
+        ``args.stack`` so Perfetto's event pane shows it verbatim.
+        """
+        with self._lock:
+            counts = dict(self._counts)
+            samples = self._samples
+        elapsed_us = self.elapsed_seconds() * 1e6
+        total = sum(counts.values()) or 1
+        events = []
+        cursor = 0.0
+        for stack, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+            width_us = elapsed_us * (count / total)
+            events.append(
+                {
+                    "name": stack[-1],
+                    "cat": "sample",
+                    "ph": "X",
+                    "ts": round(cursor, 3),
+                    "dur": round(width_us, 3),
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"stack": ";".join(stack), "count": count},
+                }
+            )
+            cursor += width_us
+        return {
+            "traceEvents": events,
+            "metadata": {
+                "tool": "repro.obs.profiler",
+                "interval_s": self.interval_s,
+                "samples": samples,
+            },
+        }
+
+    def export(self) -> dict[str, Any]:
+        """JSON-ready summary: collapsed stacks plus counters."""
+        return {
+            "interval_s": self.interval_s,
+            "samples": self.samples,
+            "elapsed_s": self.elapsed_seconds(),
+            "collapsed": self.collapsed(),
+        }
+
+    def reset(self) -> None:
+        """Drop accumulated counts (keeps the thread state)."""
+        with self._lock:
+            self._counts = {}
+            self._samples = 0
+        self._elapsed = 0.0
+        if self._started_at is not None:
+            self._started_at = time.perf_counter()
+
+
+# --------------------------------------------------------------------- #
+# Per-process singleton (CLI / control-frame attach)
+# --------------------------------------------------------------------- #
+
+_ATTACH_LOCK = threading.Lock()
+_ATTACHED: SamplingProfiler | None = None
+
+
+def attach(interval_s: float = DEFAULT_INTERVAL_S) -> SamplingProfiler:
+    """Start (or return) the process-wide profiler singleton."""
+    global _ATTACHED
+    with _ATTACH_LOCK:
+        if _ATTACHED is None:
+            _ATTACHED = SamplingProfiler(interval_s)
+        _ATTACHED.start()
+        return _ATTACHED
+
+
+def detach() -> dict[str, Any] | None:
+    """Stop the singleton and return its export (None if never attached)."""
+    global _ATTACHED
+    with _ATTACH_LOCK:
+        if _ATTACHED is None:
+            return None
+        profiler = _ATTACHED
+        _ATTACHED = None
+    profiler.stop()
+    return profiler.export()
+
+
+def attached() -> SamplingProfiler | None:
+    """The currently attached singleton, if any."""
+    return _ATTACHED
+
+
+__all__ = [
+    "DEFAULT_INTERVAL_S",
+    "MAX_STACK_DEPTH",
+    "SamplingProfiler",
+    "attach",
+    "detach",
+    "attached",
+]

@@ -14,6 +14,7 @@ the ANSI clear between frames.
 
 from __future__ import annotations
 
+import json
 import time
 import urllib.error
 import urllib.request
@@ -76,6 +77,19 @@ def target_row(
         wire_before = _wire_bytes_total(previous)
         if wire_before is not None:
             mb_per_s = max(0.0, wire_bytes - wire_before) / interval_s / 1e6
+    shed_total = _value(current, "repro_transport_overload_frames_sent_total")
+    shed_per_s = None
+    if previous is not None and shed_total is not None and interval_s > 0:
+        shed_before = _value(
+            previous, "repro_transport_overload_frames_sent_total"
+        )
+        if shed_before is not None:
+            shed_per_s = max(0.0, shed_total - shed_before) / interval_s
+    in_flight = _value(current, "repro_transport_server_in_flight")
+    max_in_flight = _value(current, "repro_transport_server_max_in_flight")
+    occupancy = None
+    if in_flight is not None and max_in_flight:
+        occupancy = in_flight / max_in_flight
     roundtrip = "repro_transport_pipeline_roundtrip_seconds"
     return {
         "target": target,
@@ -94,8 +108,11 @@ def target_row(
             )
         ),
         "cache_hit_rate": _value(current, "repro_lbl_proxy_label_cache_hit_rate"),
-        "queue_depth": _value(current, "repro_transport_server_in_flight"),
+        "queue_depth": in_flight,
         "span_errors": _value(current, "repro_trace_span_errors_total"),
+        "shed_per_s": shed_per_s,
+        "in_flight_occupancy": occupancy,
+        "loop_lag_ms": _value(current, "repro_transport_async_loop_lag_ms"),
     }
 
 
@@ -115,7 +132,8 @@ def render_top(rows: list[dict[str, Any]], *, refreshed_at: str = "") -> str:
     """Render rows as the fixed-width ``repro top`` table."""
     header = (
         f"{'TARGET':24s} {'REQS':>8s} {'OPS/S':>8s} {'MB/S':>7s} {'RT p50':>8s} "
-        f"{'RT p99':>8s} {'SVC p99':>8s} {'HIT%':>6s} {'QUEUE':>6s} {'ERRS':>5s}"
+        f"{'RT p99':>8s} {'SVC p99':>8s} {'HIT%':>6s} {'QUEUE':>6s} {'ERRS':>5s} "
+        f"{'SHED/S':>7s} {'OCC%':>5s} {'LAG':>6s}"
     )
     lines = [f"repro top — {len(rows)} target(s)  {refreshed_at}".rstrip(), header]
     for row in rows:
@@ -123,6 +141,7 @@ def render_top(rows: list[dict[str, Any]], *, refreshed_at: str = "") -> str:
             lines.append(f"{row['target']:24s} {'DOWN':>8s}")
             continue
         hit = row["cache_hit_rate"]
+        occ = row.get("in_flight_occupancy")
         lines.append(
             f"{row['target']:24s}"
             f" {_cell(row['requests'], '{:.0f}'):>8s}"
@@ -134,11 +153,14 @@ def render_top(rows: list[dict[str, Any]], *, refreshed_at: str = "") -> str:
             f" {_cell(None if hit is None else hit * 100.0):>6s}"
             f" {_cell(row['queue_depth'], '{:.0f}'):>6s}"
             f" {_cell(row['span_errors'], '{:.0f}'):>5s}"
+            f" {_cell(row.get('shed_per_s')):>7s}"
+            f" {_cell(occ if occ is None else occ * 100.0, '{:.0f}'):>5s}"
+            f" {_cell(row.get('loop_lag_ms'), '{:.2f}'):>6s}"
         )
     lines.append("")
     lines.append(
-        "RT/SVC in ms; OPS/S and MB/S (ledger wire bytes) from scrape deltas; "
-        "ctrl-c to quit"
+        "RT/SVC/LAG in ms; OPS/S, MB/S, SHED/S from scrape deltas; "
+        "OCC% = in-flight over window; ctrl-c to quit"
     )
     return "\n".join(lines)
 
@@ -149,12 +171,18 @@ def run_top(
     iterations: int | None = None,
     clear: bool = True,
     write=print,
+    json_mode: bool = False,
 ) -> int:
     """Poll ``targets`` and redraw until interrupted (or ``iterations``).
 
     Targets are ``host:port`` of metrics endpoints; a bare target gets
     ``http://`` and ``/metrics`` added.  Returns 0; unreachable targets
     render as DOWN rather than aborting the loop (shards may restart).
+
+    Args:
+        json_mode: Emit one JSON object per refresh
+            (``{"refreshed_at": ..., "targets": [rows]}``) instead of the
+            ANSI table — scriptable ``repro top --json``.
     """
     urls = [
         t if t.startswith("http") else f"http://{t}/metrics" for t in targets
@@ -173,8 +201,14 @@ def run_top(
                 )
                 if current:
                     previous[target] = current
-            frame = render_top(rows, refreshed_at=time.strftime("%H:%M:%S"))
-            write((CLEAR if clear else "") + frame)
+            refreshed_at = time.strftime("%H:%M:%S")
+            if json_mode:
+                write(
+                    json.dumps({"refreshed_at": refreshed_at, "targets": rows})
+                )
+            else:
+                frame = render_top(rows, refreshed_at=refreshed_at)
+                write((CLEAR if clear else "") + frame)
             ticks += 1
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass

@@ -52,6 +52,7 @@ from repro.obs import _state as _obs
 from repro.obs import ledger as _ledger
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.recorder import RECORDER
 from repro.transport import framing
 from repro.transport.framing import MAX_FRAME_BYTES, _LEN
 from repro.transport.server import (
@@ -61,6 +62,12 @@ from repro.transport.server import (
 )
 
 _log = get_logger("transport.async_server")
+
+#: How often the event-loop lag probe reschedules itself.  The probe asks
+#: the loop to wake it after exactly this long; any excess is time the loop
+#: spent busy (or blocked) instead of polling — the classic saturation
+#: signal for a single-threaded event loop.
+LOOP_LAG_PROBE_INTERVAL_S = 0.25
 
 
 class _ConnState:
@@ -158,6 +165,7 @@ class AsyncLblServer:
         self._idle: asyncio.Event | None = None  # created on the loop
         self._conns: set[_ConnState] = set()
         self._tasks: set[asyncio.Task] = set()
+        self._window_full = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -260,6 +268,7 @@ class AsyncLblServer:
         self._idle.set()
         self._address = server.sockets[0].getsockname()[:2]
         self._started.set()
+        loop.create_task(self._lag_probe())
         try:
             loop.run_forever()
         finally:
@@ -322,6 +331,29 @@ class AsyncLblServer:
     # Connection handling (loop side)
     # ------------------------------------------------------------------ #
 
+    async def _lag_probe(self) -> None:
+        """Measure event-loop scheduling lag at a fixed cadence.
+
+        Sleeps a fixed interval and gauges how late the loop woke it —
+        the direct measure of dispatch saturation on a one-loop server.
+        The probe also refreshes the window-limit gauges so scrapers
+        (``repro top`` / ``repro doctor``) can compute occupancy ratios
+        from one snapshot.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            scheduled = loop.time()
+            await asyncio.sleep(LOOP_LAG_PROBE_INTERVAL_S)
+            lag_s = max(0.0, loop.time() - scheduled - LOOP_LAG_PROBE_INTERVAL_S)
+            if _obs.enabled:
+                REGISTRY.gauge("transport.async.loop_lag_ms").set(lag_s * 1e3)
+                REGISTRY.gauge("transport.server.max_in_flight").set(
+                    self.max_in_flight
+                )
+                REGISTRY.gauge("transport.server.max_in_flight_per_conn").set(
+                    self.max_in_flight_per_conn
+                )
+
     def _track_in_flight(self, delta: int) -> None:
         self._in_flight += delta
         assert self._idle is not None
@@ -333,6 +365,19 @@ class AsyncLblServer:
                 self._peak_in_flight = self._in_flight
         if _obs.enabled:
             REGISTRY.gauge("transport.server.in_flight").set(self._in_flight)
+            # Window-occupancy *transitions* go to the flight recorder:
+            # the gauge says how full the window is now, the events say
+            # exactly when it saturated and when it recovered.
+            full = self._in_flight >= self.max_in_flight
+            if full != self._window_full:
+                self._window_full = full
+                RECORDER.record(
+                    "transport.window.full" if full else "transport.window.available",
+                    in_flight=self._in_flight,
+                    max_in_flight=self.max_in_flight,
+                )
+        elif self._window_full and self._in_flight < self.max_in_flight:
+            self._window_full = False
 
     async def _write_frame(self, conn: _ConnState, payload: bytes) -> None:
         """Write one frame, bounded by the write timeout.
@@ -368,6 +413,13 @@ class AsyncLblServer:
                         REGISTRY.counter(
                             "transport.async.slow_consumer_aborts"
                         ).inc()
+                        RECORDER.record(
+                            "transport.slow_consumer_abort",
+                            write_timeout_s=self.write_timeout_s,
+                            in_flight=self._in_flight,
+                            conn_in_flight=conn.in_flight,
+                        )
+                        RECORDER.trigger("slow-consumer-abort")
                     conn.dead = True
                     conn.writer.transport.abort()
                     raise ConnectionResetError("slow consumer aborted") from None
@@ -506,6 +558,25 @@ class AsyncLblServer:
             or self._in_flight >= self.max_in_flight
             or conn.in_flight >= self.max_in_flight_per_conn
         ):
+            if _obs.enabled:
+                # The three causes are only distinguishable here, before
+                # the shed; the event carries window state, never request
+                # content (the inner payload is still unparsed), so shed
+                # GET and shed PUT events are shape-identical.
+                cause = (
+                    "draining"
+                    if self._draining
+                    else "global-window"
+                    if self._in_flight >= self.max_in_flight
+                    else "per-conn-window"
+                )
+                RECORDER.record_shed(
+                    cause,
+                    in_flight=self._in_flight,
+                    conn_in_flight=conn.in_flight,
+                    max_in_flight=self.max_in_flight,
+                    max_per_conn=self.max_in_flight_per_conn,
+                )
             await self._send_overload(conn, request_id)
             return
         conn.in_flight += 1
@@ -559,4 +630,4 @@ class AsyncLblServer:
             self._track_in_flight(-1)
 
 
-__all__ = ["AsyncLblServer"]
+__all__ = ["AsyncLblServer", "LOOP_LAG_PROBE_INTERVAL_S"]

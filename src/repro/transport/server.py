@@ -79,10 +79,18 @@ from repro.transport import framing
 
 LOAD_TAG = 0x40
 LOAD_ACK = bytes([0x41])
-#: Control frame asking this process for its telemetry (spans + metrics).
+#: Control frame asking this process for its telemetry (spans + metrics +
+#: flight-recorder ring + tail exemplars).
 OBS_PULL_TAG = 0x60
 #: Reply to :data:`OBS_PULL_TAG`: the tag followed by a UTF-8 JSON dump.
 OBS_DUMP_TAG = 0x61
+#: Control frame attaching the sampling profiler in this process.  Optional
+#: 4-byte big-endian body: sampling interval in microseconds.
+OBS_PROFILE_START_TAG = 0x62
+#: Control frame detaching the profiler; the reply carries its export.
+OBS_PROFILE_STOP_TAG = 0x63
+#: Reply to the profiler control frames: tag + UTF-8 JSON body.
+OBS_PROFILE_DUMP_TAG = 0x64
 ERROR_TAG = 0x7F
 #: Load-shed reply: the server refused to queue the request.  The frame is
 #: exactly this one tag byte — no message, no request-derived content — so
@@ -184,6 +192,8 @@ class LblFrameDispatcher:
             raise ProtocolError("empty frame")
         if payload[0] == OBS_PULL_TAG:
             return self.obs_dump()
+        if payload[0] in (OBS_PROFILE_START_TAG, OBS_PROFILE_STOP_TAG):
+            return self._profile_control(payload)
         if payload[0] == LOAD_TAG:
             encoded_key, labels = unpack_load(payload)
             with self._stripe_for(encoded_key):
@@ -223,8 +233,41 @@ class LblFrameDispatcher:
         client's tracer); returns whatever this process recorded — an
         empty dump when observability was never enabled here.
         """
-        bundle = {"spans": TRACER.export(), "metrics": REGISTRY.snapshot()}
+        from repro.obs.exemplars import EXEMPLARS
+        from repro.obs.recorder import RECORDER
+
+        bundle = {
+            "spans": TRACER.export(),
+            "metrics": REGISTRY.snapshot(),
+            "recorder": RECORDER.export(),
+            "exemplars": EXEMPLARS.export(),
+        }
         return bytes([OBS_DUMP_TAG]) + json.dumps(bundle, default=str).encode("utf-8")
+
+    def _profile_control(self, payload: bytes) -> bytes:
+        """Attach/detach the per-process sampling profiler over the wire.
+
+        Start frames may carry a 4-byte big-endian sampling interval in
+        microseconds; stop replies carry the profiler's full export
+        (collapsed stacks + sample counts) so a remote ``repro profile``
+        needs exactly two control round trips.
+        """
+        from repro.obs import profiler as _profiler
+
+        if payload[0] == OBS_PROFILE_START_TAG:
+            interval_s = _profiler.DEFAULT_INTERVAL_S
+            if len(payload) >= 5:
+                interval_us = int.from_bytes(payload[1:5], "big")
+                if interval_us > 0:
+                    interval_s = interval_us / 1e6
+            profiler = _profiler.attach(interval_s)
+            body = {"running": True, "interval_s": profiler.interval_s}
+        else:
+            export = _profiler.detach()
+            body = {"running": False, "profile": export}
+        return bytes([OBS_PROFILE_DUMP_TAG]) + json.dumps(
+            body, default=str
+        ).encode("utf-8")
 
     def traced_dispatch(self, inner: bytes, trace_context: bytes | None) -> bytes:
         """Dispatch under a request span parented by the propagated context.
@@ -525,6 +568,9 @@ __all__ = [
     "LOAD_ACK",
     "OBS_PULL_TAG",
     "OBS_DUMP_TAG",
+    "OBS_PROFILE_START_TAG",
+    "OBS_PROFILE_STOP_TAG",
+    "OBS_PROFILE_DUMP_TAG",
     "ERROR_TAG",
     "OVERLOAD_TAG",
     "OVERLOAD_FRAME",

@@ -30,6 +30,9 @@ from repro.transport.server import (
     ERROR_TAG,
     LOAD_TAG,
     OBS_DUMP_TAG,
+    OBS_PROFILE_DUMP_TAG,
+    OBS_PROFILE_START_TAG,
+    OBS_PROFILE_STOP_TAG,
     OBS_PULL_TAG,
     pack_load,
     unpack_load,
@@ -237,6 +240,12 @@ def async_server():
     """
     with AsyncLblServer(point_and_permute=True) as server:
         yield server
+    # A fuzzed frame that happens to start with the profiler-start tag
+    # attaches the in-process sampling profiler; never leak that sampler
+    # into later tests.
+    from repro.obs import profiler
+
+    profiler.detach()
 
 
 def assert_loop_alive(server) -> None:
@@ -277,6 +286,8 @@ KNOWN_TAGS = {
     m.LblBatchRequest.TAG,
     LOAD_TAG,
     OBS_PULL_TAG,
+    OBS_PROFILE_START_TAG,
+    OBS_PROFILE_STOP_TAG,
     framing.MUX_TAG,
     framing.MUX_TRACED_TAG,
 }
@@ -310,10 +321,12 @@ def test_async_server_answers_garbage_mux_frames_under_their_id(
         reply_id, reply_inner = unwrap_mux(reply)
         assert reply_id == request_id
         # Almost always an error frame; a coincidentally-valid control
-        # frame (obs pull, load record) may earn its genuine ack.
+        # frame (obs pull, load record, profiler start/stop) may earn its
+        # genuine ack.
         assert reply_inner[:1] in (
             bytes([ERROR_TAG]),
             bytes([OBS_DUMP_TAG]),
+            bytes([OBS_PROFILE_DUMP_TAG]),
             bytes([LOAD_TAG + 1]),  # LOAD_ACK
         )
     assert_loop_alive(async_server)
