@@ -309,6 +309,15 @@ DEFAULT_TARGET_UTILIZATION = 0.6
 #: against ``benchmarks/test_coalesce_throughput.py`` on the CI host.
 DEFAULT_FLUSH_OVERHEAD_SECONDS = 250e-6
 
+#: Server-side calibration points for the access-window fusion term
+#: (ROADMAP: server-side counterpart of prepare coalescing).  One designated
+#: AEAD open is a short HMAC-SHA256 (a handful of compressions), so a server
+#: core sustains far more opens/s than accesses/s; the per-*flush* overhead
+#: (storage round trip, dispatch, fan-out) is the part ``server_batch``
+#: amortizes.  Calibrated against ``benchmarks/test_server_fusion.py``.
+DEFAULT_SERVER_OPENS_PER_SEC = 500_000.0
+DEFAULT_SERVER_FLUSH_OVERHEAD_SECONDS = 150e-6
+
 
 @dataclass(frozen=True, slots=True)
 class CapacityPlan:
@@ -356,6 +365,9 @@ def plan_capacity(
     target_utilization: float = DEFAULT_TARGET_UTILIZATION,
     coalesce_batch: int = 1,
     flush_overhead_seconds: float = DEFAULT_FLUSH_OVERHEAD_SECONDS,
+    server_batch: int = 1,
+    server_opens_per_sec: float | None = None,
+    server_flush_overhead_seconds: float | None = None,
     prices=None,
 ) -> CapacityPlan:
     """Size a deployment for ``users`` issuing ``ops_per_user_per_day`` each.
@@ -389,6 +401,19 @@ def plan_capacity(
             ``1`` models the per-request prepare path.
         flush_overhead_seconds: Fixed dispatch cost of one prepare flush
             (see :data:`DEFAULT_FLUSH_OVERHEAD_SECONDS`).
+        server_batch: Expected requests per server-side access window (the
+            servers' ``server_batch`` under saturating traffic); ``1``
+            models the per-request server dispatch path.  The server's
+            per-access CPU mirrors the proxy split: the ``G`` designated
+            AEAD opens per access are window-invariant
+            (``opens / server_opens_per_sec``), while the fixed per-flush
+            overhead — the storage get/put round trip and dispatch — is
+            shared by the window (``server_flush_overhead / server_batch``).
+        server_opens_per_sec: Sustained designated-pair AEAD opens one
+            server core performs (default
+            :data:`DEFAULT_SERVER_OPENS_PER_SEC`).
+        server_flush_overhead_seconds: Fixed cost of one server window
+            flush (default :data:`DEFAULT_SERVER_FLUSH_OVERHEAD_SECONDS`).
         prices: :class:`repro.analysis.cost.CloudPrices` override.
     """
     from repro.analysis.cost import CloudPrices
@@ -401,6 +426,16 @@ def plan_capacity(
         raise ConfigurationError("coalesce_batch must be >= 1")
     if flush_overhead_seconds < 0:
         raise ConfigurationError("flush_overhead_seconds must be >= 0")
+    if server_batch < 1:
+        raise ConfigurationError("server_batch must be >= 1")
+    if server_opens_per_sec is None:
+        server_opens_per_sec = DEFAULT_SERVER_OPENS_PER_SEC
+    if server_flush_overhead_seconds is None:
+        server_flush_overhead_seconds = DEFAULT_SERVER_FLUSH_OVERHEAD_SECONDS
+    if server_opens_per_sec <= 0:
+        raise ConfigurationError("server_opens_per_sec must be > 0")
+    if server_flush_overhead_seconds < 0:
+        raise ConfigurationError("server_flush_overhead_seconds must be >= 0")
     prices = prices or CloudPrices()
     if num_objects is None:
         num_objects = users
@@ -408,16 +443,22 @@ def plan_capacity(
     ops_per_day = users * ops_per_user_per_day
     ops_per_second = ops_per_day / 86_400.0
     bytes_per_access = model.framed_bytes_per_access(traced=True)
-    compressions = model.ops(include_server=True)["sha256.compressions"]
+    model_ops = model.ops(include_server=True)
+    compressions = model_ops["sha256.compressions"]
+    server_opens = model_ops.get("aead.decrypts", 0)
 
     shards = max(
         1, int(-(-ops_per_second // (shard_ops_per_sec * target_utilization)))
     )
     # Hashing work is batch-invariant; the fixed dispatch overhead is paid
-    # once per flush and shared by the window that flushed together.
+    # once per flush and shared by the window that flushed together.  The
+    # server mirrors the split: its G designated opens per access are
+    # window-invariant, its per-flush overhead amortizes over server_batch.
     cpu_seconds_per_access = (
         compressions / compressions_per_core_per_sec
         + flush_overhead_seconds / coalesce_batch
+        + server_opens / server_opens_per_sec
+        + server_flush_overhead_seconds / server_batch
     )
     cpu_cores = max(
         1,
@@ -465,6 +506,9 @@ def plan_capacity(
             "target_utilization": target_utilization,
             "coalesce_batch": coalesce_batch,
             "flush_overhead_seconds": flush_overhead_seconds,
+            "server_batch": server_batch,
+            "server_opens_per_sec": server_opens_per_sec,
+            "server_flush_overhead_seconds": server_flush_overhead_seconds,
             "p99_model": "M/M/1 tail: service_ms * ln(100) / (1 - utilization)",
         },
     )
@@ -496,6 +540,14 @@ def run_model_check(
     per-request op counts are unchanged by fusion, which is exactly the
     exactness claim coalescing must preserve.
 
+    The pseudo-backend ``"server-coalesced"`` is the server-side twin: the
+    tracked access is served through a fused
+    :meth:`~repro.core.lbl.server.LblServer.process_many` window shared
+    with an untracked decoy request, and the tracked ledger row must still
+    equal the ``"stdlib"`` model byte-for-byte — the window-wide
+    ``open_many``'s closed-form per-row attribution is exact, not
+    approximate.
+
     Returns a JSON-ready report: ``{"ok": bool, "cases": [...]}`` where
     each case carries the expected/actual dicts and its own verdict.
     """
@@ -519,6 +571,7 @@ def run_model_check(
                     point_and_permute=True,
                 )
                 engine = None
+                server_fused = backend == "server-coalesced"
                 if backend in ("procpool", "coalesced"):
                     protocol = LblOrtoa(
                         config, rng=_random.Random(7), crypto_backend="stdlib"
@@ -531,6 +584,10 @@ def run_model_check(
                             0.0005 if backend == "coalesced" else 0.0
                         ),
                     )
+                elif server_fused:
+                    protocol = LblOrtoa(
+                        config, rng=_random.Random(7), crypto_backend="stdlib"
+                    )
                 else:
                     protocol = LblOrtoa(
                         config,
@@ -538,23 +595,56 @@ def run_model_check(
                         batched=backend != "scalar",
                         crypto_backend=backend if backend != "scalar" else "auto",
                     )
-                protocol.initialize({"k": b"\x01" * value_len})
+                records = {"k": b"\x01" * value_len}
+                if server_fused:
+                    # The decoy shares the fused server window with the
+                    # tracked access; it is prepared and finalized outside
+                    # the tracked row.
+                    records["d"] = b"\x01" * value_len
+                protocol.initialize(records)
                 try:
                     for op_name, request in (
                         ("get", Request.read("k")),
                         ("put", Request.write("k", b"\x02" * value_len)),
                     ):
                         epoch = protocol.proxy.counter("k")
+                        if backend == "coalesced":
+                            model_backend = "procpool"
+                        elif server_fused:
+                            model_backend = "stdlib"
+                        else:
+                            model_backend = backend
                         model = LblCostModel.from_config(
                             config,
-                            backend=(
-                                "procpool" if backend == "coalesced" else backend
-                            ),
+                            backend=model_backend,
                             key="k",
                             counter=epoch,
                         )
+                        if server_fused:
+                            decoy_epoch = protocol.proxy.counter("d") + 1
+                            decoy_built, _decoy_ops = protocol.proxy.prepare(
+                                Request.read("d")
+                            )
                         with ledger.track(label=f"check:{op_name}") as row:
-                            if engine is None:
+                            if server_fused:
+                                from repro.errors import OrtoaError
+
+                                built, _prep_ops = protocol.proxy.prepare(request)
+                                fused = protocol.server.process_many(
+                                    [built, decoy_built], rows=[row, None]
+                                )
+                                for item in fused:
+                                    if isinstance(item, OrtoaError):
+                                        raise item
+                                response, _server_ops = fused[0]
+                                protocol.proxy.finalize(
+                                    "k", response, counter=epoch + 1
+                                )
+                                actual_wire = {
+                                    "access.sent": len(built.to_bytes()),
+                                    "access.received": len(response.to_bytes()),
+                                }
+                            elif engine is None:
                                 protocol.access(request)
                                 actual_wire = None
                             else:
@@ -571,6 +661,12 @@ def run_model_check(
                                     "access.sent": len(built.to_bytes()),
                                     "access.received": len(response.to_bytes()),
                                 }
+                        if server_fused:
+                            # Decoy finalize outside the tracked row: its
+                            # crypto belongs to the decoy, not the case.
+                            protocol.proxy.finalize(
+                                "d", fused[1][0], counter=decoy_epoch
+                            )
                         snap = row.snapshot()
                         if actual_wire is None:
                             actual_wire = snap["wire"]
@@ -619,4 +715,6 @@ __all__ = [
     "DEFAULT_SHARD_OPS_PER_SEC",
     "DEFAULT_COMPRESSIONS_PER_CORE_PER_SEC",
     "DEFAULT_TARGET_UTILIZATION",
+    "DEFAULT_SERVER_OPENS_PER_SEC",
+    "DEFAULT_SERVER_FLUSH_OVERHEAD_SECONDS",
 ]

@@ -70,6 +70,8 @@ _RUN_OVERRIDES = {
     "crypto_backend": "crypto_backend",
     "transport": "transport",
     "coalesce_window": "coalesce_window",
+    "server_batch": "server_batch",
+    "server_window": "server_window",
 }
 
 
@@ -174,7 +176,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         # require the ledger to agree with the model byte-for-byte.
         report = run_model_check(
             value_sizes=(4, 8, 16),
-            backends=("scalar", "stdlib", "vector", "procpool", "coalesced"),
+            backends=(
+                "scalar",
+                "stdlib",
+                "vector",
+                "procpool",
+                "coalesced",
+                "server-coalesced",
+            ),
         )
         for case in report["cases"]:
             mark = "ok " if case["ok"] else "FAIL"
@@ -217,6 +226,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 if args.flush_overhead is not None
                 else DEFAULT_FLUSH_OVERHEAD_SECONDS
             ),
+            server_batch=args.server_batch,
+            server_opens_per_sec=args.server_opens,
+            server_flush_overhead_seconds=args.server_flush_overhead,
         )
     except OrtoaError as exc:
         print(f"cannot plan: {exc}", file=sys.stderr)
@@ -291,6 +303,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 point_and_permute=config.point_and_permute,
                 in_process=True,
                 transport=args.transport,
+                server_batch=args.server_batch,
             ) as cluster:
                 deployment = ShardedLblDeployment(
                     config,
@@ -716,6 +729,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. `lbl`): concurrent prepares fuse into windowed lane "
         "dispatches; 0 disables",
     )
+    run.add_argument(
+        "--server-batch",
+        dest="server_batch",
+        type=int,
+        metavar="N",
+        help="server-side access window size for experiments that take one "
+        "(e.g. `sharded`): concurrent accesses fuse into one storage "
+        "multi-get + window-wide AEAD open + multi-put; 1 disables",
+    )
+    run.add_argument(
+        "--server-window",
+        dest="server_window",
+        type=float,
+        metavar="SECONDS",
+        help="server-side access window flush timer for experiments that "
+        "take one (e.g. `sharded`); default ~200µs",
+    )
     run.set_defaults(func=_cmd_run)
 
     sub.add_parser("demo", help="30-second functional demo").set_defaults(
@@ -809,6 +839,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="fixed dispatch cost of one prepare flush (planner assumption)",
     )
     plan.add_argument(
+        "--server-batch",
+        dest="server_batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="expected requests per server-side access window; server CPU "
+        "amortizes the flush overhead across the window (default: 1 = "
+        "per-request server dispatch)",
+    )
+    plan.add_argument(
+        "--server-opens",
+        dest="server_opens",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="sustained designated-pair AEAD opens/s per server core "
+        "(planner assumption)",
+    )
+    plan.add_argument(
+        "--server-flush-overhead",
+        dest="server_flush_overhead",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fixed cost of one server window flush (planner assumption)",
+    )
+    plan.add_argument(
         "--record",
         action="store_true",
         help="append planner projections to the BENCH trajectory (ungated)",
@@ -817,7 +874,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="validate the model against the wire ledger for GET and PUT "
-        "across scalar/stdlib/vector/procpool/coalesced at 3 value sizes",
+        "across scalar/stdlib/vector/procpool/coalesced/server-coalesced "
+        "at 3 value sizes",
     )
     plan.add_argument("--json", metavar="PATH", help="write a JSON report")
     plan.set_defaults(func=_cmd_plan)
@@ -872,6 +930,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("thread", "async"),
         default="thread",
         help="shard transport for the sharded audit (default: thread)",
+    )
+    obs_cmd.add_argument(
+        "--server-batch",
+        dest="server_batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="server-side access window size for the sharded audit "
+        "(default: 1 = per-request dispatch; > 1 audits with window "
+        "fusion on)",
     )
     obs_cmd.add_argument("--json", metavar="PATH", help="also write a JSON bundle")
     obs_cmd.set_defaults(func=_cmd_obs)

@@ -17,7 +17,9 @@ round trips, not bytes, are the scarce resource.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.core.base import (
     AccessTranscript,
@@ -32,6 +34,30 @@ from repro.core.messages import LblAccessResponse, LblErrorEntry
 from repro.errors import ConfigurationError
 from repro.obs import ledger as _ledger
 from repro.types import Request, Response
+
+
+@contextmanager
+def hold_stripes(
+    stripes: "list[threading.Lock]", indices: Iterable[int]
+) -> Iterator[None]:
+    """Hold several stripes of one lock table at once, deadlock-free.
+
+    Stripes are acquired in ascending index order (deduplicated), so any
+    two holders — a fused server flush locking its whole window, a batch
+    frame locking one key at a time — order their acquisitions identically
+    and can never cycle.  Released in reverse order.
+    """
+    ordered = sorted(set(indices))
+    acquired: "list[threading.Lock]" = []
+    try:
+        for index in ordered:
+            stripe = stripes[index]
+            stripe.acquire()
+            acquired.append(stripe)
+        yield
+    finally:
+        for stripe in reversed(acquired):
+            stripe.release()
 
 
 @dataclass(frozen=True, slots=True)
@@ -224,4 +250,5 @@ __all__ = [
     "BatchTranscript",
     "access_batch",
     "finalize_batch_entries",
+    "hold_stripes",
 ]

@@ -101,6 +101,14 @@ class ShardedLblDeployment(OrtoaProtocol):
             into shared lane dispatches.  ``0`` (default) keeps the
             per-request paths.
         coalesce_batch: Size flush threshold for the coalescing window.
+
+    The server-side counterpart — access window fusion on the untrusted
+    store — is configured on the shard servers themselves
+    (``server_batch`` / ``server_window`` on
+    :class:`~repro.transport.server.LblTcpServer`,
+    :class:`~repro.transport.async_server.AsyncLblServer`, and
+    :class:`~repro.transport.cluster.ShardCluster`), not here: the client
+    needs no changes for its concurrent frames to fuse server-side.
     """
 
     name = "lbl-ortoa-sharded"
@@ -479,6 +487,16 @@ class ShardedLblDeployment(OrtoaProtocol):
         travels as its own multiplexed frame, so the server's worker pool
         processes them in parallel and replies stream back continuously.
         Transcripts are returned in request order.
+
+        When the shard servers run with ``server_batch > 1``, these
+        concurrent in-flight frames are exactly what fills the server-side
+        access windows (:class:`~repro.core.lbl.server_coalesce.\
+ServerAccessCoalescer`): a depth-8 pipeline against a ``server_batch=8``
+        shard lands its whole window in one fused ``process_many``.  The
+        per-key in-flight exclusion below also guarantees a pipelined
+        client never puts two same-key frames into one server window, so
+        the server's same-key chaining is only exercised by *distinct*
+        clients colliding on a key.
         """
         if not requests:
             raise ProtocolError("pipeline needs at least one request")

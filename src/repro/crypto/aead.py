@@ -780,6 +780,10 @@ def open_many(
     ipad_trans = _IPAD_TRANS
     opad_trans = _OPAD_TRANS
     mac_domain = _MAC_DOMAIN
+    enc_domain = _ENC_DOMAIN
+    zero_ctr = _ZERO_CTR
+    digest_bytes = _DIGEST_BYTES
+    from_bytes = int.from_bytes
     block = _BLOCK
     for key, ciphertext in zip(keys, ciphertexts):
         if len(key) < 16:
@@ -798,9 +802,31 @@ def open_many(
             opad + sha(ipad + mac_domain + ciphertext[:body_end]).digest()
         ).digest()
         if compare(ciphertext[body_end:], expected[:TAG_LEN]):
-            nonce = ciphertext[:NONCE_LEN]
             body = ciphertext[NONCE_LEN:body_end]
-            append(_xor(body, _keystream(ipad, opad, nonce, len(body))))
+            body_len = body_end - NONCE_LEN
+            if 0 < body_len <= digest_bytes:
+                # Inlined one-block keystream (every LBL label payload):
+                # byte-identical to ``_xor(body, _keystream(...))`` without
+                # two function calls per opened pair.
+                stream = sha(
+                    opad
+                    + sha(
+                        ipad + enc_domain + ciphertext[:NONCE_LEN] + zero_ctr
+                    ).digest()
+                ).digest()
+                append(
+                    (
+                        from_bytes(body, "big")
+                        ^ from_bytes(stream[:body_len], "big")
+                    ).to_bytes(body_len, "big")
+                )
+            else:
+                append(
+                    _xor(
+                        body,
+                        _keystream(ipad, opad, ciphertext[:NONCE_LEN], body_len),
+                    )
+                )
             opened += 1
         else:
             append(None)

@@ -9,7 +9,7 @@ prepare vs service vs round-trip latency), and hands the vectors to
 :func:`diagnose` — a pure function, so the attribution logic is testable on
 synthetic signal dicts without sockets.
 
-Attribution taxonomy (the four ways the async/coalesced stack saturates):
+Attribution taxonomy (the five ways the async/coalesced stack saturates):
 
 * **shedding** — the admission window is rejecting work outright
   (``SHED/s > 0``); always reported first, then the *cause* of the
@@ -19,6 +19,10 @@ Attribution taxonomy (the four ways the async/coalesced stack saturates):
 * **crypto** — the proxy's table builds are the constraint: the process
   crypto pool queues, prepares dominate the latency budget, or the
   coalescing window flushes full.
+* **server** — the untrusted store's fused access windows are the
+  constraint: ``server_batch > 1`` windows consistently flush full on
+  size, meaning requests queue faster than fused ``open_many`` dispatches
+  drain them — the deployment is server-open-bound.
 * **wire** — neither side is busy yet round trips dwarf service time:
   the network (or a slow consumer) holds the latency.
 
@@ -81,6 +85,7 @@ def _signal(
     row["prepare_p99_ms"] = None if prepare_p99 is None else prepare_p99 * 1e3
     row["procpool_queue_depth"] = _value("repro_lbl_procpool_queue_depth")
     row["coalesce_window_fill"] = _value("repro_lbl_coalesce_window_fill")
+    row["server_window_fill"] = _value("repro_lbl_server_window_fill")
     return row
 
 
@@ -132,6 +137,14 @@ def _score_crypto(signal: Mapping[str, Any]) -> float:
     )
 
 
+def _score_server(signal: Mapping[str, Any]) -> float:
+    # A high server window fill means fused access windows consistently
+    # close on size before their timer: arrivals outpace flush drains and
+    # the untrusted store's open_many dispatch is the convergence point.
+    fill = signal.get("server_window_fill") or 0.0
+    return min(fill / WINDOW_FILL_SATURATED, 1.0)
+
+
 def _score_wire(signal: Mapping[str, Any]) -> float:
     roundtrip = signal.get("p99_ms")
     service = signal.get("service_p99_ms") or 0.0
@@ -161,7 +174,8 @@ def diagnose(
         ``{"bottleneck", "shedding", "scores", "reasons",
         "measured_ops_per_s", "predicted_ops_per_s", "utilization",
         "targets"}`` — ``bottleneck`` is ``"dispatch"``, ``"crypto"``,
-        ``"wire"``, or ``"healthy"``; ``shedding`` is True when any target
+        ``"server"``, ``"wire"``, or ``"healthy"``; ``shedding`` is True
+        when any target
         rejected work during the observation window.
     """
     up = [s for s in signals if s.get("up", True)]
@@ -171,6 +185,7 @@ def diagnose(
     scores = {
         "dispatch": max((_score_dispatch(s) for s in up), default=0.0),
         "crypto": max((_score_crypto(s) for s in up), default=0.0),
+        "server": max((_score_server(s) for s in up), default=0.0),
         "wire": max((_score_wire(s) for s in up), default=0.0),
     }
     shedding = shed_per_s > 0.0
@@ -203,6 +218,14 @@ def diagnose(
                 f"{worst.get('procpool_queue_depth') or 0:.0f}, coalesce window "
                 f"{(worst.get('coalesce_window_fill') or 0.0) * 100.0:.0f}% full, "
                 f"prepare p99 {worst.get('prepare_p99_ms') or 0.0:.2f} ms"
+            )
+        if scores["server"] >= SCORE_FLOOR:
+            worst = max(up, key=_score_server)
+            reasons.append(
+                f"server: {worst.get('target', '?')} access windows "
+                f"{(worst.get('server_window_fill') or 0.0) * 100.0:.0f}% "
+                "full at flush — the store's fused open dispatch is the "
+                "convergence point (server-open-bound)"
             )
         if scores["wire"] >= SCORE_FLOOR:
             worst = max(up, key=_score_wire)

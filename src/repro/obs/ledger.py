@@ -249,6 +249,24 @@ def credit_wire(
         row.credit_wire(frame, direction, nbytes)
 
 
+def credit_op(primitive: str, n: int = 1, row: LedgerRow | None = None) -> None:
+    """Credit ``n`` invocations of ``primitive`` to a request's row **only**
+    (ambient row when ``row`` is ``None``).
+
+    The fused-dispatch counterpart of :func:`credit_wire`: a window-wide
+    crypto call runs under ``activate(None)`` so the primitive meters the
+    registry once for the real invocation, then the flusher splits the
+    attempt counts closed-form across the requests it served with this
+    helper.  Crediting the registry here too would double-count the fused
+    call."""
+    if not _obs.enabled or n == 0:
+        return
+    if row is None:
+        row = _ROW.get()
+    if row is not None:
+        row.add_op(primitive, n)
+
+
 def add_op(primitive: str, n: int = 1) -> None:
     """Count ``n`` invocations of ``primitive`` in the registry and the
     ambient row (if one is active)."""
@@ -310,6 +328,7 @@ __all__ = [
     "reset",
     "count_wire",
     "credit_wire",
+    "credit_op",
     "add_op",
     "add_prf",
     "registry_ops_snapshot",

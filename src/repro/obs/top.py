@@ -113,6 +113,7 @@ def target_row(
         "shed_per_s": shed_per_s,
         "in_flight_occupancy": occupancy,
         "loop_lag_ms": _value(current, "repro_transport_async_loop_lag_ms"),
+        "server_window_fill": _value(current, "repro_lbl_server_window_fill"),
     }
 
 
@@ -133,7 +134,7 @@ def render_top(rows: list[dict[str, Any]], *, refreshed_at: str = "") -> str:
     header = (
         f"{'TARGET':24s} {'REQS':>8s} {'OPS/S':>8s} {'MB/S':>7s} {'RT p50':>8s} "
         f"{'RT p99':>8s} {'SVC p99':>8s} {'HIT%':>6s} {'QUEUE':>6s} {'ERRS':>5s} "
-        f"{'SHED/S':>7s} {'OCC%':>5s} {'LAG':>6s}"
+        f"{'SHED/S':>7s} {'OCC%':>5s} {'LAG':>6s} {'SWIN%':>6s}"
     )
     lines = [f"repro top — {len(rows)} target(s)  {refreshed_at}".rstrip(), header]
     for row in rows:
@@ -142,6 +143,7 @@ def render_top(rows: list[dict[str, Any]], *, refreshed_at: str = "") -> str:
             continue
         hit = row["cache_hit_rate"]
         occ = row.get("in_flight_occupancy")
+        swin = row.get("server_window_fill")
         lines.append(
             f"{row['target']:24s}"
             f" {_cell(row['requests'], '{:.0f}'):>8s}"
@@ -156,11 +158,13 @@ def render_top(rows: list[dict[str, Any]], *, refreshed_at: str = "") -> str:
             f" {_cell(row.get('shed_per_s')):>7s}"
             f" {_cell(occ if occ is None else occ * 100.0, '{:.0f}'):>5s}"
             f" {_cell(row.get('loop_lag_ms'), '{:.2f}'):>6s}"
+            f" {_cell(swin if swin is None else swin * 100.0, '{:.0f}'):>6s}"
         )
     lines.append("")
     lines.append(
         "RT/SVC/LAG in ms; OPS/S, MB/S, SHED/S from scrape deltas; "
-        "OCC% = in-flight over window; ctrl-c to quit"
+        "OCC% = in-flight over window; SWIN% = server access-window fill; "
+        "ctrl-c to quit"
     )
     return "\n".join(lines)
 

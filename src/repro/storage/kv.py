@@ -26,6 +26,8 @@ class KeyValueStore(Generic[V]):
         self._data: dict[bytes, V] = {}
         self.get_count = 0
         self.put_count = 0
+        self.multi_get_count = 0
+        self.multi_put_count = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -56,6 +58,41 @@ class KeyValueStore(Generic[V]):
             raise StorageError("encoded keys must be bytes")
         self.put_count += 1
         self._data[encoded_key] = value
+
+    def get_many(self, encoded_keys: list[bytes]) -> list[V]:
+        """Fetch many values in one engine call.
+
+        Per-key accounting matches ``len(encoded_keys)`` sequential gets
+        (``get_count`` advances by the key count), while ``multi_get_count``
+        advances by exactly one — so callers can assert both "the work was
+        done" and "it was done in a single fused storage access".
+
+        Raises:
+            KeyNotFoundError: on the first missing key (no partial reads
+                are exposed; the fused server pre-checks membership).
+        """
+        self.get_count += len(encoded_keys)
+        self.multi_get_count += 1
+        try:
+            return [self._data[encoded_key] for encoded_key in encoded_keys]
+        except KeyError as exc:
+            raise KeyNotFoundError(
+                f"{self.name}: key {exc.args[0].hex()[:16]}… not found"
+            ) from None
+
+    def put_many(self, items: list[tuple[bytes, V]]) -> None:
+        """Store many values in one engine call (insert or overwrite).
+
+        Mirrors :meth:`get_many`'s accounting: ``put_count`` advances per
+        item, ``multi_put_count`` by one.
+        """
+        for encoded_key, _value in items:
+            if not isinstance(encoded_key, bytes):
+                raise StorageError("encoded keys must be bytes")
+        self.put_count += len(items)
+        self.multi_put_count += 1
+        for encoded_key, value in items:
+            self._data[encoded_key] = value
 
     def put_new(self, encoded_key: bytes, value: V) -> None:
         """Insert a value that must not already exist (bulk initialization)."""

@@ -46,13 +46,20 @@ from __future__ import annotations
 import asyncio
 import socket
 import threading
+import time
 
-from repro.errors import ConfigurationError, ProtocolError
+from repro.core.lbl.server_coalesce import (
+    DEFAULT_WINDOW_SECONDS as DEFAULT_SERVER_WINDOW_SECONDS,
+)
+from repro.core.messages import LblAccessRequest
+from repro.errors import ConfigurationError, OrtoaError, ProtocolError
 from repro.obs import _state as _obs
 from repro.obs import ledger as _ledger
 from repro.obs.logging import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.propagate import REMOTE_PARENT_ATTR, TraceContext, remote_parent
 from repro.obs.recorder import RECORDER
+from repro.obs.trace import TRACER
 from repro.transport import framing
 from repro.transport.framing import MAX_FRAME_BYTES, _LEN
 from repro.transport.server import (
@@ -104,6 +111,15 @@ class AsyncLblServer:
         metrics_port: When not ``None``, serve this process's metrics
             registry as Prometheus text on ``http://host:metrics_port``
             (0 picks an ephemeral port; read ``metrics_address``).
+        server_batch: Access-window fusion size (see
+            :class:`~repro.transport.server.LblFrameDispatcher`); ``1``
+            disables fusion.  Above 1, access frames always dispatch as
+            their own Task — an inline await would park the connection's
+            read loop on the window future and stop later frames from the
+            same connection from ever filling the window.
+        server_window: Flush timer (seconds) for a partially filled access
+            window, armed via ``loop.call_later`` (an event loop cannot
+            block in the coalescer's leader poll).
     """
 
     def __init__(
@@ -118,6 +134,8 @@ class AsyncLblServer:
         write_buffer_bytes: int | None = None,
         backlog: int = 2048,
         metrics_port: int | None = None,
+        server_batch: int = 1,
+        server_window: float = DEFAULT_SERVER_WINDOW_SECONDS,
     ) -> None:
         if max_in_flight < 1:
             raise ConfigurationError("max_in_flight must be >= 1")
@@ -145,8 +163,14 @@ class AsyncLblServer:
         )
         # One loop means dispatches never overlap mid-mutation: tasks only
         # yield at awaits, and the dispatcher never awaits — so no locks.
+        # Window fusion keeps that invariant: a coalesced access awaits a
+        # future, but the flush itself (process_many) never awaits, so the
+        # store still mutates atomically between yield points.
         self.dispatcher = LblFrameDispatcher(
-            point_and_permute=point_and_permute, locking=False
+            point_and_permute=point_and_permute,
+            locking=False,
+            server_batch=server_batch,
+            server_window=server_window,
         )
         self.lbl = self.dispatcher.lbl
         self.metrics_server = None
@@ -523,7 +547,14 @@ class AsyncLblServer:
             if self._draining:
                 await self._send_overload(conn, request_id=None)
                 continue
-            reply = self.dispatcher.safe_dispatch(payload)
+            if self._coalesce_access(payload):
+                # Lockstep connections are strict request/reply anyway, so
+                # awaiting the window future here only parks this
+                # connection — frames from other connections keep filling
+                # the window while we wait.
+                reply = await self._safe_dispatch_coalesced(payload)
+            else:
+                reply = self.dispatcher.safe_dispatch(payload)
             if _obs.enabled:
                 _ledger.count_wire(
                     _ledger.frame_type(reply), "sent", 4 + len(reply), role="server"
@@ -581,11 +612,15 @@ class AsyncLblServer:
             return
         conn.in_flight += 1
         self._track_in_flight(+1)
-        if not self.response_delay_s:
+        if not self.response_delay_s and not self._coalesce_access(inner):
             # The dispatcher is synchronous and the reply write buffers
             # without blocking below the high-water mark, so at zero delay
             # a Task per request buys no concurrency — handling inline
             # keeps admission accounting identical and skips the Task.
+            # Coalesced access frames are the exception: they await the
+            # window future, and an inline await would park this
+            # connection's read loop, stopping its later frames from ever
+            # filling the window — so they always get their own Task.
             await self._handle_mux(conn, request_id, inner, trace_context)
             return
         task = asyncio.get_running_loop().create_task(
@@ -593,6 +628,97 @@ class AsyncLblServer:
         )
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
+
+    # ------------------------------------------------------------------ #
+    # Access-window fusion (loop side)
+    # ------------------------------------------------------------------ #
+
+    def _coalesce_access(self, inner: bytes) -> bool:
+        """Whether this frame routes through the access coalescer."""
+        return (
+            self.dispatcher.coalescer is not None
+            and bool(inner)
+            and inner[0] == LblAccessRequest.TAG
+        )
+
+    async def _dispatch_coalesced(self, inner: bytes) -> bytes:
+        """Submit one access frame into the window; await its result.
+
+        The async half of the coalescer protocol: enqueue, then either
+        flush immediately (window filled) or arm a ``loop.call_later``
+        timer for this window's generation — a stale timer no-ops once the
+        window has flushed.  The flush runs synchronously on the loop (it
+        never awaits), resolving every entry's future in turn.
+        """
+        if _obs.enabled:
+            REGISTRY.counter("transport.requests_dispatched").inc()
+        request = LblAccessRequest.from_bytes(inner)
+        coalescer = self.dispatcher.coalescer
+        assert coalescer is not None
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+
+        def _resolve(entry) -> None:
+            if not future.done():
+                future.set_result(entry)
+
+        entry, is_leader, is_full, generation, _full = coalescer.submit(
+            request, _ledger.current_row(), on_done=_resolve
+        )
+        if is_full:
+            coalescer.flush_pending("size", generation)
+        elif is_leader:
+            loop.call_later(
+                coalescer.window, coalescer.flush_pending, "timer", generation
+            )
+        entry = await future
+        if entry.error is not None:
+            raise entry.error
+        assert entry.result is not None
+        return entry.result[0].to_bytes()
+
+    async def _safe_dispatch_coalesced(self, inner: bytes) -> bytes:
+        """Coalesced dispatch with ``safe_dispatch`` error semantics."""
+        try:
+            return await self._dispatch_coalesced(inner)
+        except OrtoaError as exc:
+            _log.warning("request failed, returning error frame: %s", exc)
+            if _obs.enabled:
+                REGISTRY.counter("transport.error_frames_sent").inc()
+            return bytes([ERROR_TAG]) + str(exc).encode("utf-8")
+
+    async def _traced_dispatch_coalesced(
+        self, inner: bytes, trace_context: bytes | None
+    ) -> bytes:
+        """Async twin of :meth:`LblFrameDispatcher.traced_dispatch`.
+
+        Same span, same server-labeled ledger row, same service histogram —
+        but the request span (and the row) stays open across the window
+        await, so the fused flush can credit this request's closed-form
+        share to exactly this row.
+        """
+        if not _obs.enabled:
+            return await self._safe_dispatch_coalesced(inner)
+        start = time.perf_counter()
+        parent = None
+        attributes = {}
+        trace_id = None
+        if trace_context is not None:
+            try:
+                decoded = TraceContext.decode(trace_context)
+                parent = remote_parent(decoded)
+                trace_id = decoded.trace_id
+                attributes[REMOTE_PARENT_ATTR] = True
+            except ProtocolError:
+                parent = None  # unparseable context: serve the request anyway
+        try:
+            with TRACER.span("transport.server.request", parent=parent, **attributes):
+                with _ledger.track(label="server", trace_id=trace_id):
+                    return await self._safe_dispatch_coalesced(inner)
+        finally:
+            REGISTRY.log_histogram("transport.server.service.seconds").observe(
+                time.perf_counter() - start
+            )
 
     async def _handle_mux(
         self,
@@ -609,7 +735,9 @@ class AsyncLblServer:
             # dispatcher never awaits, so its ledger row (contextvars) is
             # activated and retired with no interleaving point in between.
             # Either way the row belongs to exactly this request.
-            if _obs.enabled:
+            if self._coalesce_access(inner):
+                reply = await self._traced_dispatch_coalesced(inner, trace_context)
+            elif _obs.enabled:
                 reply = self.dispatcher.traced_dispatch(inner, trace_context)
             else:
                 reply = self.dispatcher.safe_dispatch(inner)

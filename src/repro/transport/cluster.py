@@ -32,6 +32,9 @@ import random
 import time
 from typing import TYPE_CHECKING
 
+from repro.core.lbl.server_coalesce import (
+    DEFAULT_WINDOW_SECONDS as DEFAULT_SERVER_WINDOW_SECONDS,
+)
 from repro.core.messages import LblAccessResponse
 from repro.errors import ConfigurationError, ProtocolError
 from repro.types import Request, StoreConfig
@@ -42,7 +45,9 @@ if TYPE_CHECKING:  # imported lazily at runtime: core.sharded imports this packa
 
 def _serve_shard(conn, point_and_permute: bool, response_delay_s: float,
                  max_workers: int, metrics: bool, enable_obs: bool,
-                 transport: str = "thread") -> None:  # pragma: no cover - child process
+                 transport: str = "thread", server_batch: int = 1,
+                 server_window: float = DEFAULT_SERVER_WINDOW_SECONDS,
+                 ) -> None:  # pragma: no cover - child process
     """Child-process entry point: bind, report the addresses, serve forever."""
     import threading
 
@@ -58,6 +63,8 @@ def _serve_shard(conn, point_and_permute: bool, response_delay_s: float,
         response_delay_s=response_delay_s,
         max_workers=max_workers,
         metrics_port=0 if metrics else None,
+        server_batch=server_batch,
+        server_window=server_window,
     )
     if transport == "async":
         server.start()
@@ -72,7 +79,8 @@ def _serve_shard(conn, point_and_permute: bool, response_delay_s: float,
 
 def _make_shard_server(transport: str, point_and_permute: bool,
                        response_delay_s: float, max_workers: int,
-                       metrics_port: int | None):
+                       metrics_port: int | None, server_batch: int = 1,
+                       server_window: float = DEFAULT_SERVER_WINDOW_SECONDS):
     """Build one (unstarted for async, bound for thread) shard server."""
     if transport == "thread":
         from repro.transport.server import LblTcpServer
@@ -82,6 +90,8 @@ def _make_shard_server(transport: str, point_and_permute: bool,
             response_delay_s=response_delay_s,
             max_workers=max_workers,
             metrics_port=metrics_port,
+            server_batch=server_batch,
+            server_window=server_window,
         )
     if transport == "async":
         from repro.transport.async_server import AsyncLblServer
@@ -90,6 +100,8 @@ def _make_shard_server(transport: str, point_and_permute: bool,
             point_and_permute=point_and_permute,
             response_delay_s=response_delay_s,
             metrics_port=metrics_port,
+            server_batch=server_batch,
+            server_window=server_window,
         )
     raise ConfigurationError(
         f"unknown transport {transport!r}; expected 'thread' or 'async'"
@@ -119,6 +131,11 @@ class ShardCluster:
             :class:`~repro.transport.async_server.AsyncLblServer` shards
             (one event loop each).  The wire format is identical, so
             clients need not know which they got.
+        server_batch: Per-shard access-window fusion size (see
+            :class:`~repro.transport.server.LblFrameDispatcher`); ``1``
+            disables fusion.
+        server_window: Per-shard flush timer (seconds) for a partially
+            filled access window.
     """
 
     def __init__(
@@ -131,6 +148,8 @@ class ShardCluster:
         metrics: bool = False,
         enable_obs: bool = False,
         transport: str = "thread",
+        server_batch: int = 1,
+        server_window: float = DEFAULT_SERVER_WINDOW_SECONDS,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError("num_shards must be >= 1")
@@ -146,6 +165,8 @@ class ShardCluster:
         self.max_workers = max_workers
         self.metrics = metrics
         self.enable_obs = enable_obs
+        self.server_batch = server_batch
+        self.server_window = server_window
         self.addresses: list[tuple[str, int]] = []
         self.metrics_addresses: list[tuple[str, int] | None] = []
         self.servers: list = []  # LblTcpServer when in_process
@@ -163,6 +184,8 @@ class ShardCluster:
                     response_delay_s=self.response_delay_s,
                     max_workers=self.max_workers,
                     metrics_port=0 if self.metrics else None,
+                    server_batch=self.server_batch,
+                    server_window=self.server_window,
                 )
                 server.serve_in_background()
                 self.servers.append(server)
@@ -182,6 +205,8 @@ class ShardCluster:
                         self.metrics,
                         self.enable_obs,
                         self.transport,
+                        self.server_batch,
+                        self.server_window,
                     ),
                     daemon=True,
                 )
@@ -322,6 +347,8 @@ def measure_shard_scaling(
     in_process: bool = True,
     seed: int = 0,
     transport: str = "thread",
+    server_batch: int = 1,
+    server_window: float = DEFAULT_SERVER_WINDOW_SECONDS,
 ) -> list[dict]:
     """Batch (pipelined, deep window) throughput as shards are added.
 
@@ -356,6 +383,8 @@ def measure_shard_scaling(
             response_delay_s=service_time_s,
             max_workers=workers_per_shard,
             transport=transport,
+            server_batch=server_batch,
+            server_window=server_window,
         ) as cluster:
             deployment = ShardedLblDeployment(
                 config,

@@ -59,7 +59,12 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.core.lbl.concurrent import hold_stripes
 from repro.core.lbl.server import LblServer
+from repro.core.lbl.server_coalesce import (
+    DEFAULT_WINDOW_SECONDS as DEFAULT_SERVER_WINDOW_SECONDS,
+    ServerAccessCoalescer,
+)
 from repro.core.messages import (
     LblAccessRequest,
     LblAccessResponse,
@@ -145,6 +150,15 @@ class LblFrameDispatcher:
             multi-threaded transport needs this; an event-loop transport
             whose dispatches never overlap passes ``False`` and pays no
             locking at all.
+        server_batch: Access-window fusion size.  ``1`` (the default)
+            dispatches each access frame straight into ``LblServer.process``;
+            above 1, concurrent access frames coalesce into windows of up
+            to this many requests, flushed as one fused
+            :meth:`~repro.core.lbl.server.LblServer.process_many`.
+        server_window: Flush timer (seconds) for a partially filled access
+            window — the longest a lone request waits for company.
+        clock: Time source for the window timer (tests inject a
+            :class:`~repro.obs.clock.FakeClock`); ``None`` uses wall time.
     """
 
     def __init__(
@@ -152,12 +166,40 @@ class LblFrameDispatcher:
         point_and_permute: bool = True,
         num_stripes: int = 64,
         locking: bool = True,
+        server_batch: int = 1,
+        server_window: float = DEFAULT_SERVER_WINDOW_SECONDS,
+        clock=None,
     ) -> None:
         if num_stripes < 1:
             raise ConfigurationError("num_stripes must be >= 1")
+        if server_batch < 1:
+            raise ConfigurationError("server_batch must be >= 1")
         self.lbl = LblServer(point_and_permute=point_and_permute)
         self._stripes = (
             [threading.Lock() for _ in range(num_stripes)] if locking else None
+        )
+        # The coalescer's flush holds every stripe its window touches (in
+        # sorted order — see hold_stripes), so fused flushes coexist with
+        # the per-key-locked LOAD and batch frame paths.
+        self.coalescer: ServerAccessCoalescer | None = (
+            ServerAccessCoalescer(
+                self.lbl,
+                window=server_window,
+                max_batch=server_batch,
+                clock=clock,
+                lock_keys=self._lock_encoded_keys,
+            )
+            if server_batch > 1
+            else None
+        )
+
+    def _lock_encoded_keys(self, encoded_keys: "list[bytes]"):
+        """Context manager holding the stripes of many keys at once."""
+        if self._stripes is None:
+            return self._NO_LOCK
+        stripes = self._stripes
+        return hold_stripes(
+            stripes, (hash(key) % len(stripes) for key in encoded_keys)
         )
 
     class _NoLock:
@@ -201,6 +243,11 @@ class LblFrameDispatcher:
             return LOAD_ACK
         if payload[0] == LblAccessRequest.TAG:
             request = LblAccessRequest.from_bytes(payload)
+            if self.coalescer is not None:
+                # Window fusion: block in the leader/follower protocol; the
+                # flush itself takes the stripes of every key it touches.
+                response, _ops = self.coalescer.process(request)
+                return response.to_bytes()
             with self._stripe_for(request.encoded_key):
                 response, _ops = self.lbl.process(request)
             return response.to_bytes()
@@ -364,6 +411,10 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         metrics_port: When not ``None``, serve this process's metrics
             registry as Prometheus text on ``http://host:metrics_port``
             (0 picks an ephemeral port; read ``metrics_address``).
+        server_batch: Access-window fusion size (see
+            :class:`LblFrameDispatcher`); ``1`` disables fusion.
+        server_window: Flush timer (seconds) for a partially filled
+            access window.
     """
 
     allow_reuse_address = True
@@ -378,6 +429,8 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
         max_workers: int = 8,
         response_delay_s: float = 0.0,
         metrics_port: int | None = None,
+        server_batch: int = 1,
+        server_window: float = DEFAULT_SERVER_WINDOW_SECONDS,
     ) -> None:
         if max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
@@ -392,6 +445,8 @@ class LblTcpServer(socketserver.ThreadingTCPServer):
             point_and_permute=point_and_permute,
             num_stripes=num_stripes,
             locking=True,
+            server_batch=server_batch,
+            server_window=server_window,
         )
         self.lbl = self.dispatcher.lbl
         self.response_delay_s = response_delay_s

@@ -1,0 +1,665 @@
+"""Server-side access window fusion: fused windows must be transparent.
+
+The fused :meth:`~repro.core.lbl.server.LblServer.process_many` changes how
+many storage accesses and AEAD dispatches a window of concurrent requests
+costs, and nothing else.  These tests pin the transparency claims:
+
+* protocol equivalence — a fused window produces exactly the responses,
+  errors, and final server state a sequential ``process`` loop over the
+  same interleaving produces (hypothesis property over arbitrary key/op
+  interleavings, including same-key chains, corrupt ciphertexts, and
+  missing keys with per-request error isolation);
+* fusion — a window of distinct present keys is exactly one storage
+  multi-get, one window-wide ``aead.open_many``, one storage multi-put;
+* obliviousness — a fused GET window and a fused PUT window are
+  shape-identical, in wire bytes and in every span attribute the server
+  emits, and the sharded obliviousness audit passes with fusion on;
+* attribution — each request's ledger row gets its byte-exact closed-form
+  share of the fused open, and a row-less window-mate leaks nothing into
+  anyone else's row (the model==ledger equality is exercised through
+  ``run_model_check``'s ``server-coalesced`` backend);
+* error-path telemetry — the satellite bugfix: ``process`` emits its span
+  and ``lbl.server.*`` counters on failed opens too, base protocol and
+  point-and-permute alike;
+* determinism — the coalescer's flush timer reads the injected clock, and
+  its generation counter makes stale timer flushes no-ops.
+"""
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.lbl import LblOrtoa
+from repro.core.lbl.server import SERVER_SPAN, LblServer
+from repro.core.lbl.server_coalesce import ServerAccessCoalescer
+from repro.core.messages import LblAccessRequest
+from repro.crypto.labels import StoredLabel
+from repro.errors import ConfigurationError, OrtoaError, ProtocolError
+from repro.obs.clock import FakeClock
+from repro.obs.recorder import RECORDER
+from repro.types import Request, StoreConfig
+
+pytestmark = pytest.mark.timeout(300)
+
+KEYS = tuple(f"f{i}" for i in range(4))
+VALUE_LEN = 8
+
+#: One access: (key index, is_write, written byte, fault) where fault is
+#: 0 = clean, 1 = corrupt group-0 ciphertexts, 2 = unknown encoded key.
+WORKLOADS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(KEYS) - 1),
+        st.booleans(),
+        st.integers(min_value=1, max_value=250),
+        st.integers(min_value=0, max_value=2),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _protocol(**overrides) -> LblOrtoa:
+    params = dict(value_len=VALUE_LEN, group_bits=2, point_and_permute=True)
+    params.update(overrides)
+    store = LblOrtoa(StoreConfig(**params), rng=random.Random(5))
+    store.initialize(
+        {key: bytes([i + 1]) * VALUE_LEN for i, key in enumerate(KEYS)}
+    )
+    return store
+
+
+def _clone_server(server: LblServer) -> LblServer:
+    clone = LblServer(point_and_permute=server.point_and_permute)
+    for encoded_key, labels in server.store._data.items():
+        clone.load(encoded_key, list(labels))
+    return clone
+
+
+def _corrupt_group0(request: LblAccessRequest) -> LblAccessRequest:
+    """Flip one byte in every group-0 ciphertext (lengths preserved)."""
+    group0 = tuple(bytes([ct[0] ^ 0xFF]) + ct[1:] for ct in request.tables[0])
+    return LblAccessRequest(request.encoded_key, (group0,) + request.tables[1:])
+
+
+def _build_workload(store: LblOrtoa, workload) -> list[LblAccessRequest]:
+    built = []
+    for key_index, is_write, byte, fault in workload:
+        key = KEYS[key_index]
+        request = (
+            Request.write(key, bytes([byte]) * VALUE_LEN)
+            if is_write
+            else Request.read(key)
+        )
+        lbl_request, _ops = store.proxy.prepare(request)
+        if fault == 1:
+            lbl_request = _corrupt_group0(lbl_request)
+        elif fault == 2:
+            lbl_request = LblAccessRequest(b"\xee" * 16, lbl_request.tables)
+        built.append(lbl_request)
+    return built
+
+
+def _sequential(server: LblServer, built) -> list[tuple]:
+    results = []
+    for lbl_request in built:
+        try:
+            response, ops = server.process(lbl_request)
+            results.append(("ok", response.to_bytes(), ops))
+        except OrtoaError as exc:
+            results.append(("err", type(exc).__name__, str(exc)))
+    return results
+
+
+def _normalized(fused_results) -> list[tuple]:
+    results = []
+    for item in fused_results:
+        if isinstance(item, OrtoaError):
+            results.append(("err", type(item).__name__, str(item)))
+        else:
+            response, ops = item
+            results.append(("ok", response.to_bytes(), ops))
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Equivalence: fused window == sequential loop
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=25, deadline=None)
+@given(WORKLOADS)
+def test_fused_window_equals_sequential_loop(workload):
+    store = _protocol()
+    sequential_server = _clone_server(store.server)
+    fused_server = _clone_server(store.server)
+    built = _build_workload(store, workload)
+
+    expected = _sequential(sequential_server, built)
+    actual = _normalized(fused_server.process_many(built))
+
+    assert actual == expected
+    # Same final label state: every rotation (and every skipped rotation
+    # on failure) landed identically.
+    assert fused_server.store._data == sequential_server.store._data
+
+
+def test_same_key_chain_preserves_rotation_order():
+    store = _protocol()
+    fused_server = _clone_server(store.server)
+    # Three accesses to one key in one window: each consumes the labels its
+    # predecessor installs, so the fused path must chain them in order.
+    built = _build_workload(
+        store, [(0, True, 10, 0), (0, True, 20, 0), (0, False, 0, 0)]
+    )
+    results = fused_server.process_many(built)
+    assert all(not isinstance(item, OrtoaError) for item in results)
+    # Only the first request joined the fused multi-get; the tail chained
+    # through sequential per-request storage accesses.
+    assert fused_server.store.multi_get_count == 1
+    assert fused_server.store.multi_put_count == 1
+
+
+def test_failed_request_is_isolated_from_window_mates():
+    store = _protocol()
+    fused_server = _clone_server(store.server)
+    built = _build_workload(
+        store, [(0, False, 0, 0), (1, False, 0, 1), (2, False, 0, 0)]
+    )
+    results = fused_server.process_many(built)
+    assert not isinstance(results[0], OrtoaError)
+    assert isinstance(results[1], ProtocolError)
+    assert not isinstance(results[2], OrtoaError)
+
+
+def test_process_many_empty_and_row_validation():
+    store = _protocol()
+    assert store.server.process_many([]) == []
+    built = _build_workload(store, [(0, False, 0, 0)])
+    with pytest.raises(ConfigurationError):
+        store.server.process_many(built, rows=[])
+
+
+def test_base_protocol_window_falls_back_to_sequential():
+    store = LblOrtoa(StoreConfig(value_len=VALUE_LEN), rng=random.Random(5))
+    store.initialize({"b0": b"\x01" * VALUE_LEN, "b1": b"\x02" * VALUE_LEN})
+    built = [
+        store.proxy.prepare(Request.read("b0"))[0],
+        store.proxy.prepare(Request.read("b1"))[0],
+    ]
+    results = store.server.process_many(built)
+    assert all(not isinstance(item, OrtoaError) for item in results)
+    # No fused storage access on the base protocol: tables are scanned.
+    assert store.server.store.multi_get_count == 0
+    assert store.server.store.multi_put_count == 0
+
+
+# --------------------------------------------------------------------- #
+# Fusion: one multi-get, one open_many, one multi-put per window
+# --------------------------------------------------------------------- #
+
+def test_window_is_one_multiget_one_open_one_multiput(monkeypatch):
+    import repro.crypto.aead as aead_mod
+
+    store = _protocol()
+    server = store.server
+    built = [store.proxy.prepare(Request.read(key))[0] for key in KEYS]
+
+    open_calls: list[int] = []
+    original = aead_mod.open_many
+
+    def counting(keys, ciphertexts):
+        open_calls.append(len(keys))
+        return original(keys, ciphertexts)
+
+    monkeypatch.setattr(aead_mod, "open_many", counting)
+    results = server.process_many(built)
+
+    assert all(not isinstance(item, OrtoaError) for item in results)
+    num_groups = len(built[0].tables)
+    assert open_calls == [len(KEYS) * num_groups]
+    assert server.store.multi_get_count == 1
+    assert server.store.multi_put_count == 1
+
+
+def test_multi_get_and_put_account_per_key():
+    store = _protocol()
+    server = store.server
+    before_gets = server.store.get_count
+    before_puts = server.store.put_count
+    built = [store.proxy.prepare(Request.read(key))[0] for key in KEYS]
+    server.process_many(built)
+    # Per-key accounting matches a sequential loop exactly; only the multi
+    # counters reveal that one fused storage access served the window.
+    assert server.store.get_count == before_gets + len(KEYS)
+    assert server.store.put_count == before_puts + len(KEYS)
+
+
+# --------------------------------------------------------------------- #
+# Obliviousness: fused GET and PUT windows are shape-identical
+# --------------------------------------------------------------------- #
+
+def _window_observations(requests, server):
+    obs.reset()
+    obs.enable()
+    results = server.process_many(requests)
+    assert all(not isinstance(item, OrtoaError) for item in results)
+    spans = [
+        span
+        for span in obs.TRACER.export()
+        if span["name"] == SERVER_SPAN
+    ]
+    shapes = [
+        {
+            key: value
+            for key, value in span["attributes"].items()
+            if key != "key_fingerprint"
+        }
+        for span in spans
+    ]
+    wire = [
+        (len(request.to_bytes()), len(response.to_bytes()))
+        for request, (response, _ops) in zip(requests, results)
+    ]
+    obs.disable()
+    return shapes, wire
+
+
+def test_fused_get_and_put_windows_are_shape_identical():
+    get_store = _protocol()
+    put_store = _protocol()
+    get_built = [
+        get_store.proxy.prepare(Request.read(key))[0] for key in KEYS
+    ]
+    put_built = [
+        put_store.proxy.prepare(
+            Request.write(key, bytes([99]) * VALUE_LEN)
+        )[0]
+        for key in KEYS
+    ]
+    get_shapes, get_wire = _window_observations(get_built, get_store.server)
+    put_shapes, put_wire = _window_observations(put_built, put_store.server)
+    assert get_shapes == put_shapes
+    assert get_wire == put_wire
+
+
+def test_sharded_audit_passes_with_fusion_on():
+    from repro.core.sharded import ShardedLblDeployment
+    from repro.obs.audit import run_sharded_audit
+    from repro.transport.cluster import ShardCluster
+
+    config = StoreConfig(value_len=16, group_bits=2, point_and_permute=True)
+    with ShardCluster(
+        2,
+        point_and_permute=True,
+        in_process=True,
+        server_batch=4,
+        server_window=0.02,
+    ) as cluster:
+        dep = ShardedLblDeployment(
+            config, cluster.addresses, rng=random.Random(3)
+        )
+        try:
+            report = run_sharded_audit(dep, num_keys=16, seed=3)
+        finally:
+            dep.close()
+    assert report.passed, report.summary()
+
+
+# --------------------------------------------------------------------- #
+# Attribution: closed-form per-row shares, no leakage across rows
+# --------------------------------------------------------------------- #
+
+def test_fused_rows_get_exact_shares_and_rowless_mates_leak_nothing():
+    from repro.obs import ledger
+
+    obs.enable()
+    store = _protocol()
+    built = [
+        store.proxy.prepare(Request.read(KEYS[0]))[0],
+        store.proxy.prepare(Request.read(KEYS[1]))[0],
+    ]
+    num_groups = len(built[0].tables)
+    with ledger.track(label="tracked") as tracked:
+        pass
+    with ledger.track(label="ambient") as ambient:
+        results = store.server.process_many(built, rows=[tracked, None])
+    assert all(not isinstance(item, OrtoaError) for item in results)
+    assert tracked.snapshot()["ops"].get("aead.decrypts", 0) == num_groups
+    # The row-less window-mate must not bill the flushing thread's row.
+    assert ambient.snapshot()["ops"].get("aead.decrypts", 0) == 0
+
+
+def test_rows_omitted_inherits_ambient_row_like_sequential():
+    from repro.obs import ledger
+
+    obs.enable()
+    store = _protocol()
+    built = [
+        store.proxy.prepare(Request.read(KEYS[0]))[0],
+        store.proxy.prepare(Request.read(KEYS[1]))[0],
+    ]
+    num_groups = len(built[0].tables)
+    with ledger.track(label="caller") as caller:
+        results = store.server.process_many(built)
+    assert all(not isinstance(item, OrtoaError) for item in results)
+    assert caller.snapshot()["ops"].get("aead.decrypts", 0) == 2 * num_groups
+
+
+def test_model_check_server_coalesced_backend_is_exact():
+    from repro.analysis.costmodel import run_model_check
+
+    report = run_model_check(
+        value_sizes=(4,), backends=("server-coalesced",)
+    )
+    assert report["ok"], report["cases"]
+    assert {case["backend"] for case in report["cases"]} == {
+        "server-coalesced"
+    }
+    assert {case["op"] for case in report["cases"]} == {"get", "put"}
+
+
+# --------------------------------------------------------------------- #
+# Satellite bugfix: error paths emit spans and counters
+# --------------------------------------------------------------------- #
+
+def test_base_protocol_error_path_emits_span_and_counters():
+    store = LblOrtoa(StoreConfig(value_len=VALUE_LEN), rng=random.Random(5))
+    store.initialize({"k": b"\x01" * VALUE_LEN})
+    built, _ops = store.proxy.prepare(Request.read("k"))
+    stored = store.server.store.get(built.encoded_key)
+    # Desynchronize the server: its stored labels no longer open anything.
+    store.server.store.put(
+        built.encoded_key,
+        [StoredLabel(b"\x00" * len(sl.label)) for sl in stored],
+    )
+    obs.enable()
+    with pytest.raises(ProtocolError):
+        store.server.process(built)
+    counters = obs.REGISTRY.snapshot()["counters"]
+    assert counters.get("lbl.server.requests", 0) == 1
+    table_size = len(built.tables[0])
+    assert counters.get("lbl.server.decrypt_attempts", 0) == table_size
+    assert counters.get("lbl.server.failed_decrypts", 0) == table_size
+    spans = [s for s in obs.TRACER.export() if s["name"] == SERVER_SPAN]
+    assert len(spans) == 1
+    attributes = spans[0]["attributes"]
+    assert "error" in attributes
+    assert attributes["failed_decrypts"] == table_size
+
+
+def test_point_and_permute_error_path_emits_span_and_counters():
+    store = _protocol()
+    built, _ops = store.proxy.prepare(Request.read(KEYS[0]))
+    corrupt = _corrupt_group0(built)
+    obs.enable()
+    with pytest.raises(ProtocolError):
+        store.server.process(corrupt)
+    counters = obs.REGISTRY.snapshot()["counters"]
+    assert counters.get("lbl.server.requests", 0) == 1
+    num_groups = len(built.tables)
+    # open_many attempted every designated pair; only group 0 failed.
+    assert counters.get("lbl.server.decrypt_attempts", 0) == num_groups
+    assert counters.get("lbl.server.failed_decrypts", 0) == 1
+    spans = [s for s in obs.TRACER.export() if s["name"] == SERVER_SPAN]
+    assert len(spans) == 1
+    assert "error" in spans[0]["attributes"]
+
+
+# --------------------------------------------------------------------- #
+# Coalescer: timers against the injected clock, generations, fan-out
+# --------------------------------------------------------------------- #
+
+def test_single_caller_flushes_on_timer_with_fake_clock():
+    obs.enable()
+    store = _protocol()
+    clock = FakeClock(auto_advance=0.4)
+    coalescer = ServerAccessCoalescer(
+        store.server, window=1.0, max_batch=8, clock=clock
+    )
+    built, _ops = store.proxy.prepare(Request.read(KEYS[0]))
+    response, _server_ops = coalescer.process(built)
+    assert len(response.opened_labels) == len(built.tables)
+    counters = obs.REGISTRY.snapshot()["counters"]
+    assert counters.get("lbl.server.windows", 0) == 1
+    assert counters.get("lbl.server.flush.timer", 0) == 1
+    events = RECORDER.events("server.window")
+    assert len(events) == 1
+    assert events[0].fields == {"reason": "timer", "window": 1, "max_batch": 8}
+
+
+def test_full_window_flushes_on_size():
+    obs.enable()
+    store = _protocol()
+    # A clock that never advances: only the size trigger can flush.
+    coalescer = ServerAccessCoalescer(
+        store.server, window=10.0, max_batch=2, clock=FakeClock()
+    )
+    built = [
+        store.proxy.prepare(Request.read(KEYS[0]))[0],
+        store.proxy.prepare(Request.read(KEYS[1]))[0],
+    ]
+    results: dict[int, object] = {}
+    errors: list[BaseException] = []
+
+    def call(index: int) -> None:
+        try:
+            results[index] = coalescer.process(built[index])
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=call, args=(i,)) for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+    assert set(results) == {0, 1}
+    counters = obs.REGISTRY.snapshot()["counters"]
+    assert counters.get("lbl.server.flush.size", 0) == 1
+    assert counters.get("lbl.server.coalesced", 0) == 2
+    gauges = obs.REGISTRY.snapshot()["gauges"]
+    assert gauges["lbl.server.window_fill"]["value"] == 1.0
+
+
+def test_flush_pending_generation_guards_stale_timers():
+    store = _protocol()
+    coalescer = ServerAccessCoalescer(
+        store.server, window=10.0, max_batch=8, clock=FakeClock()
+    )
+    built1, _ = store.proxy.prepare(Request.read(KEYS[0]))
+    entry1, is_leader, is_full, generation1, _full = coalescer.submit(built1)
+    assert is_leader and not is_full
+    assert coalescer.flush_pending("timer", generation1) is True
+    assert entry1.done.is_set() and entry1.result is not None
+    # Re-flushing the same (already closed) window is a no-op.
+    assert coalescer.flush_pending("timer", generation1) is False
+    # A stale timer must not flush the *next* window early.
+    built2, _ = store.proxy.prepare(Request.read(KEYS[0]))
+    entry2, is_leader2, _is_full2, generation2, _full2 = coalescer.submit(built2)
+    assert is_leader2 and generation2 != generation1
+    assert coalescer.flush_pending("timer", generation1) is False
+    assert not entry2.done.is_set()
+    assert coalescer.flush_pending("timer", generation2) is True
+    assert entry2.result is not None
+
+
+def test_on_done_callback_fires_with_result():
+    store = _protocol()
+    coalescer = ServerAccessCoalescer(
+        store.server, window=10.0, max_batch=8, clock=FakeClock()
+    )
+    built, _ = store.proxy.prepare(Request.read(KEYS[0]))
+    seen = []
+    entry, _leader, _is_full, generation, _full = coalescer.submit(
+        built, on_done=seen.append
+    )
+    coalescer.flush_pending("timer", generation)
+    assert seen == [entry]
+    assert entry.error is None and entry.result is not None
+
+
+def test_failed_window_mate_raises_only_for_its_caller():
+    store = _protocol()
+    coalescer = ServerAccessCoalescer(
+        store.server, window=10.0, max_batch=2, clock=FakeClock()
+    )
+    good, _ = store.proxy.prepare(Request.read(KEYS[0]))
+    bad = _corrupt_group0(store.proxy.prepare(Request.read(KEYS[1]))[0])
+    outcomes: dict[str, object] = {}
+
+    def call(name: str, request) -> None:
+        try:
+            outcomes[name] = coalescer.process(request)
+        except OrtoaError as exc:
+            outcomes[name] = exc
+
+    threads = [
+        threading.Thread(target=call, args=("good", good)),
+        threading.Thread(target=call, args=("bad", bad)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert isinstance(outcomes["bad"], ProtocolError)
+    assert not isinstance(outcomes["good"], OrtoaError)
+
+
+def test_coalescer_validates_configuration():
+    store = _protocol()
+    with pytest.raises(ConfigurationError):
+        ServerAccessCoalescer(store.server, window=-1.0)
+    with pytest.raises(ConfigurationError):
+        ServerAccessCoalescer(store.server, max_batch=0)
+
+
+# --------------------------------------------------------------------- #
+# Transports: fused windows form over both dispatch paths
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("transport", ["thread", "async"])
+def test_fused_windows_form_over_transport(transport):
+    from repro.core.lbl.concurrent import ConcurrentLblProxy
+    from repro.core.sharded import ShardedLblDeployment
+    from repro.transport.cluster import ShardCluster
+
+    obs.enable()
+    config = StoreConfig(
+        value_len=VALUE_LEN, group_bits=2, point_and_permute=True
+    )
+    with ShardCluster(
+        1,
+        point_and_permute=True,
+        in_process=True,
+        transport=transport,
+        server_batch=4,
+        server_window=0.02,
+    ) as cluster:
+        dep = ShardedLblDeployment(
+            config,
+            cluster.addresses,
+            rng=random.Random(0),
+            transport=transport,
+        )
+        try:
+            dep.initialize(
+                {f"t{i}": bytes([i + 1]) * VALUE_LEN for i in range(4)}
+            )
+            proxy = ConcurrentLblProxy(dep)
+            barrier = threading.Barrier(4)
+            errors: list[BaseException] = []
+
+            def worker(index: int) -> None:
+                try:
+                    barrier.wait(timeout=30)
+                    key = f"t{index}"
+                    for round_number in range(3):
+                        value = bytes([round_number + 1]) * VALUE_LEN
+                        proxy.write(key, value)
+                        assert proxy.read(key) == value
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, errors
+        finally:
+            dep.close()
+    counters = obs.REGISTRY.snapshot()["counters"]
+    assert counters.get("lbl.server.windows", 0) >= 1
+    assert counters.get("lbl.server.coalesced", 0) == 24
+    events = RECORDER.events("server.window")
+    assert events
+    assert all(event.fields["max_batch"] == 4 for event in events)
+    assert all(1 <= event.fields["window"] <= 4 for event in events)
+
+
+# --------------------------------------------------------------------- #
+# Planner, doctor, and top integration
+# --------------------------------------------------------------------- #
+
+def test_plan_capacity_amortizes_server_flush_overhead():
+    from repro.analysis.costmodel import LblCostModel, plan_capacity
+
+    model = LblCostModel(value_len=160, group_bits=2, point_and_permute=True)
+    unfused = plan_capacity(50_000_000, 50, model, server_batch=1)
+    fused = plan_capacity(50_000_000, 50, model, server_batch=8)
+    assert fused.cpu_cores <= unfused.cpu_cores
+    assert fused.projected_p99_ms < unfused.projected_p99_ms
+    assumptions = fused.as_dict()["assumptions"]
+    assert assumptions["server_batch"] == 8
+    assert assumptions["server_opens_per_sec"] > 0
+    assert assumptions["server_flush_overhead_seconds"] >= 0
+    with pytest.raises(ConfigurationError):
+        plan_capacity(10, 10, model, server_batch=0)
+    with pytest.raises(ConfigurationError):
+        plan_capacity(10, 10, model, server_opens_per_sec=0.0)
+
+
+def test_doctor_attributes_server_open_bound_saturation():
+    from repro.obs.doctor import SCORE_FLOOR, diagnose
+
+    saturated = {
+        "target": "shard-0",
+        "up": True,
+        "ops_per_s": 100.0,
+        "server_window_fill": 1.0,
+    }
+    diagnosis = diagnose([saturated])
+    assert diagnosis["bottleneck"] == "server"
+    assert diagnosis["scores"]["server"] >= SCORE_FLOOR
+    assert any("server-open-bound" in reason for reason in diagnosis["reasons"])
+
+    idle = dict(saturated, server_window_fill=0.1)
+    assert diagnose([idle])["bottleneck"] == "healthy"
+
+
+def test_top_row_and_render_carry_server_window_fill():
+    from repro.obs.top import render_top, target_row
+
+    samples = {
+        "repro_transport_requests_dispatched_total": [({}, 5.0)],
+        "repro_lbl_server_window_fill": [({}, 0.75)],
+    }
+    row = target_row("a:1", samples, None, 1.0)
+    assert row["server_window_fill"] == 0.75
+    frame = render_top([row], refreshed_at="12:00:00")
+    assert "SWIN%" in frame
+    assert any("75" in line for line in frame.splitlines())
